@@ -1,0 +1,44 @@
+# chronicledb — build and verification targets
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/chronbench
+
+experiments-quick:
+	$(GO) run ./cmd/chronbench -quick
+
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeValue -fuzztime=30s ./internal/value/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/wal/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/frequentflyer
+	$(GO) run ./examples/telecom
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/stocktrading
+	$(GO) run ./examples/eventmonitor
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,59 @@
+// Command chronbench runs the experiment suite that reproduces the
+// chronicle paper's quantitative claims (DESIGN.md experiments E1–E13) and
+// prints one measured table per experiment.
+//
+// Usage:
+//
+//	chronbench            # full sweeps (minutes)
+//	chronbench -quick     # reduced sweeps (seconds)
+//	chronbench -run E1,E4 # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"chronicledb/internal/bench"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sweep sizes")
+		run   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+
+	cfg := bench.Config{Quick: *quick}
+	fmt.Printf("chronbench — chronicle data model experiment suite (quick=%v)\n", *quick)
+	fmt.Printf("paper: Jagadish, Mumick, Silberschatz — View Maintenance Issues for the Chronicle Data Model, PODS 1995\n\n")
+
+	failed := 0
+	for _, exp := range bench.All() {
+		if len(selected) > 0 && !selected[exp.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := exp.Run(cfg)
+		if err != nil {
+			log.Printf("%s failed: %v", exp.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(tbl.Format())
+		fmt.Printf("  (%s in %.1fs)\n\n", exp.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

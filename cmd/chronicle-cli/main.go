@@ -1,0 +1,152 @@
+// Command chronicle-cli is an interactive shell (and batch runner) for a
+// chronicle database — either an embedded one or a remote chronicled.
+//
+// Usage:
+//
+//	chronicle-cli                     # in-memory, interactive
+//	chronicle-cli -dir ./data         # embedded, durable
+//	chronicle-cli -remote http://host:7457
+//	chronicle-cli -e "SHOW VIEWS"     # one-shot
+//	chronicle-cli < script.sql        # batch
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/cli"
+	"chronicledb/internal/server"
+)
+
+// executor abstracts local vs remote execution.
+type executor func(stmt string) (columns []string, rows [][]string, message string, err error)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "", "embedded data directory (empty = in-memory)")
+		remote = flag.String("remote", "", "URL of a chronicled server (overrides -dir)")
+		oneOff = flag.String("e", "", "execute this statement and exit")
+	)
+	flag.Parse()
+
+	exec, closeFn, err := buildExecutor(*remote, *dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeFn()
+
+	if *oneOff != "" {
+		if err := runStatement(exec, *oneOff); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("chronicledb shell — statements end with ';', 'quit' exits")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var split cli.Splitter
+	prompt(interactive, false)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !split.Pending() {
+			switch strings.TrimSpace(line) {
+			case "quit", "exit":
+				return
+			case "":
+				prompt(interactive, false)
+				continue
+			}
+		}
+		for _, stmt := range split.Feed(line) {
+			if err := runStatement(exec, stmt); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				if !interactive {
+					os.Exit(1)
+				}
+			}
+		}
+		prompt(interactive, split.Pending())
+	}
+	if err := scanner.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func prompt(interactive, continued bool) {
+	if !interactive {
+		return
+	}
+	if continued {
+		fmt.Print("   ...> ")
+	} else {
+		fmt.Print("chron> ")
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func buildExecutor(remote, dir string) (executor, func(), error) {
+	if remote != "" {
+		c := server.NewClient(remote)
+		if !c.Healthy() {
+			return nil, nil, fmt.Errorf("chronicle-cli: no healthy server at %s", remote)
+		}
+		return func(stmt string) ([]string, [][]string, string, error) {
+			res, err := c.Exec(stmt)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			rows := make([][]string, len(res.Rows))
+			for i, r := range res.Rows {
+				rows[i] = make([]string, len(r))
+				for j, v := range r {
+					rows[i][j] = fmt.Sprint(v)
+				}
+			}
+			return res.Columns, rows, res.Message, nil
+		}, func() {}, nil
+	}
+	db, err := chronicledb.Open(chronicledb.Options{Dir: dir})
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(stmt string) ([]string, [][]string, string, error) {
+		res, err := db.Exec(stmt)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		rows := make([][]string, len(res.Rows))
+		for i, r := range res.Rows {
+			rows[i] = make([]string, len(r))
+			for j, v := range r {
+				rows[i][j] = v.String()
+			}
+		}
+		return res.Columns, rows, res.Message, nil
+	}, func() { db.Close() }, nil
+}
+
+func runStatement(exec executor, stmt string) error {
+	columns, rows, message, err := exec(stmt)
+	if err != nil {
+		return err
+	}
+	if message != "" {
+		fmt.Println(message)
+		return nil
+	}
+	cli.RenderTable(os.Stdout, columns, rows)
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command chronicled serves a chronicle database over HTTP.
+//
+// Usage:
+//
+//	chronicled [-addr :7457] [-dir /var/lib/chronicledb] [-sync]
+//	           [-retain all|none|N] [-checkpoint-every N]
+//
+// With -dir, the database is durable: appends hit the WAL before views are
+// maintained, and every N appends (default 10000) the server checkpoints
+// and truncates the log. Without -dir, the database is in-memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7457", "listen address")
+		dir       = flag.String("dir", "", "data directory (empty = in-memory)")
+		sync      = flag.Bool("sync", false, "fsync every WAL record")
+		retain    = flag.String("retain", "none", "default chronicle retention: all, none, or a row count")
+		ckptEvery = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 disables; durable mode only)")
+		initFile  = flag.String("init", "", "SQL file executed at startup (idempotence is the caller's concern)")
+	)
+	flag.Parse()
+
+	retention, err := parseRetention(*retain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := chronicledb.Open(chronicledb.Options{
+		Dir:              *dir,
+		SyncWAL:          *sync,
+		DefaultRetention: retention,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if *initFile != "" {
+		src, err := os.ReadFile(*initFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := db.Exec(string(src)); err != nil {
+			log.Fatalf("init script: %v", err)
+		}
+		log.Printf("executed init script %s", *initFile)
+	}
+
+	if *dir != "" && *ckptEvery > 0 {
+		go func() {
+			for range time.Tick(*ckptEvery) {
+				if err := db.Checkpoint(); err != nil {
+					log.Printf("checkpoint: %v", err)
+				}
+			}
+		}()
+	}
+
+	log.Printf("chronicled listening on %s (dir=%q retain=%s)", *addr, *dir, *retain)
+	log.Fatal(http.ListenAndServe(*addr, server.New(db)))
+}
+
+func parseRetention(s string) (chronicledb.Retention, error) {
+	switch s {
+	case "all":
+		return chronicledb.RetainAll, nil
+	case "none":
+		return chronicledb.RetainNone, nil
+	default:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("chronicled: -retain must be all, none, or a non-negative count")
+		}
+		return chronicledb.Retention(n), nil
+	}
+}

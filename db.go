@@ -1,0 +1,181 @@
+package chronicledb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/engine"
+	"chronicledb/internal/relation"
+	"chronicledb/internal/value"
+	"chronicledb/internal/view"
+	"chronicledb/internal/wal"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Dir enables durability: the directory holds catalog.sql, the WAL,
+	// and checkpoints. Empty means a purely in-memory database.
+	Dir string
+	// SyncWAL fsyncs every WAL record (durable but slow). Ignored without Dir.
+	SyncWAL bool
+	// DefaultRetention applies to chronicles created without RETAIN. The
+	// zero value (RetainNone) is the pure chronicle model: nothing stored.
+	DefaultRetention Retention
+	// RelationHistory keeps superseded relation versions for AsOf reads.
+	// Needed only when recompute baselines / reference checks will run.
+	RelationHistory bool
+	// NoDispatchIndex disables the Section 5.2 predicate index (ablation).
+	NoDispatchIndex bool
+	// Clock supplies chronons for appends; nil uses wall-clock nanoseconds.
+	Clock func() int64
+}
+
+// Retention re-exports the chronicle retention policy.
+type Retention = chronicle.Retention
+
+// Retention constants.
+const (
+	RetainAll  = chronicle.RetainAll
+	RetainNone = chronicle.RetainNone
+)
+
+// Row is a query result row.
+type Row = value.Tuple
+
+// Result is the outcome of Exec: either rows (queries, SHOW, EXPLAIN) or a
+// message (DDL and DML acknowledgments).
+type Result struct {
+	Columns []string
+	Rows    []Row
+	Message string
+}
+
+// DB is a chronicle database: Definition 2.1's (C, R, L, V) with a
+// declarative statement interface, durability, and recovery.
+type DB struct {
+	mu   sync.Mutex
+	eng  *engine.Engine
+	opts Options
+
+	log         *wal.Log
+	catalogPath string
+}
+
+// Open creates or reopens a database. With Options.Dir set, Open replays
+// the catalog, the latest checkpoint, and the WAL tail, in that order.
+func Open(opts Options) (*DB, error) {
+	db := &DB{
+		eng: engine.New(engine.Config{
+			DefaultRetention: opts.DefaultRetention,
+			RelationHistory:  opts.RelationHistory,
+			DispatchIndexed:  !opts.NoDispatchIndex,
+			Clock:            opts.Clock,
+		}),
+		opts: opts,
+	}
+	if opts.Dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chronicledb: %w", err)
+	}
+	db.catalogPath = filepath.Join(opts.Dir, "catalog.sql")
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(opts.Dir, "chronicle.wal"), opts.SyncWAL)
+	if err != nil {
+		return nil, fmt.Errorf("chronicledb: %w", err)
+	}
+	db.log = log
+	db.eng.SetRecorder(db.record)
+	return db, nil
+}
+
+// record is the engine's WAL hook.
+func (db *DB) record(m engine.Mutation) error {
+	rec := wal.Record{SN: m.SN, Chronon: m.Chronon, Relation: m.Relation, Tuple: m.Tuple}
+	switch m.Kind {
+	case engine.MutAppend:
+		rec.Kind = wal.RecAppend
+		for _, p := range m.Parts {
+			rec.Parts = append(rec.Parts, wal.Part{Chronicle: p.Chronicle, Tuples: p.Tuples})
+		}
+	case engine.MutUpsert:
+		rec.Kind = wal.RecUpsert
+	case engine.MutDelete:
+		rec.Kind = wal.RecDelete
+	}
+	return db.log.Append(rec)
+}
+
+// Close flushes and closes the WAL. The in-memory state stays usable for
+// reads but further updates will fail to persist.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	err := db.log.Close()
+	db.log = nil
+	db.eng.SetRecorder(nil)
+	return err
+}
+
+// Flush pushes buffered WAL records to the OS (no-op in memory mode).
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	return db.log.Sync()
+}
+
+// Engine exposes the kernel for advanced callers (benchmarks, tests).
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// Stats returns engine counters.
+func (db *DB) Stats() engine.Stats { return db.eng.Stats() }
+
+// Chronicle implements sqlparse.Catalog.
+func (db *DB) Chronicle(name string) (*chronicle.Chronicle, bool) {
+	return db.eng.Chronicle(name)
+}
+
+// Relation implements sqlparse.Catalog.
+func (db *DB) Relation(name string) (*relation.Relation, bool) {
+	return db.eng.Relation(name)
+}
+
+// View returns a persistent view handle by name.
+func (db *DB) View(name string) (*view.View, bool) { return db.eng.View(name) }
+
+// Append inserts tuples into a chronicle with the next sequence number,
+// maintaining every affected persistent view before returning.
+func (db *DB) Append(chronicleName string, tuples ...value.Tuple) (int64, error) {
+	return db.eng.Append(chronicleName, tuples)
+}
+
+// Upsert applies a proactive relation update.
+func (db *DB) Upsert(relationName string, t value.Tuple) error {
+	return db.eng.Upsert(relationName, t)
+}
+
+// Lookup answers a summary query from a persistent view by group key. The
+// read is serialized against appends, so it reflects every append that has
+// returned — the "balance check before the next ATM withdrawal" guarantee.
+func (db *DB) Lookup(viewName string, key ...value.Value) (Row, bool, error) {
+	return db.eng.ViewLookup(viewName, value.Tuple(key))
+}
+
+// LookupRange returns the view rows whose group key is ≥ lo and < hi under
+// tuple comparison (lo and hi may be key prefixes), in ascending key order.
+// With a BTREE store this is an index range scan.
+func (db *DB) LookupRange(viewName string, lo, hi Tuple) ([]Row, error) {
+	return db.eng.ViewScanRange(viewName, lo, hi)
+}

@@ -1,0 +1,70 @@
+package chronicledb_test
+
+import (
+	"fmt"
+	"log"
+
+	chronicledb "chronicledb"
+)
+
+// Example shows the minimal chronicle-model loop: declare a chronicle and a
+// persistent view, append transaction records, and answer summary queries
+// from the view — with no transaction record ever stored.
+func Example() {
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`)
+	db.Exec(`CREATE VIEW usage AS
+		SELECT acct, SUM(minutes) AS total, COUNT(*) AS n
+		FROM calls GROUP BY acct`)
+	db.Exec(`APPEND INTO calls VALUES ('alice', 12)`)
+	db.Exec(`APPEND INTO calls VALUES ('alice', 8)`)
+
+	row, _, _ := db.Lookup("usage", chronicledb.Str("alice"))
+	fmt.Printf("alice: %d minutes over %d calls\n", row[1].AsInt(), row[2].AsInt())
+	// Output: alice: 20 minutes over 2 calls
+}
+
+// ExampleDB_Exec demonstrates the declarative language end to end,
+// including the maintenance-class report for a key-join view.
+func ExampleDB_Exec() {
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`)
+	db.Exec(`CREATE RELATION customers (acct STRING, state STRING, KEY(acct))`)
+	res, err := db.Exec(`CREATE VIEW by_state AS
+		SELECT state, SUM(minutes) AS total FROM calls
+		JOIN customers ON calls.acct = customers.acct
+		GROUP BY state`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Message)
+	// Output: view by_state created (CA⋈, IM-log(R))
+}
+
+// ExampleDB_Exec_rejected shows Theorem 4.3 enforced by the planner: a
+// chronicle-to-chronicle attribute join cannot define a persistent view.
+func ExampleDB_Exec_rejected() {
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Exec(`CREATE GROUP g;
+		CREATE CHRONICLE a (k STRING, x INT) IN GROUP g;
+		CREATE CHRONICLE b (k STRING, y INT) IN GROUP g`)
+	_, err = db.Exec(`CREATE VIEW bad AS
+		SELECT a.k, COUNT(*) AS n FROM a JOIN b ON a.k = b.k GROUP BY a.k`)
+	fmt.Println(err != nil)
+	// Output: true
+}

@@ -1,0 +1,110 @@
+// Frequent flyer: the paper's running example (Examples 2.1 and 2.2).
+//
+// One chronicle records mileage transactions. A customer relation holds the
+// account's current address. Three persistent views hold the mileage
+// balance, the miles actually flown, and the data for premier status — and
+// a fourth implements the New-Jersey bonus: 500 bonus miles per flight, but
+// only for flights taken while the customer lived in New Jersey. Address
+// changes are proactive updates: they affect only later flights, exactly as
+// Section 2.3 prescribes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chronicledb "chronicledb"
+)
+
+func main() {
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db, `CREATE CHRONICLE mileage (acct STRING, kind STRING, miles INT, bonus INT)`)
+	must(db, `CREATE RELATION customers (acct STRING, name STRING, state STRING, KEY(acct))`)
+
+	// V1: total mileage balance per account (flown + bonus + promotions).
+	must(db, `CREATE VIEW balance AS
+		SELECT acct, SUM(miles) AS miles, SUM(bonus) AS bonus_miles, COUNT(*) AS activity
+		FROM mileage GROUP BY acct`)
+
+	// V2: miles actually flown (kind = 'flight') — premier status derives
+	// from this, not from bonus promotions.
+	must(db, `CREATE VIEW flown AS
+		SELECT acct, SUM(miles) AS flown_miles, COUNT(*) AS flights
+		FROM mileage WHERE kind = 'flight' GROUP BY acct`)
+
+	// V3: the NJ bonus (Example 2.2). The join with customers is an
+	// implicit temporal join: each mileage tuple sees the address version
+	// in effect when it was appended.
+	must(db, `CREATE VIEW nj_bonus AS
+		SELECT mileage.acct, COUNT(*) AS qualifying_flights
+		FROM mileage
+		JOIN customers ON mileage.acct = customers.acct
+		WHERE kind = 'flight' AND state = 'NJ'
+		GROUP BY mileage.acct`)
+
+	// Enroll a customer in New Jersey.
+	must(db, `UPSERT INTO customers VALUES ('ff42', 'Pat Traveler', 'NJ')`)
+
+	// Two flights while living in NJ.
+	must(db, `APPEND INTO mileage VALUES ('ff42', 'flight', 2800, 500)`)
+	must(db, `APPEND INTO mileage VALUES ('ff42', 'flight', 1200, 500)`)
+
+	// Pat moves to California — a proactive update.
+	must(db, `UPSERT INTO customers VALUES ('ff42', 'Pat Traveler', 'CA')`)
+
+	// A flight after the move: no NJ bonus. A shopping promotion: miles,
+	// but not flown-miles.
+	must(db, `APPEND INTO mileage VALUES ('ff42', 'flight', 5100, 0)`)
+	must(db, `APPEND INTO mileage VALUES ('ff42', 'promo', 1000, 0)`)
+
+	balance := lookup(db, "balance", "ff42")
+	flown := lookup(db, "flown", "ff42")
+	nj := lookup(db, "nj_bonus", "ff42")
+
+	fmt.Printf("account ff42\n")
+	fmt.Printf("  balance:        %d miles (+%d bonus) across %d activities\n",
+		balance[1].AsInt(), balance[2].AsInt(), balance[3].AsInt())
+	fmt.Printf("  actually flown: %d miles in %d flights\n", flown[1].AsInt(), flown[2].AsInt())
+	fmt.Printf("  NJ-bonus:       %d qualifying flights\n", nj[1].AsInt())
+
+	status := premierStatus(flown[1].AsInt())
+	fmt.Printf("  premier status: %s\n", status)
+
+	if nj[1].AsInt() != 2 {
+		log.Fatalf("temporal join broken: %d qualifying flights, want 2", nj[1].AsInt())
+	}
+}
+
+// premierStatus is the query-side computation the paper leaves to the
+// application: it reads only the persistent view.
+func premierStatus(flownMiles int64) string {
+	switch {
+	case flownMiles >= 100000:
+		return "gold"
+	case flownMiles >= 50000:
+		return "silver"
+	case flownMiles >= 25000:
+		return "bronze"
+	default:
+		return "member"
+	}
+}
+
+func lookup(db *chronicledb.DB, view, acct string) chronicledb.Row {
+	row, ok, err := db.Lookup(view, chronicledb.Str(acct))
+	if err != nil || !ok {
+		log.Fatalf("lookup %s(%s): %v %v", view, acct, ok, err)
+	}
+	return row
+}
+
+func must(db *chronicledb.DB, stmt string) {
+	if _, err := db.Exec(stmt); err != nil {
+		log.Fatalf("%s: %v", stmt, err)
+	}
+}

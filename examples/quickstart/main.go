@@ -1,0 +1,66 @@
+// Quickstart: define a chronicle and a persistent view, append transaction
+// records, and answer summary queries from the view — without the chronicle
+// being stored at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chronicledb "chronicledb"
+)
+
+func main() {
+	// The default retention is RetainNone: the pure chronicle model. No
+	// transaction record is ever stored; only the persistent views are.
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db, `CREATE CHRONICLE calls (acct STRING, minutes INT, cost FLOAT)`)
+	must(db, `CREATE VIEW usage AS
+		SELECT acct, SUM(minutes) AS total_minutes, SUM(cost) AS total_cost, COUNT(*) AS calls
+		FROM calls GROUP BY acct`)
+
+	// Record some transactions. Each append maintains every affected view
+	// before returning.
+	must(db, `APPEND INTO calls VALUES ('alice', 12, 1.50)`)
+	must(db, `APPEND INTO calls VALUES ('bob', 3, 0.40)`)
+	must(db, `APPEND INTO calls VALUES ('alice', 8, 0.95)`)
+
+	// A summary query is a view lookup — O(1), independent of how many
+	// calls were ever made.
+	res, err := db.Exec(`SELECT * FROM usage WHERE acct = 'alice'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("columns:", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println("row:   ", row)
+	}
+
+	// The same query through the typed API.
+	row, ok, err := db.Lookup("usage", chronicledb.Str("bob"))
+	if err != nil || !ok {
+		log.Fatalf("lookup: %v %v", ok, err)
+	}
+	fmt.Printf("bob: %d minutes, $%.2f over %d call(s)\n",
+		row[1].AsInt(), row[2].AsFloat(), row[3].AsInt())
+
+	// EXPLAIN shows the view's algebra and maintenance class.
+	res, err = db.Exec(`EXPLAIN VIEW usage`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		fmt.Printf("%-18s %s\n", r[0], r[1])
+	}
+}
+
+func must(db *chronicledb.DB, stmt string) {
+	if _, err := db.Exec(stmt); err != nil {
+		log.Fatalf("%s: %v", stmt, err)
+	}
+}

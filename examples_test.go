@@ -1,0 +1,30 @@
+package chronicledb_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesRun compiles and runs every example end to end; an example
+// that errors exits non-zero (each validates its own expected numbers).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile subprocesses")
+	}
+	examples := []string{
+		"quickstart", "frequentflyer", "telecom", "banking", "stocktrading", "eventmonitor",
+	}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

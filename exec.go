@@ -1,0 +1,560 @@
+package chronicledb
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/engine"
+	"chronicledb/internal/pred"
+	"chronicledb/internal/sqlparse"
+	"chronicledb/internal/value"
+)
+
+// Exec parses and executes one or more semicolon-separated statements,
+// returning the result of the last one.
+func (db *DB) Exec(src string) (*Result, error) {
+	stmts, err := sqlparse.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("chronicledb: empty statement")
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = db.execOne(s, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// execOne executes one statement. logDDL controls whether schema statements
+// are persisted to catalog.sql (recovery replays with logDDL=false).
+func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
+	switch s := s.(type) {
+	case *sqlparse.CreateGroup:
+		if _, err := db.eng.CreateGroup(s.Name); err != nil {
+			return nil, err
+		}
+		return db.ddlDone(s, logDDL, "group %s created", s.Name)
+
+	case *sqlparse.CreateChronicle:
+		schema, err := schemaOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		var retain *chronicle.Retention
+		if s.Retain != nil {
+			r := chronicle.Retention(*s.Retain)
+			retain = &r
+		}
+		c, err := db.eng.CreateChronicle(s.Name, s.Group, schema, retain)
+		if err != nil {
+			return nil, err
+		}
+		if s.Window != nil {
+			if err := c.SetRetainSpan(*s.Window); err != nil {
+				return nil, err
+			}
+		}
+		return db.ddlDone(s, logDDL, "chronicle %s created", s.Name)
+
+	case *sqlparse.CreateRelation:
+		schema, err := schemaOf(s.Cols)
+		if err != nil {
+			return nil, err
+		}
+		keyCols := make([]int, len(s.Keys))
+		for i, k := range s.Keys {
+			idx, ok := schema.Index(k)
+			if !ok {
+				return nil, fmt.Errorf("chronicledb: key column %q not in relation %s", k, s.Name)
+			}
+			keyCols[i] = idx
+		}
+		if _, err := db.eng.CreateRelation(s.Name, schema, keyCols); err != nil {
+			return nil, err
+		}
+		return db.ddlDone(s, logDDL, "relation %s created", s.Name)
+
+	case *sqlparse.CreateView:
+		plan, err := sqlparse.PlanView(db, s)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Periodic != nil {
+			_, err = db.eng.CreatePeriodicView(s.Name, plan.Def, plan.Periodic.Calendar,
+				plan.Periodic.ExpireAfter, plan.Store)
+			if err != nil {
+				return nil, err
+			}
+			return db.ddlDone(s, logDDL, "periodic view %s created (%s, %s)",
+				s.Name, plan.Info.Lang, plan.Info.IMClass())
+		}
+		if _, err := db.eng.CreateView(plan.Def, plan.Store, plan.Filter, plan.FilterChronicle); err != nil {
+			return nil, err
+		}
+		return db.ddlDone(s, logDDL, "view %s created (%s, %s)", s.Name, plan.Info.Lang, plan.Info.IMClass())
+
+	case *sqlparse.Append:
+		total := 0
+		if len(s.Parts) == 1 {
+			part := s.Parts[0]
+			tuples := make([]value.Tuple, len(part.Rows))
+			for i, r := range part.Rows {
+				tuples[i] = value.Tuple(r)
+			}
+			sn, err := db.eng.Append(part.Chronicle, tuples)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Message: fmt.Sprintf("appended %d tuple(s) at sequence number %d", len(tuples), sn)}, nil
+		}
+		parts := make([]engine.MutationPart, len(s.Parts))
+		for i, p := range s.Parts {
+			tuples := make([]value.Tuple, len(p.Rows))
+			for j, r := range p.Rows {
+				tuples[j] = value.Tuple(r)
+			}
+			parts[i] = engine.MutationPart{Chronicle: p.Chronicle, Tuples: tuples}
+			total += len(tuples)
+		}
+		sn, err := db.eng.AppendBatch(parts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("appended %d tuple(s) across %d chronicles at sequence number %d",
+			total, len(parts), sn)}, nil
+
+	case *sqlparse.DropView:
+		if err := db.eng.DropView(s.Name); err != nil {
+			return nil, err
+		}
+		if logDDL && db.catalogPath != "" {
+			if err := db.appendCatalog(fmt.Sprintf("DROP VIEW %s", s.Name)); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Message: fmt.Sprintf("view %s dropped", s.Name)}, nil
+
+	case *sqlparse.Upsert:
+		for _, r := range s.Rows {
+			if err := db.eng.Upsert(s.Relation, value.Tuple(r)); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Message: fmt.Sprintf("upserted %d tuple(s)", len(s.Rows))}, nil
+
+	case *sqlparse.Delete:
+		deleted, err := db.eng.DeleteKey(s.Relation, value.Tuple(s.Key))
+		if err != nil {
+			return nil, err
+		}
+		if !deleted {
+			return &Result{Message: "no such key"}, nil
+		}
+		return &Result{Message: "deleted 1 tuple"}, nil
+
+	case *sqlparse.Query:
+		return db.query(s)
+
+	case *sqlparse.Explain:
+		return db.explain(s.View)
+
+	case *sqlparse.Show:
+		return db.show(s.What)
+
+	default:
+		return nil, fmt.Errorf("chronicledb: unsupported statement %T", s)
+	}
+}
+
+// ddlDone persists a DDL statement to the catalog and acknowledges it.
+func (db *DB) ddlDone(s sqlparse.Statement, logDDL bool, format string, args ...any) (*Result, error) {
+	if logDDL && db.catalogPath != "" {
+		if err := db.appendCatalog(renderDDL(s)); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf(format, args...)}, nil
+}
+
+func (db *DB) appendCatalog(stmt string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f, err := os.OpenFile(db.catalogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("chronicledb: catalog: %w", err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "%s;\n", stmt); err != nil {
+		return fmt.Errorf("chronicledb: catalog: %w", err)
+	}
+	return f.Sync()
+}
+
+// query answers SELECT * FROM <view|relation|chronicle>.
+func (db *DB) query(q *sqlparse.Query) (*Result, error) {
+	if v, ok := db.eng.View(q.From); ok {
+		rows, err := db.eng.ViewRows(q.From)
+		if err != nil {
+			return nil, err
+		}
+		return filterRows(v.Schema().Names(), rows, q)
+	}
+	if r, ok := db.eng.Relation(q.From); ok {
+		rows, err := db.eng.RelationRows(q.From)
+		if err != nil {
+			return nil, err
+		}
+		return filterRows(r.Schema().Names(), rows, q)
+	}
+	if c, ok := db.eng.Chronicle(q.From); ok {
+		// Detailed queries over the retained window: SN and chronon are
+		// exposed as leading pseudo-columns.
+		names := append([]string{"_sn", "_chronon"}, c.Schema().Names()...)
+		crows, err := db.eng.ChronicleRows(q.From)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]Row, 0, len(crows))
+		for _, r := range crows {
+			row := make(Row, 0, len(r.Vals)+2)
+			row = append(row, value.Int(r.SN), value.Chronon(r.Chronon))
+			row = append(row, r.Vals...)
+			rows = append(rows, row)
+		}
+		return filterRows(names, rows, q)
+	}
+	return nil, fmt.Errorf("chronicledb: unknown view, relation, or chronicle %q", q.From)
+}
+
+func filterRows(names []string, rows []Row, q *sqlparse.Query) (*Result, error) {
+	preds, err := sqlparse.LowerWhere(names, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve ORDER BY before filtering so an unknown column errors even on
+	// empty results.
+	orderCol := -1
+	if q.OrderBy != nil {
+		for i, n := range names {
+			if n == q.OrderBy.Name {
+				orderCol = i
+				break
+			}
+		}
+		if orderCol < 0 {
+			return nil, fmt.Errorf("chronicledb: unknown ORDER BY column %q", q.OrderBy.Name)
+		}
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		if matchesAll(preds, r) {
+			out = append(out, r)
+			if orderCol < 0 && q.Limit > 0 && len(out) >= q.Limit {
+				break // without ORDER BY, LIMIT can stop the scan early
+			}
+		}
+	}
+	if orderCol >= 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			c := value.Compare(out[i][orderCol], out[j][orderCol])
+			if q.OrderDesc {
+				return c > 0
+			}
+			return c < 0
+		})
+		if q.Limit > 0 && len(out) > q.Limit {
+			out = out[:q.Limit]
+		}
+	}
+	return &Result{Columns: names, Rows: out}, nil
+}
+
+func matchesAll(preds []pred.Predicate, r Row) bool {
+	for _, p := range preds {
+		if !p.Eval(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// explain describes a persistent or periodic view.
+func (db *DB) explain(name string) (*Result, error) {
+	if v, ok := db.eng.View(name); ok {
+		info := v.Info()
+		return &Result{
+			Columns: []string{"property", "value"},
+			Rows: []Row{
+				{value.Str("expression"), value.Str(v.Def().Expr.String())},
+				{value.Str("summarize"), value.Str(v.Def().Mode.String())},
+				{value.Str("language"), value.Str(info.Lang.String())},
+				{value.Str("maintenance_class"), value.Str(info.IMClass().String())},
+				{value.Str("unions_u"), value.Int(int64(info.Unions))},
+				{value.Str("joins_j"), value.Int(int64(info.Joins))},
+				{value.Str("rows"), value.Int(int64(v.Len()))},
+			},
+		}, nil
+	}
+	if pv, ok := db.eng.PeriodicView(name); ok {
+		return &Result{
+			Columns: []string{"property", "value"},
+			Rows: []Row{
+				{value.Str("calendar"), value.Str(pv.Calendar().String())},
+				{value.Str("live_instances"), value.Int(int64(pv.Live()))},
+				{value.Str("created"), value.Int(pv.Created())},
+				{value.Str("expired"), value.Int(pv.Expired())},
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("chronicledb: unknown view %q", name)
+}
+
+// show lists catalog objects or engine statistics.
+func (db *DB) show(what string) (*Result, error) {
+	switch what {
+	case "VIEWS":
+		res := &Result{Columns: []string{"name", "language", "class", "rows"}}
+		for _, n := range db.eng.ViewNames() {
+			v, _ := db.eng.View(n)
+			res.Rows = append(res.Rows, Row{
+				value.Str(n), value.Str(v.Lang().String()),
+				value.Str(v.IMClass().String()), value.Int(int64(v.Len())),
+			})
+		}
+		for _, n := range db.eng.PeriodicViewNames() {
+			pv, _ := db.eng.PeriodicView(n)
+			res.Rows = append(res.Rows, Row{
+				value.Str(n + " (periodic)"), value.Str(pv.Calendar().String()),
+				value.Str(""), value.Int(int64(pv.Live())),
+			})
+		}
+		return res, nil
+	case "CHRONICLES":
+		res := &Result{Columns: []string{"name", "group", "retained", "total", "last_sn"}}
+		for _, n := range db.eng.ChronicleNames() {
+			c, _ := db.eng.Chronicle(n)
+			res.Rows = append(res.Rows, Row{
+				value.Str(n), value.Str(c.Group().Name()),
+				value.Int(int64(c.Len())), value.Int(c.Total()), value.Int(c.LastSN()),
+			})
+		}
+		return res, nil
+	case "RELATIONS":
+		res := &Result{Columns: []string{"name", "rows", "updates"}}
+		for _, n := range db.eng.RelationNames() {
+			r, _ := db.eng.Relation(n)
+			res.Rows = append(res.Rows, Row{value.Str(n), value.Int(int64(r.Len())), value.Int(r.Updates())})
+		}
+		return res, nil
+	case "GROUPS":
+		res := &Result{Columns: []string{"name", "chronicles", "last_sn"}}
+		for _, n := range db.eng.GroupNames() {
+			g, _ := db.eng.Group(n)
+			res.Rows = append(res.Rows, Row{
+				value.Str(n), value.Int(int64(len(g.Members()))), value.Int(g.LastSN()),
+			})
+		}
+		return res, nil
+	case "STATS":
+		st := db.eng.Stats()
+		lat := db.eng.MaintenanceLatency()
+		return &Result{
+			Columns: []string{"stat", "value"},
+			Rows: []Row{
+				{value.Str("appends"), value.Int(st.Appends)},
+				{value.Str("tuples_appended"), value.Int(st.TuplesAppended)},
+				{value.Str("relation_updates"), value.Int(st.RelationUpdates)},
+				{value.Str("views_maintained"), value.Int(st.ViewsMaintained)},
+				{value.Str("maintenance_ns"), value.Int(st.MaintenanceNs)},
+				{value.Str("maintenance_latency"), value.Str(lat.String())},
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("chronicledb: cannot SHOW %s", what)
+	}
+}
+
+func schemaOf(cols []sqlparse.ColumnDef) (*value.Schema, error) {
+	vcols := make([]value.Column, len(cols))
+	seen := map[string]bool{}
+	for i, c := range cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("chronicledb: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		vcols[i] = value.Column{Name: c.Name, Kind: c.Kind}
+	}
+	return value.NewSchema(vcols...), nil
+}
+
+// renderDDL reconstructs statement text for the catalog. Rather than
+// re-printing the AST, the executor records the original statements; this
+// helper renders the subset of statements that reach it.
+func renderDDL(s sqlparse.Statement) string {
+	switch s := s.(type) {
+	case *sqlparse.CreateGroup:
+		return fmt.Sprintf("CREATE GROUP %s", s.Name)
+	case *sqlparse.CreateChronicle:
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE CHRONICLE %s (", s.Name)
+		for i, c := range s.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, strings.ToUpper(c.Kind.String()))
+		}
+		b.WriteString(")")
+		if s.Group != "" {
+			fmt.Fprintf(&b, " IN GROUP %s", s.Group)
+		}
+		if s.Retain != nil {
+			switch *s.Retain {
+			case -1:
+				b.WriteString(" RETAIN ALL")
+			case 0:
+				b.WriteString(" RETAIN NONE")
+			default:
+				fmt.Fprintf(&b, " RETAIN %d", *s.Retain)
+			}
+		}
+		if s.Window != nil {
+			fmt.Fprintf(&b, " WINDOW %d", *s.Window)
+		}
+		return b.String()
+	case *sqlparse.CreateRelation:
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE RELATION %s (", s.Name)
+		for i, c := range s.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, strings.ToUpper(c.Kind.String()))
+		}
+		fmt.Fprintf(&b, ", KEY(%s))", strings.Join(s.Keys, ", "))
+		return b.String()
+	case *sqlparse.CreateView:
+		return renderCreateView(s)
+	default:
+		panic(fmt.Sprintf("chronicledb: renderDDL(%T)", s))
+	}
+}
+
+func renderCreateView(s *sqlparse.CreateView) string {
+	var b strings.Builder
+	if s.Periodic != nil {
+		fmt.Fprintf(&b, "CREATE PERIODIC VIEW %s AS SELECT ", s.Name)
+	} else {
+		fmt.Fprintf(&b, "CREATE VIEW %s AS SELECT ", s.Name)
+	}
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteString("*")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Agg != "" && it.Star:
+			fmt.Fprintf(&b, "%s(*)", it.Agg)
+		case it.Agg != "":
+			fmt.Fprintf(&b, "%s(%s)", it.Agg, refText(it.Col))
+		default:
+			b.WriteString(refText(it.Col))
+		}
+		if it.As != "" {
+			fmt.Fprintf(&b, " AS %s", it.As)
+		}
+	}
+	fmt.Fprintf(&b, " FROM %s", s.From)
+	for _, j := range s.Joins {
+		if j.Cross {
+			fmt.Fprintf(&b, " CROSS JOIN %s", j.Relation)
+			continue
+		}
+		if j.OnSN {
+			fmt.Fprintf(&b, " JOIN %s ON SN", j.Relation)
+			continue
+		}
+		fmt.Fprintf(&b, " JOIN %s ON ", j.Relation)
+		for i, c := range j.On {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", refText(c.Left), c.Op, refText(*c.RightCol))
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		for gi, group := range s.Where.Conj {
+			if gi > 0 {
+				b.WriteString(" AND ")
+			}
+			if len(group) > 1 {
+				b.WriteString("(")
+			}
+			for ci, c := range group {
+				if ci > 0 {
+					b.WriteString(" OR ")
+				}
+				b.WriteString(condText(c))
+			}
+			if len(group) > 1 {
+				b.WriteString(")")
+			}
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(refText(g))
+		}
+	}
+	if s.Periodic != nil {
+		fmt.Fprintf(&b, " EVERY %d", s.Periodic.Period)
+		if s.Periodic.Width != 0 && s.Periodic.Width != s.Periodic.Period {
+			fmt.Fprintf(&b, " WIDTH %d", s.Periodic.Width)
+		}
+		if s.Periodic.Offset != 0 {
+			fmt.Fprintf(&b, " OFFSET %d", s.Periodic.Offset)
+		}
+		if s.Periodic.Expire != nil {
+			fmt.Fprintf(&b, " EXPIRE %d", *s.Periodic.Expire)
+		}
+	}
+	if s.Store != "" {
+		fmt.Fprintf(&b, " WITH STORE %s", s.Store)
+	}
+	return b.String()
+}
+
+func refText(c sqlparse.ColRef) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+func condText(c sqlparse.Cond) string {
+	if c.RightCol != nil {
+		return fmt.Sprintf("%s %s %s", refText(c.Left), c.Op, refText(*c.RightCol))
+	}
+	if c.Right.Kind() == value.KindString {
+		return fmt.Sprintf("%s %s '%s'", refText(c.Left), c.Op,
+			strings.ReplaceAll(c.Right.AsString(), "'", "''"))
+	}
+	return fmt.Sprintf("%s %s %s", refText(c.Left), c.Op, c.Right)
+}

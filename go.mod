@@ -1,0 +1,3 @@
+module chronicledb
+
+go 1.24

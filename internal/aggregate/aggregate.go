@@ -1,0 +1,467 @@
+// Package aggregate implements the incrementally computable aggregation
+// functions of the chronicle paper.
+//
+// The paper (Preliminaries) considers aggregation functions that "can be
+// computed in time O(n) over a group of size n, and can be computed
+// incrementally in time O(1) over an increment of size 1", naming MIN, MAX,
+// SUM and COUNT, and functions "decomposable into incremental computation
+// functions" (AVG = SUM/COUNT). Because chronicles are insert-only, MIN and
+// MAX are incrementally maintainable without keeping group members.
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"chronicledb/internal/value"
+)
+
+// Func identifies an aggregation function.
+type Func uint8
+
+// The supported aggregation functions.
+const (
+	Count Func = iota
+	Sum
+	Min
+	Max
+	Avg
+	First
+	Last
+	Var
+	Stddev
+)
+
+// String returns the SQL spelling of the function.
+func (f Func) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Avg:
+		return "AVG"
+	case First:
+		return "FIRST"
+	case Last:
+		return "LAST"
+	case Var:
+		return "VAR"
+	case Stddev:
+		return "STDDEV"
+	default:
+		return fmt.Sprintf("func(%d)", uint8(f))
+	}
+}
+
+// FuncOf parses an aggregation function name.
+func FuncOf(name string) (Func, bool) {
+	switch name {
+	case "COUNT", "count":
+		return Count, true
+	case "SUM", "sum":
+		return Sum, true
+	case "MIN", "min":
+		return Min, true
+	case "MAX", "max":
+		return Max, true
+	case "AVG", "avg":
+		return Avg, true
+	case "FIRST", "first":
+		return First, true
+	case "LAST", "last":
+		return Last, true
+	case "VAR", "var", "VARIANCE", "variance":
+		return Var, true
+	case "STDDEV", "stddev":
+		return Stddev, true
+	default:
+		return Count, false
+	}
+}
+
+// Spec binds an aggregation function to an input column and an output name.
+// COUNT ignores its column (use any index; conventionally 0, or -1 to count
+// tuples regardless of arity).
+type Spec struct {
+	Func Func
+	Col  int
+	Name string
+}
+
+// ResultKind returns the value kind the aggregate produces given the kind
+// of its input column.
+func (s Spec) ResultKind(in value.Kind) value.Kind {
+	switch s.Func {
+	case Count:
+		return value.KindInt
+	case Avg, Var, Stddev:
+		return value.KindFloat
+	case Sum:
+		if in == value.KindFloat {
+			return value.KindFloat
+		}
+		return value.KindInt
+	default:
+		return in
+	}
+}
+
+// String renders the spec as "FUNC(col) AS name" using the given schema.
+func (s Spec) String(schema *value.Schema) string {
+	col := fmt.Sprintf("$%d", s.Col)
+	if s.Func == Count && s.Col < 0 {
+		col = "*"
+	} else if schema != nil && s.Col >= 0 && s.Col < schema.Len() {
+		col = schema.Col(s.Col).Name
+	}
+	return fmt.Sprintf("%s(%s) AS %s", s.Func, col, s.Name)
+}
+
+// State is the per-group running state of one aggregation function. Step
+// folds in one input value in O(1); Merge folds in another state (the
+// "decomposable" requirement); Result extracts the current aggregate.
+type State interface {
+	Step(v value.Value)
+	Merge(o State)
+	Result() value.Value
+	Clone() State
+}
+
+// NewState returns a fresh state for the function.
+func NewState(f Func) State {
+	switch f {
+	case Count:
+		return &countState{}
+	case Sum:
+		return &sumState{}
+	case Min:
+		return &minState{}
+	case Max:
+		return &maxState{}
+	case Avg:
+		return &avgState{}
+	case First:
+		return &firstState{}
+	case Last:
+		return &lastState{}
+	case Var:
+		return &momentState{}
+	case Stddev:
+		return &momentState{sqrt: true}
+	default:
+		panic(fmt.Sprintf("aggregate: unknown function %d", f))
+	}
+}
+
+// NewStates returns fresh states for each spec.
+func NewStates(specs []Spec) []State {
+	out := make([]State, len(specs))
+	for i, s := range specs {
+		out[i] = NewState(s.Func)
+	}
+	return out
+}
+
+type countState struct{ n int64 }
+
+func (s *countState) Step(value.Value)    { s.n++ }
+func (s *countState) Merge(o State)       { s.n += o.(*countState).n }
+func (s *countState) Result() value.Value { return value.Int(s.n) }
+func (s *countState) Clone() State        { c := *s; return &c }
+
+// sumState accumulates integers exactly and switches to float arithmetic
+// as soon as any float input is seen.
+type sumState struct {
+	i       int64
+	f       float64
+	isFloat bool
+	seen    bool
+}
+
+func (s *sumState) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.seen = true
+	if v.Kind() == value.KindFloat {
+		if !s.isFloat {
+			s.f = float64(s.i)
+			s.isFloat = true
+		}
+		s.f += v.AsFloat()
+		return
+	}
+	if s.isFloat {
+		s.f += v.AsFloat()
+		return
+	}
+	s.i += v.AsInt()
+}
+
+func (s *sumState) Merge(o State) {
+	os := o.(*sumState)
+	if !os.seen {
+		return
+	}
+	s.seen = true
+	if os.isFloat || s.isFloat {
+		if !s.isFloat {
+			s.f = float64(s.i)
+			s.isFloat = true
+		}
+		if os.isFloat {
+			s.f += os.f
+		} else {
+			s.f += float64(os.i)
+		}
+		return
+	}
+	s.i += os.i
+}
+
+func (s *sumState) Result() value.Value {
+	if !s.seen {
+		return value.Null()
+	}
+	if s.isFloat {
+		return value.Float(s.f)
+	}
+	return value.Int(s.i)
+}
+
+func (s *sumState) Clone() State { c := *s; return &c }
+
+type minState struct {
+	v    value.Value
+	seen bool
+}
+
+func (s *minState) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	if !s.seen || value.Compare(v, s.v) < 0 {
+		s.v = v
+		s.seen = true
+	}
+}
+
+func (s *minState) Merge(o State) {
+	os := o.(*minState)
+	if os.seen {
+		s.Step(os.v)
+	}
+}
+
+func (s *minState) Result() value.Value {
+	if !s.seen {
+		return value.Null()
+	}
+	return s.v
+}
+
+func (s *minState) Clone() State { c := *s; return &c }
+
+type maxState struct {
+	v    value.Value
+	seen bool
+}
+
+func (s *maxState) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	if !s.seen || value.Compare(v, s.v) > 0 {
+		s.v = v
+		s.seen = true
+	}
+}
+
+func (s *maxState) Merge(o State) {
+	os := o.(*maxState)
+	if os.seen {
+		s.Step(os.v)
+	}
+}
+
+func (s *maxState) Result() value.Value {
+	if !s.seen {
+		return value.Null()
+	}
+	return s.v
+}
+
+func (s *maxState) Clone() State { c := *s; return &c }
+
+// avgState demonstrates the paper's decomposition requirement: AVG is not
+// itself incrementally computable from its own results, but decomposes into
+// SUM and COUNT, which are.
+type avgState struct {
+	sum sumState
+	n   int64
+}
+
+func (s *avgState) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.sum.Step(v)
+	s.n++
+}
+
+func (s *avgState) Merge(o State) {
+	os := o.(*avgState)
+	s.sum.Merge(&os.sum)
+	s.n += os.n
+}
+
+func (s *avgState) Result() value.Value {
+	if s.n == 0 {
+		return value.Null()
+	}
+	return value.Float(s.sum.Result().AsFloat() / float64(s.n))
+}
+
+func (s *avgState) Clone() State { c := *s; return &c }
+
+// firstState keeps the first non-null value stepped. Because chronicle
+// deltas arrive in sequence order, this is the earliest value in the group.
+type firstState struct {
+	v    value.Value
+	seen bool
+}
+
+func (s *firstState) Step(v value.Value) {
+	if s.seen || v.IsNull() {
+		return
+	}
+	s.v = v
+	s.seen = true
+}
+
+func (s *firstState) Merge(o State) {
+	// The receiver precedes o in sequence order, so it wins if set.
+	os := o.(*firstState)
+	if !s.seen && os.seen {
+		s.v, s.seen = os.v, true
+	}
+}
+
+func (s *firstState) Result() value.Value {
+	if !s.seen {
+		return value.Null()
+	}
+	return s.v
+}
+
+func (s *firstState) Clone() State { c := *s; return &c }
+
+// lastState keeps the most recent non-null value stepped.
+type lastState struct {
+	v    value.Value
+	seen bool
+}
+
+func (s *lastState) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.v = v
+	s.seen = true
+}
+
+func (s *lastState) Merge(o State) {
+	os := o.(*lastState)
+	if os.seen {
+		s.v, s.seen = os.v, true
+	}
+}
+
+func (s *lastState) Result() value.Value {
+	if !s.seen {
+		return value.Null()
+	}
+	return s.v
+}
+
+func (s *lastState) Clone() State { c := *s; return &c }
+
+// momentState implements population variance (and its square root) through
+// the decomposition the paper requires: VAR is not incrementally computable
+// from its own result, but (count, Σx, Σx²) is a set of incrementally
+// computable functions from which it derives.
+type momentState struct {
+	n     int64
+	sum   float64
+	sumSq float64
+	sqrt  bool // report standard deviation instead of variance
+}
+
+func (s *momentState) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	x := v.AsFloat()
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+func (s *momentState) Merge(o State) {
+	os := o.(*momentState)
+	s.n += os.n
+	s.sum += os.sum
+	s.sumSq += os.sumSq
+}
+
+func (s *momentState) Result() value.Value {
+	if s.n == 0 {
+		return value.Null()
+	}
+	mean := s.sum / float64(s.n)
+	variance := s.sumSq/float64(s.n) - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric noise near zero variance
+	}
+	if s.sqrt {
+		return value.Float(math.Sqrt(variance))
+	}
+	return value.Float(variance)
+}
+
+func (s *momentState) Clone() State { c := *s; return &c }
+
+// Apply folds the value at each spec's column of t into the matching state.
+// It is the single O(1)-per-tuple step at the heart of view maintenance.
+func Apply(states []State, specs []Spec, t value.Tuple) {
+	for i, sp := range specs {
+		if sp.Func == Count && sp.Col < 0 {
+			states[i].Step(value.Int(1))
+			continue
+		}
+		states[i].Step(t[sp.Col])
+	}
+}
+
+// Results extracts the current value of each state.
+func Results(states []State) value.Tuple {
+	out := make(value.Tuple, len(states))
+	for i, s := range states {
+		out[i] = s.Result()
+	}
+	return out
+}
+
+// CloneStates deep-copies a state vector, used by view checkpoints.
+func CloneStates(states []State) []State {
+	out := make([]State, len(states))
+	for i, s := range states {
+		out[i] = s.Clone()
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/value"
+)
+
+// BatchDelta is the set of rows inserted into base chronicles by one
+// simultaneous append (one sequence number). Chronicles not present have an
+// empty delta.
+type BatchDelta map[*chronicle.Chronicle][]chronicle.Row
+
+// Delta computes the rows this append adds to the expression's output — the
+// Δ-rules from the proof of Theorem 4.1. The computation is batch-local: it
+// never reads stored chronicles, never materializes intermediate views, and
+// touches relations only through current-version (or AsOf) lookups. That
+// locality is exactly why the paper's maintenance complexity is independent
+// of both |C| and the view size.
+//
+// The rules, per operator (Δ over old state E; fresh SNs make cross terms
+// with old state provably empty):
+//
+//	σ:      Δ = σ(ΔE)
+//	Π:      Δ = Π(ΔE)
+//	∪:      Δ = ΔE₁ ∪ ΔE₂        (dedup within the batch)
+//	−:      Δ = ΔE₁ − ΔE₂        (within the batch)
+//	⋈SN:    Δ = ΔE₁ ⋈ ΔE₂        (old⋈new terms empty: SNs are fresh)
+//	γ(SN):  group the batch only  (new SNs form brand-new groups)
+//	×R:     Δ = ΔE × R(version at the tuple's instant)
+//	⋈key R: per-Δ-tuple key lookup
+func Delta(n Node, d BatchDelta) []chronicle.Row {
+	switch n := n.(type) {
+	case *Scan:
+		return d[n.C]
+	case *Select:
+		in := Delta(n.In, d)
+		var out []chronicle.Row
+		for _, r := range in {
+			if n.P.Eval(r.Vals) {
+				out = append(out, r)
+			}
+		}
+		return out
+	case *Project:
+		in := Delta(n.In, d)
+		out := make([]chronicle.Row, len(in))
+		for i, r := range in {
+			out[i] = chronicle.Row{SN: r.SN, Chronon: r.Chronon, LSN: r.LSN, Vals: r.Vals.Project(n.Cols)}
+		}
+		return out
+	case *Union:
+		return dedupRows(append(append([]chronicle.Row(nil), Delta(n.L, d)...), Delta(n.R, d)...))
+	case *Diff:
+		return diffRows(Delta(n.L, d), Delta(n.R, d))
+	case *JoinSN:
+		return joinSN(Delta(n.L, d), Delta(n.R, d))
+	case *GroupBySN:
+		return groupBySN(n, Delta(n.In, d))
+	case *CrossRel:
+		in := Delta(n.In, d)
+		var out []chronicle.Row
+		for _, r := range in {
+			n.R.ScanAsOf(r.LSN, func(rt value.Tuple) bool {
+				out = append(out, concatRow(r, rt))
+				return true
+			})
+		}
+		return out
+	case *JoinRel:
+		in := Delta(n.In, d)
+		var out []chronicle.Row
+		for _, r := range in {
+			for _, rt := range relMatches(n, r) {
+				out = append(out, concatRow(r, rt))
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("algebra: unknown node %T", n))
+	}
+}
+
+// relMatches returns the relation tuples joining with row r, honoring the
+// temporal-join semantics via the row's LSN. A key join is a single
+// O(log|R|) lookup; a non-key join scans (the CA-but-not-CA⋈ cost).
+func relMatches(n *JoinRel, r chronicle.Row) []value.Tuple {
+	if n.onKey {
+		keyCols := n.R.KeyCols()
+		ordered := make(value.Tuple, len(keyCols))
+		for i, kc := range keyCols {
+			for j, rc := range n.RelCols {
+				if rc == kc {
+					ordered[i] = r.Vals[n.InCols[j]]
+				}
+			}
+		}
+		if t, ok := n.R.GetAsOf(r.LSN, ordered); ok {
+			return []value.Tuple{t}
+		}
+		return nil
+	}
+	var out []value.Tuple
+	n.R.ScanAsOf(r.LSN, func(rt value.Tuple) bool {
+		for i, rc := range n.RelCols {
+			if !value.Equal(r.Vals[n.InCols[i]], rt[rc]) {
+				return true
+			}
+		}
+		out = append(out, rt)
+		return true
+	})
+	return out
+}
+
+func concatRow(r chronicle.Row, rel value.Tuple) chronicle.Row {
+	vals := make(value.Tuple, 0, len(r.Vals)+len(rel))
+	vals = append(vals, r.Vals...)
+	vals = append(vals, rel...)
+	return chronicle.Row{SN: r.SN, Chronon: r.Chronon, LSN: r.LSN, Vals: vals}
+}
+
+// rowKey identifies a row up to set semantics: sequence number plus tuple.
+func rowKey(r chronicle.Row) string {
+	return fmt.Sprintf("%d|%s", r.SN, r.Vals.FullKey())
+}
+
+// dedupRows removes duplicate (SN, tuple) pairs, keeping first occurrences
+// in order.
+func dedupRows(rows []chronicle.Row) []chronicle.Row {
+	if len(rows) <= 1 {
+		return rows
+	}
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := rowKey(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// diffRows returns l − r under set semantics.
+func diffRows(l, r []chronicle.Row) []chronicle.Row {
+	if len(l) == 0 {
+		return nil
+	}
+	drop := make(map[string]bool, len(r))
+	for _, row := range r {
+		drop[rowKey(row)] = true
+	}
+	var out []chronicle.Row
+	seen := make(map[string]bool, len(l))
+	for _, row := range l {
+		k := rowKey(row)
+		if drop[k] || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// joinSN hash-joins two row sets on the sequencing attribute.
+func joinSN(l, r []chronicle.Row) []chronicle.Row {
+	if len(l) == 0 || len(r) == 0 {
+		return nil
+	}
+	bySN := make(map[int64][]chronicle.Row, len(r))
+	for _, row := range r {
+		bySN[row.SN] = append(bySN[row.SN], row)
+	}
+	var out []chronicle.Row
+	for _, lr := range l {
+		for _, rr := range bySN[lr.SN] {
+			out = append(out, concatRow(lr, rr.Vals))
+		}
+	}
+	return dedupRows(out)
+}
+
+// groupBySN groups rows by (SN, GroupCols) and aggregates. Because grouping
+// includes the sequencing attribute and batch SNs are fresh, the groups are
+// complete within the batch ("the new inserted tuples form one or more
+// brand new groups" — proof of Theorem 4.2).
+func groupBySN(n *GroupBySN, in []chronicle.Row) []chronicle.Row {
+	if len(in) == 0 {
+		return nil
+	}
+	type grp struct {
+		first  chronicle.Row
+		states []aggregate.State
+		order  int
+	}
+	groups := make(map[string]*grp)
+	for _, r := range in {
+		k := fmt.Sprintf("%d|%s", r.SN, r.Vals.Key(n.GroupCols))
+		g, ok := groups[k]
+		if !ok {
+			g = &grp{first: r, states: aggregate.NewStates(n.Aggs), order: len(groups)}
+			groups[k] = g
+		}
+		aggregate.Apply(g.states, n.Aggs, r.Vals)
+	}
+	out := make([]chronicle.Row, 0, len(groups))
+	for _, g := range groups {
+		vals := make(value.Tuple, 0, len(n.GroupCols)+len(n.Aggs))
+		vals = append(vals, g.first.Vals.Project(n.GroupCols)...)
+		vals = append(vals, aggregate.Results(g.states)...)
+		out = append(out, chronicle.Row{SN: g.first.SN, Chronon: g.first.Chronon, LSN: g.first.LSN, Vals: vals})
+	}
+	// Deterministic output order: by SN, then group-key encounter order.
+	orderOf := func(r chronicle.Row) int {
+		return groups[fmt.Sprintf("%d|%s", r.SN, keyOfOutput(n, r))].order
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SN != out[j].SN {
+			return out[i].SN < out[j].SN
+		}
+		return orderOf(out[i]) < orderOf(out[j])
+	})
+	return out
+}
+
+// keyOfOutput reconstructs the group key of an output row, whose leading
+// columns are exactly the grouping columns.
+func keyOfOutput(n *GroupBySN, r chronicle.Row) string {
+	idx := make([]int, len(n.GroupCols))
+	for i := range idx {
+		idx[i] = i
+	}
+	return r.Vals.Key(idx)
+}

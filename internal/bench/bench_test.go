@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// sanity-checks its table shape. This keeps the harness itself honest: a
+// broken experiment fails CI instead of printing garbage.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tbl, err := exp.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if tbl.ID != exp.ID {
+				t.Errorf("table ID %q != %q", tbl.ID, exp.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tbl.Header))
+				}
+			}
+			text := tbl.Format()
+			if !strings.Contains(text, exp.ID) || !strings.Contains(text, "claim:") {
+				t.Errorf("Format output malformed:\n%s", text)
+			}
+		})
+	}
+}
+
+// TestE11ZeroDivergence pins the correctness column of E11: incremental
+// maintenance under proactive updates must match the reference exactly.
+func TestE11ZeroDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	tbl, err := RunE11(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "0" {
+			t.Errorf("divergence at |C|=%s: %s rows", row[0], row[len(row)-1])
+		}
+	}
+}
+
+// TestE9ZeroDivergence pins E9's exactness column.
+func TestE9ZeroDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	tbl, err := RunE9(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if d, err := strconv.ParseFloat(row[len(row)-1], 64); err != nil || d != 0 {
+			t.Errorf("divergence at n=%s: %q", row[0], row[len(row)-1])
+		}
+	}
+}
+
+// TestE8ExpirationBoundsInstances pins E8's structural claim.
+func TestE8ExpirationBoundsInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	tbl, err := RunE8(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		live, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("live column %q", row[3])
+		}
+		periods, _ := strconv.Atoi(row[0])
+		switch row[1] {
+		case "expire+1":
+			if live > 2 {
+				t.Errorf("%s periods with expiration: %d live instances", row[0], live)
+			}
+		case "keep-forever":
+			if live != periods {
+				t.Errorf("%s periods without expiration: %d live instances", row[0], live)
+			}
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtNs(500); got != "500ns" {
+		t.Errorf("fmtNs(500) = %q", got)
+	}
+	if got := fmtNs(2500); got != "2.50µs" {
+		t.Errorf("fmtNs(2500) = %q", got)
+	}
+	if got := fmtNs(3.2e6); got != "3.20ms" {
+		t.Errorf("fmtNs(3.2e6) = %q", got)
+	}
+	if got := fmtNs(1.5e9); got != "1.50s" {
+		t.Errorf("fmtNs(1.5e9) = %q", got)
+	}
+	if got := fmtCount(2_000_000); got != "2M" {
+		t.Errorf("fmtCount = %q", got)
+	}
+	if got := fmtCount(5_000); got != "5k" {
+		t.Errorf("fmtCount = %q", got)
+	}
+	if got := fmtCount(123); got != "123" {
+		t.Errorf("fmtCount = %q", got)
+	}
+}

@@ -1,0 +1,376 @@
+// Package btree implements an in-memory B-tree keyed by an arbitrary
+// comparison function.
+//
+// The chronicle model's complexity results are stated "modulo index look
+// ups" (Section 3) and Theorem 4.4 bounds view maintenance by
+// O(t·log|V|); this tree is the ordered index behind relation key lookups,
+// view group stores, and range scans that realize those bounds.
+package btree
+
+// degree is the minimum number of children of an internal node. Nodes hold
+// between degree-1 and 2*degree-1 items. 32 keeps nodes cache-friendly
+// without deep trees.
+const degree = 32
+
+const (
+	maxItems = 2*degree - 1
+	minItems = degree - 1
+)
+
+// Tree is a B-tree mapping keys of type K to values of type V. The zero
+// value is not usable; construct trees with New.
+type Tree[K, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	size int
+}
+
+type item[K, V any] struct {
+	key K
+	val V
+}
+
+type node[K, V any] struct {
+	items    []item[K, V]
+	children []*node[K, V] // nil for leaves
+}
+
+// New returns an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{less: less}
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		i, eq := t.search(n, key)
+		if eq {
+			return n.items[i].val, true
+		}
+		if n.children == nil {
+			break
+		}
+		n = n.children[i]
+	}
+	var zero V
+	return zero, false
+}
+
+// Set inserts key with value val, replacing any existing entry. It reports
+// whether the key was already present.
+func (t *Tree[K, V]) Set(key K, val V) (replaced bool) {
+	if t.root == nil {
+		t.root = &node[K, V]{items: []item[K, V]{{key, val}}}
+		t.size = 1
+		return false
+	}
+	if len(t.root.items) >= maxItems {
+		old := t.root
+		t.root = &node[K, V]{children: []*node[K, V]{old}}
+		t.splitChild(t.root, 0)
+	}
+	replaced = t.insertNonFull(t.root, key, val)
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// Delete removes key from the tree and reports whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.delete(t.root, key)
+	if len(t.root.items) == 0 && t.root.children != nil {
+		t.root = t.root.children[0]
+	}
+	if t.root != nil && len(t.root.items) == 0 && t.root.children == nil {
+		t.root = nil
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+// Min returns the smallest entry.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	n := t.root
+	for n.children != nil {
+		n = n.children[0]
+	}
+	it := n.items[0]
+	return it.key, it.val, true
+}
+
+// Max returns the largest entry.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	if t.root == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	n := t.root
+	for n.children != nil {
+		n = n.children[len(n.children)-1]
+	}
+	it := n.items[len(n.items)-1]
+	return it.key, it.val, true
+}
+
+// Ascend visits every entry in ascending key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[K, V]) ascend(n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, it := range n.items {
+		if n.children != nil && !t.ascend(n.children[i], fn) {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return t.ascend(n.children[len(n.children)-1], fn)
+	}
+	return true
+}
+
+// AscendRange visits entries with lo <= key < hi in ascending order until fn
+// returns false.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(key K, val V) bool) {
+	t.ascendRange(t.root, lo, hi, fn)
+}
+
+func (t *Tree[K, V]) ascendRange(n *node[K, V], lo, hi K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	start, _ := t.search(n, lo)
+	for i := start; i < len(n.items); i++ {
+		it := n.items[i]
+		if !t.less(it.key, hi) {
+			// Everything at and after it.key is >= hi; still descend into
+			// the child to its left for in-range keys.
+			if n.children != nil {
+				return t.ascendRange(n.children[i], lo, hi, fn)
+			}
+			return true
+		}
+		if n.children != nil && !t.ascendRange(n.children[i], lo, hi, fn) {
+			return false
+		}
+		if !t.less(it.key, lo) && !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return t.ascendRange(n.children[len(n.children)-1], lo, hi, fn)
+	}
+	return true
+}
+
+// AscendGreaterOrEqual visits entries with key >= lo in ascending order.
+func (t *Tree[K, V]) AscendGreaterOrEqual(lo K, fn func(key K, val V) bool) {
+	t.ascendGE(t.root, lo, fn)
+}
+
+func (t *Tree[K, V]) ascendGE(n *node[K, V], lo K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	start, _ := t.search(n, lo)
+	for i := start; i < len(n.items); i++ {
+		if n.children != nil && !t.ascendGE(n.children[i], lo, fn) {
+			return false
+		}
+		it := n.items[i]
+		if !t.less(it.key, lo) && !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return t.ascendGE(n.children[len(n.children)-1], lo, fn)
+	}
+	return true
+}
+
+// search returns the index of the first item >= key in n, and whether that
+// item equals key.
+func (t *Tree[K, V]) search(n *node[K, V], key K) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(n.items[mid].key, key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && !t.less(key, n.items[lo].key) {
+		return lo, true
+	}
+	return lo, false
+}
+
+func (t *Tree[K, V]) splitChild(parent *node[K, V], i int) {
+	child := parent.children[i]
+	mid := len(child.items) / 2
+	midItem := child.items[mid]
+
+	right := &node[K, V]{items: append([]item[K, V](nil), child.items[mid+1:]...)}
+	if child.children != nil {
+		right.children = append([]*node[K, V](nil), child.children[mid+1:]...)
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	child.items = child.items[:mid:mid]
+
+	parent.items = append(parent.items, item[K, V]{})
+	copy(parent.items[i+1:], parent.items[i:])
+	parent.items[i] = midItem
+
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) (replaced bool) {
+	for {
+		i, eq := t.search(n, key)
+		if eq {
+			n.items[i].val = val
+			return true
+		}
+		if n.children == nil {
+			n.items = append(n.items, item[K, V]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item[K, V]{key, val}
+			return false
+		}
+		if len(n.children[i].items) >= maxItems {
+			t.splitChild(n, i)
+			if t.less(n.items[i].key, key) {
+				i++
+			} else if !t.less(key, n.items[i].key) {
+				n.items[i].val = val
+				return true
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
+	i, eq := t.search(n, key)
+	if n.children == nil {
+		if !eq {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if eq {
+		// Replace with predecessor from the left subtree, then delete it.
+		child := n.children[i]
+		if len(child.items) > minItems {
+			pred := t.maxItem(child)
+			n.items[i] = pred
+			return t.delete(child, pred.key)
+		}
+		rchild := n.children[i+1]
+		if len(rchild.items) > minItems {
+			succ := t.minItem(rchild)
+			n.items[i] = succ
+			return t.delete(rchild, succ.key)
+		}
+		t.mergeChildren(n, i)
+		return t.delete(n.children[i], key)
+	}
+	child := n.children[i]
+	if len(child.items) <= minItems {
+		i = t.rebalance(n, i)
+		child = n.children[i]
+	}
+	return t.delete(child, key)
+}
+
+func (t *Tree[K, V]) maxItem(n *node[K, V]) item[K, V] {
+	for n.children != nil {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (t *Tree[K, V]) minItem(n *node[K, V]) item[K, V] {
+	for n.children != nil {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// rebalance ensures n.children[i] has more than minItems items, borrowing
+// from a sibling or merging. It returns the (possibly shifted) child index.
+func (t *Tree[K, V]) rebalance(n *node[K, V], i int) int {
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		// Rotate right: move separator down, left sibling's max up.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, item[K, V]{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if left.children != nil {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+		// Rotate left: move separator down, right sibling's min up.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if right.children != nil {
+			moved := right.children[0]
+			right.children = append(right.children[:0], right.children[1:]...)
+			child.children = append(child.children, moved)
+		}
+		return i
+	}
+	if i > 0 {
+		t.mergeChildren(n, i-1)
+		return i - 1
+	}
+	t.mergeChildren(n, i)
+	return i
+}
+
+// mergeChildren merges n.children[i], n.items[i], and n.children[i+1] into a
+// single child at position i.
+func (t *Tree[K, V]) mergeChildren(n *node[K, V], i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}

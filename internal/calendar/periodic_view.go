@@ -1,0 +1,144 @@
+package calendar
+
+import (
+	"fmt"
+	"sort"
+
+	"chronicledb/internal/algebra"
+	"chronicledb/internal/view"
+)
+
+// PeriodicView is V<D>: a family of SCA view instances, one per calendar
+// interval (Section 5.1). Instances are created lazily when their interval
+// first receives a tuple ("starting to maintain a view as soon as its time
+// interval starts") and dropped once the stream's chronon passes their
+// expiration time, so only finitely many are ever live.
+type PeriodicView struct {
+	name        string
+	def         view.Def
+	cal         Calendar
+	kind        view.StoreKind
+	expireAfter int64 // chronons past interval end; <0 keeps instances forever
+
+	instances map[Interval]*view.View
+	maxSeen   int64 // high-water chronon, drives expiration
+	created   int64
+	expired   int64
+}
+
+// NewPeriodicView builds the family. def is the per-interval SCA view
+// definition; expireAfter is the grace period after an interval's end
+// before its instance is discarded (negative keeps all instances).
+func NewPeriodicView(name string, def view.Def, cal Calendar, expireAfter int64, kind view.StoreKind) (*PeriodicView, error) {
+	if name == "" {
+		return nil, fmt.Errorf("calendar: periodic view needs a name")
+	}
+	if cal == nil {
+		return nil, fmt.Errorf("calendar: periodic view %s needs a calendar", name)
+	}
+	// Validate the definition once by instantiating a throwaway view.
+	probe := def
+	probe.Name = name + "[probe]"
+	if _, err := view.New(probe, kind); err != nil {
+		return nil, fmt.Errorf("calendar: periodic view %s: %w", name, err)
+	}
+	return &PeriodicView{
+		name:        name,
+		def:         def,
+		cal:         cal,
+		kind:        kind,
+		expireAfter: expireAfter,
+		instances:   make(map[Interval]*view.View),
+	}, nil
+}
+
+// Name returns the family name.
+func (p *PeriodicView) Name() string { return p.name }
+
+// Calendar returns the family's calendar.
+func (p *PeriodicView) Calendar() Calendar { return p.cal }
+
+// Live returns the number of live instances.
+func (p *PeriodicView) Live() int { return len(p.instances) }
+
+// Created returns the number of instances ever created.
+func (p *PeriodicView) Created() int64 { return p.created }
+
+// Expired returns the number of instances dropped by expiration.
+func (p *PeriodicView) Expired() int64 { return p.expired }
+
+// Apply routes one append batch (stamped with its chronon) to every view
+// instance whose interval contains the chronon, creating instances on
+// demand, then expires instances whose grace period has passed. Only the
+// currently active instances are maintained — the Section 5.2 requirement
+// that "only these periodic views need to be maintained upon insertions".
+func (p *PeriodicView) Apply(d algebra.BatchDelta, chronon int64) error {
+	if chronon > p.maxSeen {
+		p.maxSeen = chronon
+	}
+	for _, iv := range p.cal.IntervalsAt(chronon) {
+		inst, ok := p.instances[iv]
+		if !ok {
+			def := p.def
+			def.Name = fmt.Sprintf("%s%s", p.name, iv)
+			v, err := view.New(def, p.kind)
+			if err != nil {
+				return err
+			}
+			inst = v
+			p.instances[iv] = inst
+			p.created++
+		}
+		inst.Apply(d)
+	}
+	p.expire()
+	return nil
+}
+
+// expire drops instances whose interval ended more than expireAfter ago.
+func (p *PeriodicView) expire() {
+	if p.expireAfter < 0 {
+		return
+	}
+	for iv := range p.instances {
+		if iv.End+p.expireAfter <= p.maxSeen {
+			delete(p.instances, iv)
+			p.expired++
+		}
+	}
+}
+
+// At returns the live instance for an interval.
+func (p *PeriodicView) At(iv Interval) (*view.View, bool) {
+	v, ok := p.instances[iv]
+	return v, ok
+}
+
+// ActiveAt returns the live instances whose interval contains ch, in
+// ascending interval order.
+func (p *PeriodicView) ActiveAt(ch int64) []*view.View {
+	var out []*view.View
+	for _, iv := range p.cal.IntervalsAt(ch) {
+		if v, ok := p.instances[iv]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Instances returns all live instances with their intervals, sorted by
+// interval start (for reporting).
+func (p *PeriodicView) Instances() []InstanceInfo {
+	out := make([]InstanceInfo, 0, len(p.instances))
+	for iv, v := range p.instances {
+		out = append(out, InstanceInfo{Interval: iv, View: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Interval.Start < out[j].Interval.Start })
+	return out
+}
+
+// InstanceInfo pairs a live view instance with its interval.
+type InstanceInfo struct {
+	Interval Interval
+	View     *view.View
+}

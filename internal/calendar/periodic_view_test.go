@@ -1,0 +1,248 @@
+package calendar
+
+import (
+	"testing"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/algebra"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/value"
+	"chronicledb/internal/view"
+)
+
+type pvFixture struct {
+	group *chronicle.Group
+	calls *chronicle.Chronicle
+	lsn   uint64
+}
+
+func newPVFixture(t testing.TB) *pvFixture {
+	t.Helper()
+	g := chronicle.NewGroup("g")
+	calls, err := g.NewChronicle("calls", value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "minutes", Kind: value.KindInt},
+	), chronicle.RetainNone) // the pure model: nothing stored
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pvFixture{group: g, calls: calls}
+}
+
+func (f *pvFixture) append(t testing.TB, chronon int64, acct string, minutes int64) algebra.BatchDelta {
+	t.Helper()
+	f.lsn++
+	rows, err := f.calls.Append(f.group.NextSN(), chronon, f.lsn,
+		[]value.Tuple{{value.Str(acct), value.Int(minutes)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algebra.BatchDelta{f.calls: rows}
+}
+
+func (f *pvFixture) viewDef() view.Def {
+	return view.Def{
+		Expr:      algebra.NewScan(f.calls),
+		Mode:      view.SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs:      []aggregate.Spec{{Func: aggregate.Sum, Col: 1, Name: "total"}},
+	}
+}
+
+func TestNewPeriodicViewValidation(t *testing.T) {
+	f := newPVFixture(t)
+	cal, _ := NewPeriodic(0, 100, 100)
+	if _, err := NewPeriodicView("", f.viewDef(), cal, 0, view.StoreHash); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewPeriodicView("v", f.viewDef(), nil, 0, view.StoreHash); err == nil {
+		t.Error("nil calendar accepted")
+	}
+	bad := f.viewDef()
+	bad.GroupCols = []int{7}
+	if _, err := NewPeriodicView("v", bad, cal, 0, view.StoreHash); err == nil {
+		t.Error("invalid inner definition accepted")
+	}
+}
+
+func TestBillingPeriods(t *testing.T) {
+	f := newPVFixture(t)
+	cal, _ := NewPeriodic(0, 100, 100) // "months" of 100 chronons
+	pv, err := NewPeriodicView("monthly_minutes", f.viewDef(), cal, -1, view.StoreHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Month 0: two calls. Month 1: one call.
+	mustApply(t, pv, f.append(t, 10, "a", 5), 10)
+	mustApply(t, pv, f.append(t, 90, "a", 7), 90)
+	mustApply(t, pv, f.append(t, 150, "a", 100), 150)
+
+	m0, ok := pv.At(Interval{0, 100})
+	if !ok {
+		t.Fatal("month 0 instance missing")
+	}
+	if got, _ := m0.Lookup(value.Tuple{value.Str("a")}); got[1].AsInt() != 12 {
+		t.Errorf("month 0 total = %v", got)
+	}
+	m1, ok := pv.At(Interval{100, 200})
+	if !ok {
+		t.Fatal("month 1 instance missing")
+	}
+	if got, _ := m1.Lookup(value.Tuple{value.Str("a")}); got[1].AsInt() != 100 {
+		t.Errorf("month 1 total = %v", got)
+	}
+	if pv.Live() != 2 || pv.Created() != 2 {
+		t.Errorf("Live=%d Created=%d", pv.Live(), pv.Created())
+	}
+	infos := pv.Instances()
+	if len(infos) != 2 || infos[0].Interval.Start != 0 || infos[1].Interval.Start != 100 {
+		t.Errorf("Instances = %v", infos)
+	}
+}
+
+func TestExpiration(t *testing.T) {
+	f := newPVFixture(t)
+	cal, _ := NewPeriodic(0, 100, 100)
+	pv, err := NewPeriodicView("v", f.viewDef(), cal, 50, view.StoreHash) // 50-chronon grace
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, pv, f.append(t, 10, "a", 1), 10)
+	mustApply(t, pv, f.append(t, 110, "a", 1), 110) // month 0 not yet expired (ends 100, grace to 150)
+	if pv.Live() != 2 {
+		t.Fatalf("Live = %d", pv.Live())
+	}
+	mustApply(t, pv, f.append(t, 160, "a", 1), 160) // now month 0 expires
+	if pv.Live() != 1 {
+		t.Errorf("Live = %d (only month 1 remains)", pv.Live())
+	}
+	if _, ok := pv.At(Interval{0, 100}); ok {
+		t.Error("expired instance still live")
+	}
+	if pv.Expired() != 1 {
+		t.Errorf("Expired = %d", pv.Expired())
+	}
+}
+
+func TestOverlappingWindows(t *testing.T) {
+	f := newPVFixture(t)
+	cal, _ := NewPeriodic(0, 10, 30) // every 10 chronons, 30-chronon window
+	pv, err := NewPeriodicView("moving", f.viewDef(), cal, 0, view.StoreHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One call at ch 25 lands in windows starting at 0, 10, 20.
+	mustApply(t, pv, f.append(t, 25, "a", 4), 25)
+	if pv.Live() != 3 {
+		t.Fatalf("Live = %d, want 3 overlapping instances", pv.Live())
+	}
+	for _, start := range []int64{0, 10, 20} {
+		v, ok := pv.At(Interval{start, start + 30})
+		if !ok {
+			t.Fatalf("window [%d,%d) missing", start, start+30)
+		}
+		if got, _ := v.Lookup(value.Tuple{value.Str("a")}); got[1].AsInt() != 4 {
+			t.Errorf("window [%d,.) total = %v", start, got)
+		}
+	}
+	active := pv.ActiveAt(25)
+	if len(active) != 3 {
+		t.Errorf("ActiveAt = %d", len(active))
+	}
+}
+
+// TestPeriodicOverRetainNoneChronicle: the family maintains correctly even
+// though the chronicle stores nothing — the chronicle model's core promise.
+func TestPeriodicOverRetainNoneChronicle(t *testing.T) {
+	f := newPVFixture(t)
+	if f.calls.Len() != 0 {
+		t.Fatal("fixture should retain nothing")
+	}
+	cal, _ := NewPeriodic(0, 100, 100)
+	pv, _ := NewPeriodicView("v", f.viewDef(), cal, -1, view.StoreHash)
+	for i := int64(0); i < 250; i += 10 {
+		mustApply(t, pv, f.append(t, i, "a", 1), i)
+	}
+	if f.calls.Len() != 0 {
+		t.Fatal("chronicle stored rows despite RetainNone")
+	}
+	m2, ok := pv.At(Interval{200, 300})
+	if !ok {
+		t.Fatal("month 2 missing")
+	}
+	if got, _ := m2.Lookup(value.Tuple{value.Str("a")}); got[1].AsInt() != 5 {
+		t.Errorf("month 2 total = %v (calls at 200,210,220,230,240)", got)
+	}
+}
+
+func mustApply(t testing.TB, pv *PeriodicView, d algebra.BatchDelta, chronon int64) {
+	t.Helper()
+	if err := pv.Apply(d, chronon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicCheckpointRoundTrip(t *testing.T) {
+	f := newPVFixture(t)
+	cal, _ := NewPeriodic(0, 100, 100)
+	pv, err := NewPeriodicView("monthly", f.viewDef(), cal, 150, view.StoreHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, pv, f.append(t, 10, "a", 5), 10)
+	mustApply(t, pv, f.append(t, 120, "a", 7), 120)
+	snap := pv.Checkpoint()
+
+	pv2, err := NewPeriodicView("monthly", f.viewDef(), cal, 150, view.StoreHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pv2.RestoreCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	if pv2.Live() != 2 || pv2.Created() != 2 || pv2.Expired() != 0 {
+		t.Errorf("Live=%d Created=%d Expired=%d", pv2.Live(), pv2.Created(), pv2.Expired())
+	}
+	m0, ok := pv2.At(Interval{0, 100})
+	if !ok {
+		t.Fatal("month 0 missing after restore")
+	}
+	if got, _ := m0.Lookup(value.Tuple{value.Str("a")}); got[1].AsInt() != 5 {
+		t.Errorf("restored month 0 = %v", got)
+	}
+	// The restored family keeps maintaining and expiring correctly.
+	mustApply(t, pv2, f.append(t, 260, "a", 1), 260) // expires month 0 (end 100 + 150 <= 260)
+	if _, ok := pv2.At(Interval{0, 100}); ok {
+		t.Error("restored family did not expire month 0")
+	}
+	if pv2.Expired() != 1 {
+		t.Errorf("Expired = %d", pv2.Expired())
+	}
+}
+
+func TestPeriodicCheckpointErrors(t *testing.T) {
+	f := newPVFixture(t)
+	cal, _ := NewPeriodic(0, 100, 100)
+	pv, _ := NewPeriodicView("monthly", f.viewDef(), cal, -1, view.StoreHash)
+	mustApply(t, pv, f.append(t, 10, "a", 5), 10)
+	snap := pv.Checkpoint()
+
+	if err := pv.RestoreCheckpoint(nil); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+	bad := append([]byte("ZZZZ"), snap[4:]...)
+	if err := pv.RestoreCheckpoint(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := pv.RestoreCheckpoint(snap[:len(snap)-2]); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	trailing := append(append([]byte(nil), snap...), 1)
+	if err := pv.RestoreCheckpoint(trailing); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Original state intact after failed restores.
+	if pv.Live() != 1 {
+		t.Errorf("Live = %d after failed restores", pv.Live())
+	}
+}

@@ -1,0 +1,93 @@
+// Package cli holds the testable parts of the interactive shell: text
+// table rendering and the line-based statement splitter.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTable writes an aligned text table followed by a row count.
+func RenderTable(w io.Writer, columns []string, rows [][]string) {
+	if len(columns) == 0 {
+		return
+	}
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", pad, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(columns)
+	sep := make([]string, len(columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	fmt.Fprintf(w, "(%d row(s))\n", len(rows))
+}
+
+// Splitter accumulates input lines into statements terminated by ';'.
+// Semicolons inside single-quoted string literals do not terminate.
+type Splitter struct {
+	pending  strings.Builder
+	inString bool
+}
+
+// Feed adds one input line and returns any completed statements.
+func (s *Splitter) Feed(line string) []string {
+	var out []string
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		s.pending.WriteByte(c)
+		switch {
+		case c == '\'':
+			// A doubled quote inside a string is an escape, not a close.
+			if s.inString && i+1 < len(line) && line[i+1] == '\'' {
+				s.pending.WriteByte('\'')
+				i++
+				continue
+			}
+			s.inString = !s.inString
+		case c == ';' && !s.inString:
+			stmt := strings.TrimSpace(s.pending.String())
+			s.pending.Reset()
+			if stmt != ";" && stmt != "" {
+				out = append(out, stmt)
+			}
+		}
+	}
+	s.pending.WriteByte('\n')
+	return out
+}
+
+// Pending reports whether a partial statement is buffered.
+func (s *Splitter) Pending() bool {
+	return strings.TrimSpace(s.pending.String()) != ""
+}
+
+// Reset discards any buffered partial statement.
+func (s *Splitter) Reset() {
+	s.pending.Reset()
+	s.inString = false
+}

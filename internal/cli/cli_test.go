@@ -1,0 +1,108 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTable(t *testing.T) {
+	var b strings.Builder
+	RenderTable(&b, []string{"acct", "total"}, [][]string{
+		{"alice", "20"},
+		{"b", "3"},
+	})
+	got := b.String()
+	want := "acct   total\n-----  -----\nalice  20\nb      3\n(2 row(s))\n"
+	if got != want {
+		t.Errorf("RenderTable:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestRenderTableWideCell(t *testing.T) {
+	var b strings.Builder
+	RenderTable(&b, []string{"c"}, [][]string{{"wider-than-header"}})
+	if !strings.Contains(b.String(), "wider-than-header") {
+		t.Errorf("output = %q", b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines[1]) != len("wider-than-header") {
+		t.Errorf("separator not widened: %q", lines[1])
+	}
+}
+
+func TestRenderTableNoColumns(t *testing.T) {
+	var b strings.Builder
+	RenderTable(&b, nil, nil)
+	if b.Len() != 0 {
+		t.Errorf("empty table rendered %q", b.String())
+	}
+}
+
+func TestSplitterBasics(t *testing.T) {
+	var s Splitter
+	if got := s.Feed("SELECT * FROM v"); got != nil {
+		t.Errorf("incomplete statement emitted: %v", got)
+	}
+	if !s.Pending() {
+		t.Error("Pending should be true")
+	}
+	got := s.Feed("WHERE a = 1;")
+	if len(got) != 1 || !strings.Contains(got[0], "WHERE a = 1;") {
+		t.Errorf("Feed = %v", got)
+	}
+	if s.Pending() {
+		t.Error("Pending should be false after completion")
+	}
+}
+
+func TestSplitterMultipleStatementsOneLine(t *testing.T) {
+	var s Splitter
+	got := s.Feed("A; B; C")
+	if len(got) != 2 || got[0] != "A;" || got[1] != "B;" {
+		t.Errorf("Feed = %v", got)
+	}
+	if !s.Pending() {
+		t.Error("trailing C should be pending")
+	}
+	got = s.Feed(";")
+	if len(got) != 1 || got[0] != "C\n;" {
+		t.Errorf("completion = %q", got)
+	}
+}
+
+func TestSplitterSemicolonInString(t *testing.T) {
+	var s Splitter
+	got := s.Feed("APPEND INTO c VALUES ('a;b');")
+	if len(got) != 1 {
+		t.Fatalf("Feed = %v", got)
+	}
+	if !strings.Contains(got[0], "'a;b'") {
+		t.Errorf("string mangled: %q", got[0])
+	}
+	// Escaped quote inside a string does not close it.
+	s.Reset()
+	got = s.Feed("APPEND INTO c VALUES ('it''s; fine');")
+	if len(got) != 1 || !strings.Contains(got[0], "it''s; fine") {
+		t.Errorf("escaped quote: %v", got)
+	}
+}
+
+func TestSplitterReset(t *testing.T) {
+	var s Splitter
+	s.Feed("partial 'unclosed")
+	s.Reset()
+	if s.Pending() {
+		t.Error("Reset left pending input")
+	}
+	got := s.Feed("A;")
+	if len(got) != 1 || got[0] != "A;" {
+		t.Errorf("after reset = %v", got)
+	}
+}
+
+func TestSplitterBlankAndEmptyStatements(t *testing.T) {
+	var s Splitter
+	if got := s.Feed(";;  ;"); got != nil {
+		t.Errorf("empty statements emitted: %v", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package dispatch implements Section 5.2 of the chronicle paper:
+// identifying the persistent views affected by an update to a chronicle,
+// early, "so as not to waste computation resources".
+//
+// The dispatcher keeps, per chronicle, the set of registered maintenance
+// targets. Targets whose defining expression starts with an equality
+// selection on a constant (the overwhelmingly common "per-account" shape)
+// are placed in a predicate index keyed by (column, constant); an append
+// then probes the index with each inserted tuple's value — O(rows + hits)
+// instead of O(#views). Targets with general predicates fall back to
+// per-target predicate evaluation, and periodic targets are additionally
+// filtered by their active period before any maintenance work happens.
+package dispatch
+
+import (
+	"fmt"
+
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/pred"
+	"chronicledb/internal/value"
+)
+
+// Target is a maintenance target (typically a persistent view, or one
+// periodic-view family).
+type Target struct {
+	// ID names the target (unique per dispatcher).
+	ID string
+	// Chronicles are the base chronicles the target depends on.
+	Chronicles []*chronicle.Chronicle
+	// Filter optionally narrows relevance: a Definition-4.1 predicate over
+	// the schema of FilterChronicle such that the target is unaffected by
+	// any batch none of whose tuples satisfy it. Use pred.True() (or leave
+	// FilterChronicle nil) when no such predicate is known.
+	Filter          pred.Predicate
+	FilterChronicle *chronicle.Chronicle
+	// ActiveAt optionally reports whether the target is active at a given
+	// chronon (periodic views are maintained only inside their intervals).
+	// nil means always active.
+	ActiveAt func(chronon int64) bool
+}
+
+// Dispatcher routes appends to affected targets.
+type Dispatcher struct {
+	indexed bool
+
+	byChronicle map[*chronicle.Chronicle][]*Target
+	// eqIndex[c][col][constKey] lists targets whose filter is "col = const"
+	// on chronicle c. Only consulted when indexed.
+	eqIndex map[*chronicle.Chronicle]map[int]map[string][]*Target
+	// unindexed[c] lists targets on c that the equality index cannot serve.
+	unindexed map[*chronicle.Chronicle][]*Target
+
+	ids map[string]bool
+
+	// Probes and Scanned instrument E7: how many targets were examined.
+	Probes  int64
+	Scanned int64
+}
+
+// New creates a dispatcher. indexed selects whether equality filters are
+// served by the predicate index (the E7 ablation switch).
+func New(indexed bool) *Dispatcher {
+	return &Dispatcher{
+		indexed:     indexed,
+		byChronicle: make(map[*chronicle.Chronicle][]*Target),
+		eqIndex:     make(map[*chronicle.Chronicle]map[int]map[string][]*Target),
+		unindexed:   make(map[*chronicle.Chronicle][]*Target),
+		ids:         make(map[string]bool),
+	}
+}
+
+// Indexed reports whether the predicate index is in use.
+func (d *Dispatcher) Indexed() bool { return d.indexed }
+
+// Register adds a target.
+func (d *Dispatcher) Register(t *Target) error {
+	if t.ID == "" {
+		return fmt.Errorf("dispatch: target needs an ID")
+	}
+	if d.ids[t.ID] {
+		return fmt.Errorf("dispatch: duplicate target %q", t.ID)
+	}
+	if len(t.Chronicles) == 0 {
+		return fmt.Errorf("dispatch: target %q depends on no chronicles", t.ID)
+	}
+	d.ids[t.ID] = true
+	for _, c := range t.Chronicles {
+		d.byChronicle[c] = append(d.byChronicle[c], t)
+		if d.indexed && c == t.FilterChronicle {
+			if col, k, ok := t.Filter.EqualityConstant(); ok {
+				cols, exists := d.eqIndex[c]
+				if !exists {
+					cols = make(map[int]map[string][]*Target)
+					d.eqIndex[c] = cols
+				}
+				byConst, exists := cols[col]
+				if !exists {
+					byConst = make(map[string][]*Target)
+					cols[col] = byConst
+				}
+				key := value.Tuple{k}.FullKey()
+				byConst[key] = append(byConst[key], t)
+				continue
+			}
+		}
+		d.unindexed[c] = append(d.unindexed[c], t)
+	}
+	return nil
+}
+
+// Targets returns the number of registered targets.
+func (d *Dispatcher) Targets() int { return len(d.ids) }
+
+// Unregister removes the target with the given ID. Removing an unknown ID
+// is a no-op that reports false.
+func (d *Dispatcher) Unregister(id string) bool {
+	if !d.ids[id] {
+		return false
+	}
+	delete(d.ids, id)
+	drop := func(list []*Target) []*Target {
+		out := list[:0]
+		for _, t := range list {
+			if t.ID != id {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	for c, list := range d.byChronicle {
+		d.byChronicle[c] = drop(list)
+	}
+	for c, list := range d.unindexed {
+		d.unindexed[c] = drop(list)
+	}
+	for _, cols := range d.eqIndex {
+		for _, byConst := range cols {
+			for k, list := range byConst {
+				byConst[k] = drop(list)
+				if len(byConst[k]) == 0 {
+					delete(byConst, k)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Affected returns the targets that an append of rows into chronicle c at
+// the given chronon may affect, without duplicates. It applies, in order:
+// dependency filtering (which chronicle), active-period filtering, and
+// selection-predicate filtering.
+func (d *Dispatcher) Affected(c *chronicle.Chronicle, rows []chronicle.Row, chronon int64) []*Target {
+	var out []*Target
+	seen := map[*Target]bool{}
+	emit := func(t *Target) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if t.ActiveAt != nil && !t.ActiveAt(chronon) {
+			return
+		}
+		out = append(out, t)
+	}
+
+	if d.indexed {
+		if cols := d.eqIndex[c]; cols != nil {
+			for col, byConst := range cols {
+				for _, r := range rows {
+					d.Probes++
+					if col >= len(r.Vals) {
+						continue
+					}
+					for _, t := range byConst[value.Tuple{r.Vals[col]}.FullKey()] {
+						emit(t)
+					}
+				}
+			}
+		}
+		for _, t := range d.unindexed[c] {
+			d.Scanned++
+			if d.matches(t, c, rows) {
+				emit(t)
+			}
+		}
+		return out
+	}
+
+	for _, t := range d.byChronicle[c] {
+		d.Scanned++
+		if d.matches(t, c, rows) {
+			emit(t)
+		}
+	}
+	return out
+}
+
+// matches reports whether any row satisfies the target's filter.
+func (d *Dispatcher) matches(t *Target, c *chronicle.Chronicle, rows []chronicle.Row) bool {
+	if t.FilterChronicle != c || t.Filter.IsTrue() {
+		return true
+	}
+	for _, r := range rows {
+		if t.Filter.Eval(r.Vals) {
+			return true
+		}
+	}
+	return false
+}

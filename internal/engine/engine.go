@@ -1,0 +1,660 @@
+// Package engine implements the chronicle database system of Definition
+// 2.1: the quadruple (C, R, L, V) of chronicles, relations, a view
+// definition language, and persistent views — plus the periodic views of
+// Section 5.1 and the affected-view dispatch of Section 5.2.
+//
+// The engine is the in-memory kernel. It serializes all updates under one
+// mutex, which realizes the paper's update semantics directly: a relation
+// update is proactive precisely because it is ordered before every later
+// chronicle append (Section 2.3). Durability (WAL, checkpoints) is layered
+// on top by the public chronicle package.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"chronicledb/internal/algebra"
+	"chronicledb/internal/calendar"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/dispatch"
+	"chronicledb/internal/pred"
+	"chronicledb/internal/relation"
+	"chronicledb/internal/stats"
+	"chronicledb/internal/value"
+	"chronicledb/internal/view"
+)
+
+// Config controls engine-wide defaults.
+type Config struct {
+	// DefaultRetention applies to chronicles created without an explicit
+	// retention. The zero value (RetainNone) is the pure chronicle model.
+	DefaultRetention chronicle.Retention
+	// RelationHistory retains superseded relation versions for AsOf reads
+	// (needed only by reference evaluation and recompute baselines).
+	RelationHistory bool
+	// DefaultStore is the view store used when a view does not choose.
+	DefaultStore view.StoreKind
+	// DispatchIndexed enables the Section 5.2 predicate index.
+	DispatchIndexed bool
+	// Clock supplies chronons for appends. Nil uses wall-clock nanoseconds.
+	Clock func() int64
+}
+
+// Stats aggregates engine-level counters.
+type Stats struct {
+	Appends         int64
+	TuplesAppended  int64
+	RelationUpdates int64
+	MaintenanceNs   int64 // total time spent maintaining persistent views
+	ViewsMaintained int64 // view-maintenance invocations
+}
+
+// Engine is the chronicle database system kernel.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+
+	lsn        uint64
+	groups     map[string]*chronicle.Group
+	chronicles map[string]*chronicle.Chronicle
+	relations  map[string]*relation.Relation
+	views      map[string]*view.View
+	periodics  map[string]*calendar.PeriodicView
+	disp       *dispatch.Dispatcher
+	names      map[string]string // object name -> kind, for cross-kind uniqueness
+
+	// onRecord, when set, observes every durable mutation before it is
+	// applied; the WAL layer hooks in here. Returning an error aborts the
+	// mutation.
+	onRecord func(Mutation) error
+
+	stats    Stats
+	maintLat stats.Histogram // per-append view-maintenance latency
+}
+
+// Mutation describes one durable engine mutation, in replayable form.
+type Mutation struct {
+	Kind     MutationKind
+	SN       int64
+	Chronon  int64
+	Parts    []MutationPart // appends
+	Relation string         // relation updates
+	Tuple    value.Tuple    // upsert tuple or delete key values
+}
+
+// MutationPart is one chronicle's share of an append.
+type MutationPart struct {
+	Chronicle string
+	Tuples    []value.Tuple
+}
+
+// MutationKind tags a Mutation.
+type MutationKind uint8
+
+// The mutation kinds.
+const (
+	MutAppend MutationKind = iota
+	MutUpsert
+	MutDelete
+)
+
+// New creates an empty engine.
+func New(cfg Config) *Engine {
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Engine{
+		cfg:        cfg,
+		groups:     make(map[string]*chronicle.Group),
+		chronicles: make(map[string]*chronicle.Chronicle),
+		relations:  make(map[string]*relation.Relation),
+		views:      make(map[string]*view.View),
+		periodics:  make(map[string]*calendar.PeriodicView),
+		disp:       dispatch.New(cfg.DispatchIndexed),
+		names:      make(map[string]string),
+	}
+}
+
+// SetRecorder installs the durable-mutation observer (the WAL hook).
+func (e *Engine) SetRecorder(fn func(Mutation) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onRecord = fn
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// claimName enforces one namespace across object kinds.
+func (e *Engine) claimName(name, kind string) error {
+	if name == "" {
+		return fmt.Errorf("engine: empty %s name", kind)
+	}
+	if existing, ok := e.names[name]; ok {
+		return fmt.Errorf("engine: name %q already used by a %s", name, existing)
+	}
+	e.names[name] = kind
+	return nil
+}
+
+// CreateGroup creates a chronicle group.
+func (e *Engine) CreateGroup(name string) (*chronicle.Group, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.groups[name]; ok {
+		return nil, fmt.Errorf("engine: group %q already exists", name)
+	}
+	g := chronicle.NewGroup(name)
+	e.groups[name] = g
+	return g, nil
+}
+
+// CreateChronicle creates a chronicle inside a (possibly new) group.
+// groupName may be empty, in which case the chronicle gets a private group
+// of the same name.
+func (e *Engine) CreateChronicle(name, groupName string, schema *value.Schema, retain *chronicle.Retention) (*chronicle.Chronicle, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if groupName == "" {
+		groupName = name
+	}
+	g, ok := e.groups[groupName]
+	if !ok {
+		g = chronicle.NewGroup(groupName)
+	}
+	r := e.cfg.DefaultRetention
+	if retain != nil {
+		r = *retain
+	}
+	if err := e.claimName(name, "chronicle"); err != nil {
+		return nil, err
+	}
+	c, err := g.NewChronicle(name, schema, r)
+	if err != nil {
+		delete(e.names, name)
+		return nil, err
+	}
+	e.groups[groupName] = g
+	e.chronicles[name] = c
+	return c, nil
+}
+
+// CreateRelation creates a relation.
+func (e *Engine) CreateRelation(name string, schema *value.Schema, keyCols []int) (*relation.Relation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.claimName(name, "relation"); err != nil {
+		return nil, err
+	}
+	r, err := relation.New(name, schema, keyCols, e.cfg.RelationHistory)
+	if err != nil {
+		delete(e.names, name)
+		return nil, err
+	}
+	e.relations[name] = r
+	return r, nil
+}
+
+// CreateView materializes a persistent view and registers it for dispatch.
+// filter/filterChronicle optionally narrow dispatch (Section 5.2); pass the
+// zero predicate to dispatch on dependency alone.
+func (e *Engine) CreateView(def view.Def, kind view.StoreKind, filter pred.Predicate, filterChronicle *chronicle.Chronicle) (*view.View, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.claimName(def.Name, "view"); err != nil {
+		return nil, err
+	}
+	v, err := view.New(def, kind)
+	if err != nil {
+		delete(e.names, def.Name)
+		return nil, err
+	}
+	info := v.Info()
+	if err := e.disp.Register(&dispatch.Target{
+		ID:              def.Name,
+		Chronicles:      info.Chronicles,
+		Filter:          filter,
+		FilterChronicle: filterChronicle,
+	}); err != nil {
+		delete(e.names, def.Name)
+		return nil, err
+	}
+	// Fold in any retained history so the view is current from creation.
+	e.backfill(v)
+	e.views[def.Name] = v
+	return v, nil
+}
+
+// backfill replays retained chronicle rows into a fresh view. Chronicles
+// with dropped rows cannot be backfilled; the view is then current only for
+// the append suffix (which is all the pure model can promise).
+func (e *Engine) backfill(v *view.View) {
+	if rows, err := algebra.Evaluate(v.Def().Expr); err == nil {
+		v.ApplyRows(rows)
+	}
+}
+
+// CreatePeriodicView creates a periodic view family (Section 5.1).
+func (e *Engine) CreatePeriodicView(name string, def view.Def, cal calendar.Calendar, expireAfter int64, kind view.StoreKind) (*calendar.PeriodicView, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.claimName(name, "periodic view"); err != nil {
+		return nil, err
+	}
+	pv, err := calendar.NewPeriodicView(name, def, cal, expireAfter, kind)
+	if err != nil {
+		delete(e.names, name)
+		return nil, err
+	}
+	info := algebra.Analyze(def.Expr)
+	if err := e.disp.Register(&dispatch.Target{
+		ID:         name,
+		Chronicles: info.Chronicles,
+		ActiveAt: func(ch int64) bool {
+			return len(cal.IntervalsAt(ch)) > 0
+		},
+	}); err != nil {
+		delete(e.names, name)
+		return nil, err
+	}
+	e.periodics[name] = pv
+	return pv, nil
+}
+
+// DropView removes a persistent or periodic view from the database. The
+// paper's model has "a fixed number of persistent views"; dropping is the
+// administrative escape hatch (a dropped view's summarized history is gone
+// for good — the chronicle it summarized was never stored).
+func (e *Engine) DropView(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.names[name] {
+	case "view":
+		delete(e.views, name)
+	case "periodic view":
+		delete(e.periodics, name)
+	default:
+		return fmt.Errorf("engine: no view named %q", name)
+	}
+	delete(e.names, name)
+	e.disp.Unregister(name)
+	return nil
+}
+
+// Append inserts tuples into one chronicle as a single transaction: the
+// record is appended with the next group sequence number, affected views
+// are identified, and each is maintained incrementally — the complete
+// per-transaction pipeline whose cost Section 3 is about.
+func (e *Engine) Append(chronicleName string, tuples []value.Tuple) (sn int64, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.appendLocked(chronicleName, tuples, nil, nil)
+}
+
+// AppendAt is Append with caller-supplied sequence number and chronon; the
+// WAL layer uses it for replay, tests for deterministic time.
+func (e *Engine) AppendAt(chronicleName string, sn, chronon int64, tuples []value.Tuple) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.appendLocked(chronicleName, tuples, &sn, &chronon)
+}
+
+func (e *Engine) appendLocked(chronicleName string, tuples []value.Tuple, snOverride, chOverride *int64) (int64, error) {
+	c, ok := e.chronicles[chronicleName]
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown chronicle %q", chronicleName)
+	}
+	for i, t := range tuples {
+		coerced, err := c.Schema().Coerce(t)
+		if err != nil {
+			return 0, fmt.Errorf("engine: chronicle %s: tuple %d: %w", chronicleName, i, err)
+		}
+		tuples[i] = coerced
+	}
+	sn := c.Group().NextSN()
+	if snOverride != nil {
+		sn = *snOverride
+	}
+	chronon := e.cfg.Clock()
+	if chOverride != nil {
+		chronon = *chOverride
+	}
+	if e.onRecord != nil {
+		m := Mutation{Kind: MutAppend, SN: sn, Chronon: chronon,
+			Parts: []MutationPart{{Chronicle: chronicleName, Tuples: tuples}}}
+		if err := e.onRecord(m); err != nil {
+			return 0, fmt.Errorf("engine: recording append: %w", err)
+		}
+	}
+	rows, err := c.Append(sn, chronon, e.nextLSN(), tuples)
+	if err != nil {
+		return 0, err
+	}
+	e.maintain(map[*chronicle.Chronicle][]chronicle.Row{c: rows}, chronon)
+	e.stats.Appends++
+	e.stats.TuplesAppended += int64(len(tuples))
+	return sn, nil
+}
+
+// AppendBatch inserts tuples into several chronicles of one group
+// simultaneously, sharing a single sequence number.
+func (e *Engine) AppendBatch(parts []MutationPart) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.appendBatchLocked(parts, nil, nil)
+}
+
+// AppendBatchAt is AppendBatch with caller-supplied SN and chronon.
+func (e *Engine) AppendBatchAt(parts []MutationPart, sn, chronon int64) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.appendBatchLocked(parts, &sn, &chronon)
+}
+
+func (e *Engine) appendBatchLocked(parts []MutationPart, snOverride, chOverride *int64) (int64, error) {
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("engine: empty batch")
+	}
+	resolved := make([]chronicle.BatchPart, len(parts))
+	var g *chronicle.Group
+	for i, p := range parts {
+		c, ok := e.chronicles[p.Chronicle]
+		if !ok {
+			return 0, fmt.Errorf("engine: unknown chronicle %q", p.Chronicle)
+		}
+		if g == nil {
+			g = c.Group()
+		}
+		for j, t := range p.Tuples {
+			coerced, err := c.Schema().Coerce(t)
+			if err != nil {
+				return 0, fmt.Errorf("engine: chronicle %s: tuple %d: %w", p.Chronicle, j, err)
+			}
+			p.Tuples[j] = coerced
+		}
+		resolved[i] = chronicle.BatchPart{C: c, Tuples: p.Tuples}
+	}
+	sn := g.NextSN()
+	if snOverride != nil {
+		sn = *snOverride
+	}
+	chronon := e.cfg.Clock()
+	if chOverride != nil {
+		chronon = *chOverride
+	}
+	if e.onRecord != nil {
+		if err := e.onRecord(Mutation{Kind: MutAppend, SN: sn, Chronon: chronon, Parts: parts}); err != nil {
+			return 0, fmt.Errorf("engine: recording append: %w", err)
+		}
+	}
+	deltas, err := g.AppendBatch(sn, chronon, e.nextLSN(), resolved)
+	if err != nil {
+		return 0, err
+	}
+	e.maintain(deltas, chronon)
+	e.stats.Appends++
+	for _, p := range parts {
+		e.stats.TuplesAppended += int64(len(p.Tuples))
+	}
+	return sn, nil
+}
+
+// maintain dispatches one append's deltas to every affected persistent and
+// periodic view.
+func (e *Engine) maintain(deltas map[*chronicle.Chronicle][]chronicle.Row, chronon int64) {
+	start := time.Now()
+	batch := algebra.BatchDelta(deltas)
+	seen := map[string]bool{}
+	for c, rows := range deltas {
+		for _, t := range e.disp.Affected(c, rows, chronon) {
+			if seen[t.ID] {
+				continue
+			}
+			seen[t.ID] = true
+			if v, ok := e.views[t.ID]; ok {
+				v.Apply(batch)
+				e.stats.ViewsMaintained++
+			} else if pv, ok := e.periodics[t.ID]; ok {
+				// Apply error only occurs for invalid defs, which New vetted.
+				_ = pv.Apply(batch, chronon)
+				e.stats.ViewsMaintained++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	e.stats.MaintenanceNs += elapsed.Nanoseconds()
+	e.maintLat.Observe(elapsed)
+}
+
+// MaintenanceLatency summarizes the distribution of per-append view
+// maintenance time — the operational readout of the view language's IM
+// class: SCA1 views keep this flat forever.
+func (e *Engine) MaintenanceLatency() stats.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.maintLat.Snapshot()
+}
+
+// Upsert applies a proactive relation update.
+func (e *Engine) Upsert(relationName string, t value.Tuple) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.relations[relationName]
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %q", relationName)
+	}
+	coerced, err := r.Schema().Coerce(t)
+	if err != nil {
+		return fmt.Errorf("engine: relation %s: %w", relationName, err)
+	}
+	t = coerced
+	if e.onRecord != nil {
+		if err := e.onRecord(Mutation{Kind: MutUpsert, Relation: relationName, Tuple: t}); err != nil {
+			return fmt.Errorf("engine: recording upsert: %w", err)
+		}
+	}
+	if err := r.Upsert(e.nextLSN(), t); err != nil {
+		return err
+	}
+	e.stats.RelationUpdates++
+	return nil
+}
+
+// DeleteKey applies a proactive relation delete by key values.
+func (e *Engine) DeleteKey(relationName string, keyVals value.Tuple) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.relations[relationName]
+	if !ok {
+		return false, fmt.Errorf("engine: unknown relation %q", relationName)
+	}
+	if e.onRecord != nil {
+		if err := e.onRecord(Mutation{Kind: MutDelete, Relation: relationName, Tuple: keyVals}); err != nil {
+			return false, fmt.Errorf("engine: recording delete: %w", err)
+		}
+	}
+	deleted := r.Delete(e.nextLSN(), keyVals)
+	if deleted {
+		e.stats.RelationUpdates++
+	}
+	return deleted, nil
+}
+
+func (e *Engine) nextLSN() uint64 {
+	e.lsn++
+	return e.lsn
+}
+
+// LSN returns the current logical sequence number.
+func (e *Engine) LSN() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lsn
+}
+
+// RestoreLSN advances the LSN to at least lsn. Checkpoint recovery uses it
+// so post-recovery updates keep strictly increasing LSNs.
+func (e *Engine) RestoreLSN(lsn uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if lsn > e.lsn {
+		e.lsn = lsn
+	}
+}
+
+// GroupNames returns the chronicle group names, sorted.
+func (e *Engine) GroupNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.groups))
+	for n := range e.groups {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Chronicle returns a chronicle by name.
+func (e *Engine) Chronicle(name string) (*chronicle.Chronicle, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.chronicles[name]
+	return c, ok
+}
+
+// Relation returns a relation by name.
+func (e *Engine) Relation(name string) (*relation.Relation, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.relations[name]
+	return r, ok
+}
+
+// View returns a persistent view by name. The handle itself is not
+// synchronized: callers that read it while other goroutines append must use
+// the engine's ViewLookup/ViewRows/ViewScanRange instead, which hold the
+// engine mutex.
+func (e *Engine) View(name string) (*view.View, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[name]
+	return v, ok
+}
+
+// ViewLookup answers a summary query from a persistent view by group key,
+// serialized against appends.
+func (e *Engine) ViewLookup(name string, key value.Tuple) (value.Tuple, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[name]
+	if !ok {
+		return nil, false, fmt.Errorf("engine: unknown view %q", name)
+	}
+	row, found := v.Lookup(key)
+	return row, found, nil
+}
+
+// ViewRows materializes a view's contents, serialized against appends.
+func (e *Engine) ViewRows(name string) ([]value.Tuple, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", name)
+	}
+	return v.Rows(), nil
+}
+
+// RelationRows materializes a relation's live tuples in key order,
+// serialized against updates.
+func (e *Engine) RelationRows(name string) ([]value.Tuple, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown relation %q", name)
+	}
+	var out []value.Tuple
+	r.Scan(func(t value.Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out, nil
+}
+
+// ChronicleRows copies a chronicle's retained window, serialized against
+// appends.
+func (e *Engine) ChronicleRows(name string) ([]chronicle.Row, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.chronicles[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown chronicle %q", name)
+	}
+	return append([]chronicle.Row(nil), c.Rows()...), nil
+}
+
+// ViewScanRange collects the view rows with group key in [lo, hi),
+// serialized against appends.
+func (e *Engine) ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.views[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", name)
+	}
+	var out []value.Tuple
+	v.ScanRange(lo, hi, func(t value.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out, nil
+}
+
+// PeriodicView returns a periodic view family by name.
+func (e *Engine) PeriodicView(name string) (*calendar.PeriodicView, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pv, ok := e.periodics[name]
+	return pv, ok
+}
+
+// Group returns a chronicle group by name.
+func (e *Engine) Group(name string) (*chronicle.Group, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, ok := e.groups[name]
+	return g, ok
+}
+
+// ViewNames returns the persistent view names, sorted.
+func (e *Engine) ViewNames() []string { return e.sortedNames("view") }
+
+// ChronicleNames returns the chronicle names, sorted.
+func (e *Engine) ChronicleNames() []string { return e.sortedNames("chronicle") }
+
+// RelationNames returns the relation names, sorted.
+func (e *Engine) RelationNames() []string { return e.sortedNames("relation") }
+
+// PeriodicViewNames returns the periodic view family names, sorted.
+func (e *Engine) PeriodicViewNames() []string { return e.sortedNames("periodic view") }
+
+func (e *Engine) sortedNames(kind string) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for n, k := range e.names {
+		if k == kind {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,562 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/algebra"
+	"chronicledb/internal/calendar"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/pred"
+	"chronicledb/internal/value"
+	"chronicledb/internal/view"
+)
+
+func callsSchema() *value.Schema {
+	return value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "minutes", Kind: value.KindInt},
+	)
+}
+
+func custSchema() *value.Schema {
+	return value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "state", Kind: value.KindString},
+	)
+}
+
+// newEngine returns an engine with a deterministic clock.
+func newEngine(t testing.TB) (*Engine, *int64) {
+	t.Helper()
+	now := int64(0)
+	e := New(Config{
+		DispatchIndexed: true,
+		RelationHistory: true,
+		Clock:           func() int64 { return now },
+	})
+	return e, &now
+}
+
+func mustCreateCalls(t testing.TB, e *Engine) *chronicle.Chronicle {
+	t.Helper()
+	c, err := e.CreateChronicle("calls", "telecom", callsSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func usageDef(c *chronicle.Chronicle) view.Def {
+	return view.Def{
+		Name:      "usage",
+		Expr:      algebra.NewScan(c),
+		Mode:      view.SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs: []aggregate.Spec{
+			{Func: aggregate.Sum, Col: 1, Name: "total"},
+			{Func: aggregate.Count, Col: -1, Name: "n"},
+		},
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	e, _ := newEngine(t)
+	c := mustCreateCalls(t, e)
+	if _, err := e.CreateChronicle("calls", "", callsSchema(), nil); err == nil {
+		t.Error("duplicate chronicle accepted")
+	}
+	if _, err := e.CreateRelation("calls", custSchema(), []int{0}); err == nil {
+		t.Error("cross-kind name collision accepted")
+	}
+	if _, err := e.CreateView(usageDef(c), view.StoreHash, pred.True(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateView(usageDef(c), view.StoreHash, pred.True(), nil); err == nil {
+		t.Error("duplicate view accepted")
+	}
+	if _, err := e.CreateGroup("telecom"); err == nil {
+		t.Error("duplicate group accepted")
+	}
+	if _, err := e.CreateGroup("newgroup"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendMaintainsViews(t *testing.T) {
+	e, _ := newEngine(t)
+	c := mustCreateCalls(t, e)
+	v, err := e.CreateView(usageDef(c), view.StoreHash, pred.True(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(10)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(5)}}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.Lookup(value.Tuple{value.Str("a")})
+	if !ok || got[1].AsInt() != 15 || got[2].AsInt() != 2 {
+		t.Errorf("usage(a) = %v, %v", got, ok)
+	}
+	st := e.Stats()
+	if st.Appends != 2 || st.TuplesAppended != 2 || st.ViewsMaintained != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if _, err := e.Append("nope", nil); err == nil {
+		t.Error("append to unknown chronicle accepted")
+	}
+}
+
+func TestAppendAtAssignsSNAndChronon(t *testing.T) {
+	e, _ := newEngine(t)
+	retain := chronicle.RetainAll
+	c, err := e.CreateChronicle("calls", "telecom", callsSchema(), &retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := e.AppendAt("calls", 42, 999, []value.Tuple{{value.Str("a"), value.Int(1)}})
+	if err != nil || sn != 42 {
+		t.Fatalf("AppendAt = %d, %v", sn, err)
+	}
+	var got chronicle.Row
+	c.Scan(func(r chronicle.Row) bool { got = r; return false })
+	if got.SN != 42 || got.Chronon != 999 {
+		t.Errorf("row = %+v", got)
+	}
+	// Next auto append continues after 42.
+	sn, err = e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(1)}})
+	if err != nil || sn != 43 {
+		t.Errorf("next SN = %d, %v", sn, err)
+	}
+}
+
+func TestAppendBatchSharedSN(t *testing.T) {
+	e, _ := newEngine(t)
+	mustCreateCalls(t, e)
+	if _, err := e.CreateChronicle("payments", "telecom", value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "amount", Kind: value.KindInt},
+	), nil); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := e.AppendBatch([]MutationPart{
+		{Chronicle: "calls", Tuples: []value.Tuple{{value.Str("a"), value.Int(1)}}},
+		{Chronicle: "payments", Tuples: []value.Tuple{{value.Str("a"), value.Int(9)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls, _ := e.Chronicle("calls")
+	pays, _ := e.Chronicle("payments")
+	if calls.LastSN() != sn || pays.LastSN() != sn {
+		t.Errorf("SNs differ: %d vs %d vs %d", calls.LastSN(), pays.LastSN(), sn)
+	}
+	if _, err := e.AppendBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := e.AppendBatch([]MutationPart{{Chronicle: "ghost"}}); err == nil {
+		t.Error("unknown chronicle in batch accepted")
+	}
+}
+
+func TestProactiveUpdateSemantics(t *testing.T) {
+	// Example 2.2 end to end: the NJ bonus applies per the address at the
+	// time of each flight/call.
+	e, _ := newEngine(t)
+	c := mustCreateCalls(t, e)
+	r, err := e.CreateRelation("customers", custSchema(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := algebra.NewJoinRel(algebra.NewScan(c), r, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := algebra.NewSelect(jr, pred.Or(pred.ColConst(3, pred.Eq, value.Str("nj"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.CreateView(view.Def{
+		Name: "nj_minutes", Expr: sel, Mode: view.SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs:      []aggregate.Spec{{Func: aggregate.Sum, Col: 1, Name: "total"}},
+	}, view.StoreHash, pred.True(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e.Upsert("customers", value.Tuple{value.Str("a"), value.Str("nj")})
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(10)}}) // counts
+	e.Upsert("customers", value.Tuple{value.Str("a"), value.Str("ny")})
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(99)}}) // does not count
+	e.Upsert("customers", value.Tuple{value.Str("a"), value.Str("nj")})
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(7)}}) // counts
+
+	got, ok := v.Lookup(value.Tuple{value.Str("a")})
+	if !ok || got[1].AsInt() != 17 {
+		t.Errorf("nj_minutes(a) = %v, %v (want 17)", got, ok)
+	}
+}
+
+func TestRelationOps(t *testing.T) {
+	e, _ := newEngine(t)
+	if _, err := e.CreateRelation("customers", custSchema(), []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Upsert("customers", value.Tuple{value.Str("a"), value.Str("nj")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Upsert("ghost", value.Tuple{}); err == nil {
+		t.Error("upsert to unknown relation accepted")
+	}
+	deleted, err := e.DeleteKey("customers", value.Tuple{value.Str("a")})
+	if err != nil || !deleted {
+		t.Errorf("DeleteKey = %v, %v", deleted, err)
+	}
+	if _, err := e.DeleteKey("ghost", value.Tuple{}); err == nil {
+		t.Error("delete from unknown relation accepted")
+	}
+	if e.Stats().RelationUpdates != 2 {
+		t.Errorf("RelationUpdates = %d", e.Stats().RelationUpdates)
+	}
+}
+
+func TestPeriodicViewThroughEngine(t *testing.T) {
+	e, now := newEngine(t)
+	c := mustCreateCalls(t, e)
+	cal, err := calendar.NewPeriodic(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := usageDef(c)
+	def.Name = "monthly"
+	pv, err := e.CreatePeriodicView("monthly", def, cal, -1, view.StoreHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*now = 50
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(3)}})
+	*now = 150
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(4)}})
+	if pv.Live() != 2 {
+		t.Fatalf("Live = %d", pv.Live())
+	}
+	m0, _ := pv.At(calendar.Interval{Start: 0, End: 100})
+	if got, _ := m0.Lookup(value.Tuple{value.Str("a")}); got[1].AsInt() != 3 {
+		t.Errorf("month 0 = %v", got)
+	}
+}
+
+func TestDispatchFilterSkipsUnaffectedViews(t *testing.T) {
+	e, _ := newEngine(t)
+	c := mustCreateCalls(t, e)
+	var views []*view.View
+	for i := 0; i < 8; i++ {
+		acct := fmt.Sprintf("acct%d", i)
+		sel, err := algebra.NewSelect(algebra.NewScan(c), pred.Or(pred.ColConst(0, pred.Eq, value.Str(acct))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := e.CreateView(view.Def{
+			Name: "bal_" + acct, Expr: sel, Mode: view.SummarizeGroupBy,
+			GroupCols: []int{0},
+			Aggs:      []aggregate.Spec{{Func: aggregate.Sum, Col: 1, Name: "total"}},
+		}, view.StoreHash, pred.Or(pred.ColConst(0, pred.Eq, value.Str(acct))), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	e.Append("calls", []value.Tuple{{value.Str("acct3"), value.Int(5)}})
+	// Only acct3's view was maintained.
+	if e.Stats().ViewsMaintained != 1 {
+		t.Errorf("ViewsMaintained = %d, want 1", e.Stats().ViewsMaintained)
+	}
+	if got, ok := views[3].Lookup(value.Tuple{value.Str("acct3")}); !ok || got[1].AsInt() != 5 {
+		t.Errorf("bal_acct3 = %v, %v", got, ok)
+	}
+	if views[0].Len() != 0 {
+		t.Error("unrelated view touched")
+	}
+}
+
+func TestBackfillFromRetainedChronicle(t *testing.T) {
+	e, _ := newEngine(t)
+	retain := chronicle.RetainAll
+	c, err := e.CreateChronicle("history", "", callsSchema(), &retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Append("history", []value.Tuple{{value.Str("a"), value.Int(10)}})
+	e.Append("history", []value.Tuple{{value.Str("a"), value.Int(20)}})
+	def := usageDef(c)
+	def.Name = "late_view"
+	v, err := e.CreateView(def, view.StoreHash, pred.True(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.Lookup(value.Tuple{value.Str("a")})
+	if !ok || got[1].AsInt() != 30 {
+		t.Errorf("backfilled view = %v, %v", got, ok)
+	}
+}
+
+func TestRecorderVetoAbortsMutation(t *testing.T) {
+	e, _ := newEngine(t)
+	c := mustCreateCalls(t, e)
+	v, _ := e.CreateView(usageDef(c), view.StoreHash, pred.True(), nil)
+	e.SetRecorder(func(Mutation) error { return fmt.Errorf("disk full") })
+	if _, err := e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(1)}}); err == nil {
+		t.Fatal("append succeeded despite recorder veto")
+	}
+	if v.Len() != 0 || c.LastSN() != -1 {
+		t.Error("vetoed append left state behind")
+	}
+	if err := e.Upsert("customers", value.Tuple{}); err == nil {
+		t.Error("upsert to unknown relation accepted") // still unknown
+	}
+	e.SetRecorder(nil)
+	if _, err := e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamesListing(t *testing.T) {
+	e, _ := newEngine(t)
+	c := mustCreateCalls(t, e)
+	e.CreateRelation("customers", custSchema(), []int{0})
+	e.CreateView(usageDef(c), view.StoreHash, pred.True(), nil)
+	cal, _ := calendar.NewPeriodic(0, 10, 10)
+	def := usageDef(c)
+	def.Name = "periodic_usage"
+	e.CreatePeriodicView("periodic_usage", def, cal, -1, view.StoreHash)
+
+	if got := e.ChronicleNames(); len(got) != 1 || got[0] != "calls" {
+		t.Errorf("ChronicleNames = %v", got)
+	}
+	if got := e.RelationNames(); len(got) != 1 || got[0] != "customers" {
+		t.Errorf("RelationNames = %v", got)
+	}
+	if got := e.ViewNames(); len(got) != 1 || got[0] != "usage" {
+		t.Errorf("ViewNames = %v", got)
+	}
+	if got := e.PeriodicViewNames(); len(got) != 1 || got[0] != "periodic_usage" {
+		t.Errorf("PeriodicViewNames = %v", got)
+	}
+	if got := e.GroupNames(); len(got) != 1 || got[0] != "telecom" {
+		t.Errorf("GroupNames = %v", got)
+	}
+	if _, ok := e.Group("telecom"); !ok {
+		t.Error("Group lookup failed")
+	}
+	if _, ok := e.PeriodicView("periodic_usage"); !ok {
+		t.Error("PeriodicView lookup failed")
+	}
+}
+
+func TestDropViewEngine(t *testing.T) {
+	e, _ := newEngine(t)
+	c := mustCreateCalls(t, e)
+	if _, err := e.CreateView(usageDef(c), view.StoreHash, pred.True(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropView("usage"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.View("usage"); ok {
+		t.Error("view still present")
+	}
+	if err := e.DropView("usage"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if err := e.DropView("calls"); err == nil {
+		t.Error("dropping a chronicle as a view accepted")
+	}
+	// Appends no longer maintain it.
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(1)}})
+	if e.Stats().ViewsMaintained != 0 {
+		t.Errorf("ViewsMaintained = %d", e.Stats().ViewsMaintained)
+	}
+	// Periodic views drop through the same call.
+	cal, _ := calendar.NewPeriodic(0, 10, 10)
+	def := usageDef(c)
+	def.Name = "p"
+	if _, err := e.CreatePeriodicView("p", def, cal, -1, view.StoreHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropView("p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.PeriodicView("p"); ok {
+		t.Error("periodic view still present")
+	}
+}
+
+func TestRestoreLSNMonotone(t *testing.T) {
+	e, _ := newEngine(t)
+	e.RestoreLSN(100)
+	if e.LSN() != 100 {
+		t.Errorf("LSN = %d", e.LSN())
+	}
+	e.RestoreLSN(50) // must not regress
+	if e.LSN() != 100 {
+		t.Errorf("LSN regressed to %d", e.LSN())
+	}
+	mustCreateCalls(t, e)
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(1)}})
+	if e.LSN() != 101 {
+		t.Errorf("LSN after append = %d", e.LSN())
+	}
+}
+
+func TestAppendBatchAtReplay(t *testing.T) {
+	e, _ := newEngine(t)
+	mustCreateCalls(t, e)
+	sn, err := e.AppendBatchAt([]MutationPart{
+		{Chronicle: "calls", Tuples: []value.Tuple{{value.Str("a"), value.Int(1)}}},
+	}, 42, 4200)
+	if err != nil || sn != 42 {
+		t.Fatalf("AppendBatchAt = %d, %v", sn, err)
+	}
+	c, _ := e.Chronicle("calls")
+	if c.LastSN() != 42 {
+		t.Errorf("LastSN = %d", c.LastSN())
+	}
+}
+
+func TestNumericCoercion(t *testing.T) {
+	e, _ := newEngine(t)
+	schema := value.NewSchema(
+		value.Column{Name: "k", Kind: value.KindString},
+		value.Column{Name: "amount", Kind: value.KindFloat},
+	)
+	retain := chronicle.RetainAll
+	c, err := e.CreateChronicle("ledger", "", schema, &retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An int literal lands in a float column.
+	if _, err := e.Append("ledger", []value.Tuple{{value.Str("a"), value.Int(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	var got chronicle.Row
+	c.Scan(func(r chronicle.Row) bool { got = r; return false })
+	if got.Vals[1].Kind() != value.KindFloat || got.Vals[1].AsFloat() != 9.0 {
+		t.Errorf("coerced value = %v (%s)", got.Vals[1], got.Vals[1].Kind())
+	}
+	// Relations coerce too.
+	if _, err := e.CreateRelation("rates", schema, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Upsert("rates", value.Tuple{value.Str("x"), value.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Relation("rates")
+	rt, _ := r.Get(value.Tuple{value.Str("x")})
+	if rt[1].Kind() != value.KindFloat {
+		t.Errorf("relation coercion: %s", rt[1].Kind())
+	}
+	// Incompatible kinds still fail.
+	if _, err := e.Append("ledger", []value.Tuple{{value.Str("a"), value.Str("no")}}); err == nil {
+		t.Error("string in float column accepted")
+	}
+	// Batch path coerces as well.
+	if _, err := e.AppendBatch([]MutationPart{
+		{Chronicle: "ledger", Tuples: []value.Tuple{{value.Str("b"), value.Int(4)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderSeesBatchAndRelationMutations(t *testing.T) {
+	e, _ := newEngine(t)
+	mustCreateCalls(t, e)
+	e.CreateRelation("customers", custSchema(), []int{0})
+	var kinds []MutationKind
+	e.SetRecorder(func(m Mutation) error {
+		kinds = append(kinds, m.Kind)
+		return nil
+	})
+	e.AppendBatch([]MutationPart{
+		{Chronicle: "calls", Tuples: []value.Tuple{{value.Str("a"), value.Int(1)}}},
+	})
+	e.Upsert("customers", value.Tuple{value.Str("a"), value.Str("nj")})
+	e.DeleteKey("customers", value.Tuple{value.Str("a")})
+	want := []MutationKind{MutAppend, MutUpsert, MutDelete}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	// A vetoing recorder blocks relation mutations too.
+	e.SetRecorder(func(Mutation) error { return fmt.Errorf("no") })
+	if err := e.Upsert("customers", value.Tuple{value.Str("b"), value.Str("ny")}); err == nil {
+		t.Error("vetoed upsert succeeded")
+	}
+	if _, err := e.DeleteKey("customers", value.Tuple{value.Str("b")}); err == nil {
+		t.Error("vetoed delete succeeded")
+	}
+	if _, err := e.AppendBatch([]MutationPart{
+		{Chronicle: "calls", Tuples: []value.Tuple{{value.Str("a"), value.Int(1)}}},
+	}); err == nil {
+		t.Error("vetoed batch append succeeded")
+	}
+}
+
+func TestSerializedReadAccessors(t *testing.T) {
+	e, _ := newEngine(t)
+	retain := chronicle.RetainAll
+	e.CreateChronicle("calls", "telecom", callsSchema(), &retain)
+	c, _ := e.Chronicle("calls")
+	e.CreateRelation("customers", custSchema(), []int{0})
+	e.CreateView(usageDef(c), view.StoreBTree, pred.True(), nil)
+	e.Upsert("customers", value.Tuple{value.Str("a"), value.Str("nj")})
+	e.Append("calls", []value.Tuple{{value.Str("a"), value.Int(5)}})
+	e.Append("calls", []value.Tuple{{value.Str("b"), value.Int(7)}})
+
+	row, ok, err := e.ViewLookup("usage", value.Tuple{value.Str("a")})
+	if err != nil || !ok || row[1].AsInt() != 5 {
+		t.Errorf("ViewLookup = %v %v %v", row, ok, err)
+	}
+	if _, _, err := e.ViewLookup("ghost", nil); err == nil {
+		t.Error("unknown view lookup accepted")
+	}
+	rows, err := e.ViewRows("usage")
+	if err != nil || len(rows) != 2 {
+		t.Errorf("ViewRows = %v %v", rows, err)
+	}
+	if _, err := e.ViewRows("ghost"); err == nil {
+		t.Error("unknown ViewRows accepted")
+	}
+	ranged, err := e.ViewScanRange("usage", value.Tuple{value.Str("a")}, value.Tuple{value.Str("b")})
+	if err != nil || len(ranged) != 1 || ranged[0][0].AsString() != "a" {
+		t.Errorf("ViewScanRange = %v %v", ranged, err)
+	}
+	if _, err := e.ViewScanRange("ghost", nil, nil); err == nil {
+		t.Error("unknown ViewScanRange accepted")
+	}
+	rel, err := e.RelationRows("customers")
+	if err != nil || len(rel) != 1 {
+		t.Errorf("RelationRows = %v %v", rel, err)
+	}
+	if _, err := e.RelationRows("ghost"); err == nil {
+		t.Error("unknown RelationRows accepted")
+	}
+	crows, err := e.ChronicleRows("calls")
+	if err != nil || len(crows) != 2 {
+		t.Errorf("ChronicleRows = %v %v", crows, err)
+	}
+	if _, err := e.ChronicleRows("ghost"); err == nil {
+		t.Error("unknown ChronicleRows accepted")
+	}
+	lat := e.MaintenanceLatency()
+	if lat.Count != 2 {
+		t.Errorf("MaintenanceLatency count = %d", lat.Count)
+	}
+}

@@ -1,0 +1,290 @@
+// Package relation implements the relation half of a chronicle database.
+//
+// "Each relation conceptually has multiple temporal versions, one after
+// every update" (Section 2.3). Joins between chronicles and relations are
+// implicit temporal joins: each chronicle tuple joins with the relation
+// version at that tuple's temporal instant. Because the chronicle model
+// admits only *proactive* updates, incremental view maintenance only ever
+// needs the current version; this package nevertheless keeps a per-key
+// version history indexed by the database LSN so the reference evaluator
+// and the test suite can verify temporal-join semantics end to end.
+package relation
+
+import (
+	"fmt"
+
+	"chronicledb/internal/btree"
+	"chronicledb/internal/value"
+)
+
+// version is one historical state of a key: the tuple that became current
+// at fromLSN. A nil Vals records a deletion.
+type version struct {
+	fromLSN uint64
+	vals    value.Tuple
+}
+
+// entry is the full history of one key.
+type entry struct {
+	versions []version // ascending fromLSN; last is current
+}
+
+func (e *entry) current() (value.Tuple, bool) {
+	if len(e.versions) == 0 {
+		return nil, false
+	}
+	v := e.versions[len(e.versions)-1]
+	return v.vals, v.vals != nil
+}
+
+func (e *entry) asOf(lsn uint64) (value.Tuple, bool) {
+	// Binary search for the last version with fromLSN <= lsn.
+	lo, hi := 0, len(e.versions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.versions[mid].fromLSN <= lsn {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil, false
+	}
+	v := e.versions[lo-1]
+	return v.vals, v.vals != nil
+}
+
+// Relation is a keyed, versioned relation. It is not safe for concurrent
+// use; the engine serializes all access.
+type Relation struct {
+	name    string
+	schema  *value.Schema
+	keyCols []int
+	entries *btree.Tree[string, *entry]
+	live    int  // number of keys with a live current version
+	history bool // retain superseded versions for AsOf lookups
+	updates int64
+}
+
+// New creates a relation with the given key columns. When history is true,
+// superseded versions are retained for AsOf lookups; production engines
+// run with history=false, matching the paper's observation that "versions
+// of relations do not need to be stored".
+func New(name string, schema *value.Schema, keyCols []int, history bool) (*Relation, error) {
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("relation %s: schema must have at least one column", name)
+	}
+	if len(keyCols) == 0 {
+		return nil, fmt.Errorf("relation %s: at least one key column required", name)
+	}
+	seen := map[int]bool{}
+	for _, k := range keyCols {
+		if k < 0 || k >= schema.Len() {
+			return nil, fmt.Errorf("relation %s: key column %d out of range", name, k)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("relation %s: duplicate key column %d", name, k)
+		}
+		seen[k] = true
+	}
+	return &Relation{
+		name:    name,
+		schema:  schema,
+		keyCols: append([]int(nil), keyCols...),
+		entries: btree.New[string, *entry](func(a, b string) bool { return a < b }),
+		history: history,
+	}, nil
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *value.Schema { return r.schema }
+
+// KeyCols returns the key column indexes.
+func (r *Relation) KeyCols() []int { return append([]int(nil), r.keyCols...) }
+
+// Len returns the number of live keys.
+func (r *Relation) Len() int { return r.live }
+
+// Updates returns the number of upserts and deletes ever applied.
+func (r *Relation) Updates() int64 { return r.updates }
+
+// keyOf extracts the key string of a full tuple.
+func (r *Relation) keyOf(t value.Tuple) string { return t.Key(r.keyCols) }
+
+// KeyString renders a key-values slice (in keyCols order) into the internal
+// key representation.
+func (r *Relation) KeyString(keyVals value.Tuple) string {
+	all := make([]int, len(keyVals))
+	for i := range all {
+		all[i] = i
+	}
+	return keyVals.Key(all)
+}
+
+// Upsert inserts or replaces the tuple for its key, becoming current at
+// lsn. LSNs must be non-decreasing across calls; the engine guarantees this.
+func (r *Relation) Upsert(lsn uint64, t value.Tuple) error {
+	if err := r.schema.Validate(t); err != nil {
+		return fmt.Errorf("relation %s: %w", r.name, err)
+	}
+	for _, k := range r.keyCols {
+		if t[k].IsNull() {
+			return fmt.Errorf("relation %s: null key column %q", r.name, r.schema.Col(k).Name)
+		}
+	}
+	key := r.keyOf(t)
+	e, ok := r.entries.Get(key)
+	if !ok {
+		e = &entry{}
+		r.entries.Set(key, e)
+	}
+	_, wasLive := e.current()
+	r.push(e, version{fromLSN: lsn, vals: t.Clone()})
+	if !wasLive {
+		r.live++
+	}
+	r.updates++
+	return nil
+}
+
+// Delete removes the tuple with the given key values (in keyCols order),
+// effective at lsn. Deleting an absent key is a no-op that reports false.
+func (r *Relation) Delete(lsn uint64, keyVals value.Tuple) bool {
+	e, ok := r.entries.Get(r.KeyString(keyVals))
+	if !ok {
+		return false
+	}
+	if _, live := e.current(); !live {
+		return false
+	}
+	r.push(e, version{fromLSN: lsn, vals: nil})
+	r.live--
+	r.updates++
+	return true
+}
+
+// push appends a version, collapsing history when disabled or when two
+// updates share one LSN (the later one wins within a single engine step).
+func (r *Relation) push(e *entry, v version) {
+	if n := len(e.versions); n > 0 && e.versions[n-1].fromLSN == v.fromLSN {
+		e.versions[n-1] = v
+		return
+	}
+	if !r.history && len(e.versions) > 0 {
+		e.versions[len(e.versions)-1] = v
+		return
+	}
+	e.versions = append(e.versions, v)
+}
+
+// Get returns the current tuple for the given key values.
+func (r *Relation) Get(keyVals value.Tuple) (value.Tuple, bool) {
+	e, ok := r.entries.Get(r.KeyString(keyVals))
+	if !ok {
+		return nil, false
+	}
+	return e.current()
+}
+
+// GetAsOf returns the tuple for the key as of the given LSN. It requires
+// the relation to have been created with history enabled; without history
+// it degrades to the current version (documented, for baselines only).
+func (r *Relation) GetAsOf(lsn uint64, keyVals value.Tuple) (value.Tuple, bool) {
+	e, ok := r.entries.Get(r.KeyString(keyVals))
+	if !ok {
+		return nil, false
+	}
+	if !r.history {
+		return e.current()
+	}
+	return e.asOf(lsn)
+}
+
+// Scan visits every live tuple in key order until fn returns false.
+func (r *Relation) Scan(fn func(value.Tuple) bool) {
+	r.entries.Ascend(func(_ string, e *entry) bool {
+		if t, ok := e.current(); ok {
+			return fn(t)
+		}
+		return true
+	})
+}
+
+// ScanAsOf visits every tuple live as of lsn in key order.
+func (r *Relation) ScanAsOf(lsn uint64, fn func(value.Tuple) bool) {
+	r.entries.Ascend(func(_ string, e *entry) bool {
+		var t value.Tuple
+		var ok bool
+		if r.history {
+			t, ok = e.asOf(lsn)
+		} else {
+			t, ok = e.current()
+		}
+		if ok {
+			return fn(t)
+		}
+		return true
+	})
+}
+
+// LookupBy returns all current tuples whose values at cols equal vals.
+// When cols covers the key, this is the O(log|R|) key lookup that CA⋈
+// requires; otherwise it degrades to a scan (used only by plain CA cross
+// products, which are outside IM-log(R) anyway — Theorem 4.3).
+func (r *Relation) LookupBy(cols []int, vals value.Tuple) []value.Tuple {
+	if r.colsAreKey(cols) {
+		// Reorder vals into keyCols order.
+		ordered := make(value.Tuple, len(r.keyCols))
+		for i, kc := range r.keyCols {
+			for j, c := range cols {
+				if c == kc {
+					ordered[i] = vals[j]
+				}
+			}
+		}
+		if t, ok := r.Get(ordered); ok {
+			return []value.Tuple{t}
+		}
+		return nil
+	}
+	var out []value.Tuple
+	r.Scan(func(t value.Tuple) bool {
+		for i, c := range cols {
+			if !value.Equal(t[c], vals[i]) {
+				return true
+			}
+		}
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// colsAreKey reports whether cols is exactly the key column set.
+func (r *Relation) colsAreKey(cols []int) bool {
+	if len(cols) != len(r.keyCols) {
+		return false
+	}
+	for _, kc := range r.keyCols {
+		found := false
+		for _, c := range cols {
+			if c == kc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKey reports whether the given columns form the relation's key — the
+// paper's "sufficient condition for the guarantee" that at most a constant
+// number of relation tuples join with each chronicle tuple (Definition 4.2).
+func (r *Relation) IsKey(cols []int) bool { return r.colsAreKey(cols) }

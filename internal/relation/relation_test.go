@@ -1,0 +1,307 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chronicledb/internal/value"
+)
+
+func custSchema() *value.Schema {
+	return value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "name", Kind: value.KindString},
+		value.Column{Name: "state", Kind: value.KindString},
+	)
+}
+
+func cust(acct, name, state string) value.Tuple {
+	return value.Tuple{value.Str(acct), value.Str(name), value.Str(state)}
+}
+
+func newCust(t *testing.T, history bool) *Relation {
+	t.Helper()
+	r, err := New("customers", custSchema(), []int{0}, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("r", nil, []int{0}, false); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if _, err := New("r", custSchema(), nil, false); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := New("r", custSchema(), []int{7}, false); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	if _, err := New("r", custSchema(), []int{0, 0}, false); err == nil {
+		t.Error("duplicate key column accepted")
+	}
+	r, err := New("r", custSchema(), []int{0, 1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.KeyCols(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("KeyCols = %v", got)
+	}
+}
+
+func TestUpsertGetDelete(t *testing.T) {
+	r := newCust(t, false)
+	if err := r.Upsert(1, cust("a1", "alice", "nj")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	got, ok := r.Get(value.Tuple{value.Str("a1")})
+	if !ok || got[1].AsString() != "alice" {
+		t.Errorf("Get = %v, %v", got, ok)
+	}
+	// Replace.
+	if err := r.Upsert(2, cust("a1", "alice", "ny")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.Get(value.Tuple{value.Str("a1")})
+	if got[2].AsString() != "ny" {
+		t.Errorf("after replace: %v", got)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len after replace = %d", r.Len())
+	}
+	// Delete.
+	if !r.Delete(3, value.Tuple{value.Str("a1")}) {
+		t.Error("Delete reported false")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len after delete = %d", r.Len())
+	}
+	if _, ok := r.Get(value.Tuple{value.Str("a1")}); ok {
+		t.Error("Get after delete succeeded")
+	}
+	if r.Delete(4, value.Tuple{value.Str("a1")}) {
+		t.Error("double delete reported true")
+	}
+	if r.Delete(4, value.Tuple{value.Str("zz")}) {
+		t.Error("deleting absent key reported true")
+	}
+	if r.Updates() != 3 {
+		t.Errorf("Updates = %d, want 3", r.Updates())
+	}
+}
+
+func TestUpsertValidation(t *testing.T) {
+	r := newCust(t, false)
+	if err := r.Upsert(1, value.Tuple{value.Str("a")}); err == nil {
+		t.Error("arity violation accepted")
+	}
+	if err := r.Upsert(1, value.Tuple{value.Null(), value.Str("x"), value.Str("y")}); err == nil {
+		t.Error("null key accepted")
+	}
+}
+
+func TestHistoryAsOf(t *testing.T) {
+	r := newCust(t, true)
+	r.Upsert(10, cust("a1", "alice", "nj"))
+	r.Upsert(20, cust("a1", "alice", "ny"))
+	r.Delete(30, value.Tuple{value.Str("a1")})
+	r.Upsert(40, cust("a1", "alice", "ca"))
+
+	for _, tc := range []struct {
+		lsn   uint64
+		state string
+		live  bool
+	}{
+		{5, "", false},
+		{10, "nj", true},
+		{15, "nj", true},
+		{20, "ny", true},
+		{29, "ny", true},
+		{30, "", false},
+		{39, "", false},
+		{40, "ca", true},
+		{100, "ca", true},
+	} {
+		got, ok := r.GetAsOf(tc.lsn, value.Tuple{value.Str("a1")})
+		if ok != tc.live {
+			t.Errorf("AsOf(%d) live = %v, want %v", tc.lsn, ok, tc.live)
+			continue
+		}
+		if ok && got[2].AsString() != tc.state {
+			t.Errorf("AsOf(%d) state = %s, want %s", tc.lsn, got[2].AsString(), tc.state)
+		}
+	}
+}
+
+func TestNoHistoryCollapses(t *testing.T) {
+	r := newCust(t, false)
+	r.Upsert(10, cust("a1", "alice", "nj"))
+	r.Upsert(20, cust("a1", "alice", "ny"))
+	// Without history, AsOf degrades to current.
+	got, ok := r.GetAsOf(10, value.Tuple{value.Str("a1")})
+	if !ok || got[2].AsString() != "ny" {
+		t.Errorf("no-history AsOf = %v, %v", got, ok)
+	}
+}
+
+func TestSameLSNLastWins(t *testing.T) {
+	r := newCust(t, true)
+	r.Upsert(10, cust("a1", "alice", "nj"))
+	r.Upsert(10, cust("a1", "alice", "ny"))
+	got, _ := r.Get(value.Tuple{value.Str("a1")})
+	if got[2].AsString() != "ny" {
+		t.Errorf("same-LSN update: %v", got)
+	}
+	if got, ok := r.GetAsOf(10, value.Tuple{value.Str("a1")}); !ok || got[2].AsString() != "ny" {
+		t.Errorf("same-LSN AsOf: %v, %v", got, ok)
+	}
+}
+
+func TestScan(t *testing.T) {
+	r := newCust(t, false)
+	r.Upsert(1, cust("c", "carol", "nj"))
+	r.Upsert(2, cust("a", "alice", "ny"))
+	r.Upsert(3, cust("b", "bob", "ca"))
+	r.Delete(4, value.Tuple{value.Str("b")})
+	var accts []string
+	r.Scan(func(t value.Tuple) bool {
+		accts = append(accts, t[0].AsString())
+		return true
+	})
+	if len(accts) != 2 || accts[0] != "a" || accts[1] != "c" {
+		t.Errorf("Scan = %v (want key order, deleted excluded)", accts)
+	}
+	// Early stop.
+	count := 0
+	r.Scan(func(value.Tuple) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestScanAsOf(t *testing.T) {
+	r := newCust(t, true)
+	r.Upsert(1, cust("a", "alice", "ny"))
+	r.Upsert(2, cust("b", "bob", "ca"))
+	r.Delete(3, value.Tuple{value.Str("a")})
+	var at2, at3 []string
+	r.ScanAsOf(2, func(t value.Tuple) bool { at2 = append(at2, t[0].AsString()); return true })
+	r.ScanAsOf(3, func(t value.Tuple) bool { at3 = append(at3, t[0].AsString()); return true })
+	if len(at2) != 2 {
+		t.Errorf("ScanAsOf(2) = %v", at2)
+	}
+	if len(at3) != 1 || at3[0] != "b" {
+		t.Errorf("ScanAsOf(3) = %v", at3)
+	}
+}
+
+func TestLookupByKey(t *testing.T) {
+	r := newCust(t, false)
+	r.Upsert(1, cust("a", "alice", "ny"))
+	r.Upsert(2, cust("b", "bob", "ca"))
+	got := r.LookupBy([]int{0}, value.Tuple{value.Str("b")})
+	if len(got) != 1 || got[0][1].AsString() != "bob" {
+		t.Errorf("LookupBy key = %v", got)
+	}
+	if got := r.LookupBy([]int{0}, value.Tuple{value.Str("zz")}); got != nil {
+		t.Errorf("LookupBy absent = %v", got)
+	}
+}
+
+func TestLookupByNonKey(t *testing.T) {
+	r := newCust(t, false)
+	r.Upsert(1, cust("a", "alice", "ny"))
+	r.Upsert(2, cust("b", "bob", "ny"))
+	r.Upsert(3, cust("c", "carol", "ca"))
+	got := r.LookupBy([]int{2}, value.Tuple{value.Str("ny")})
+	if len(got) != 2 {
+		t.Errorf("LookupBy non-key = %v", got)
+	}
+}
+
+func TestIsKey(t *testing.T) {
+	r, _ := New("r", custSchema(), []int{0, 1}, false)
+	if !r.IsKey([]int{0, 1}) || !r.IsKey([]int{1, 0}) {
+		t.Error("key set (any order) should be recognized")
+	}
+	if r.IsKey([]int{0}) || r.IsKey([]int{0, 2}) || r.IsKey([]int{0, 1, 2}) {
+		t.Error("non-key sets misrecognized")
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	r, _ := New("r", custSchema(), []int{0, 2}, false)
+	r.Upsert(1, cust("a", "alice", "ny"))
+	r.Upsert(2, cust("a", "alice2", "ca")) // same acct, different state: distinct key
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	got, ok := r.Get(value.Tuple{value.Str("a"), value.Str("ca")})
+	if !ok || got[1].AsString() != "alice2" {
+		t.Errorf("composite Get = %v, %v", got, ok)
+	}
+}
+
+// TestAsOfMatchesReplay checks, for random update streams, that GetAsOf at
+// every LSN agrees with replaying the stream up to that LSN.
+func TestAsOfMatchesReplay(t *testing.T) {
+	type update struct {
+		Key  uint8
+		Del  bool
+		Name uint16
+	}
+	f := func(updates []update) bool {
+		r := newCustQuick(true)
+		// Replay state: key -> name (live only).
+		type state map[uint8]uint16
+		snapshots := []state{}
+		cur := state{}
+		for i, u := range updates {
+			lsn := uint64(i + 1)
+			key := value.Tuple{value.Str(string(rune('a' + u.Key%4)))}
+			if u.Del {
+				r.Delete(lsn, key)
+				delete(cur, u.Key%4)
+			} else {
+				name := value.Str(string(rune('A' + u.Name%26)))
+				r.Upsert(lsn, value.Tuple{key[0], name, value.Str("x")})
+				cur[u.Key%4] = u.Name % 26
+			}
+			snap := state{}
+			for k, v := range cur {
+				snap[k] = v
+			}
+			snapshots = append(snapshots, snap)
+		}
+		for i, snap := range snapshots {
+			lsn := uint64(i + 1)
+			for k := uint8(0); k < 4; k++ {
+				key := value.Tuple{value.Str(string(rune('a' + k)))}
+				got, ok := r.GetAsOf(lsn, key)
+				want, live := snap[k]
+				if ok != live {
+					return false
+				}
+				if ok && got[1].AsString() != string(rune('A'+want)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newCustQuick(history bool) *Relation {
+	r, err := New("customers", custSchema(), []int{0}, history)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

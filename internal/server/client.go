@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Client speaks the /exec protocol.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:7457").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: http.DefaultClient}
+}
+
+// Exec executes one or more statements remotely.
+func (c *Client) Exec(stmt string) (*Response, error) {
+	body, err := json.Marshal(Request{Stmt: stmt})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/exec", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+			return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server: %s", eb.Error)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("server: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// Stats fetches engine counters.
+func (c *Client) Stats() (map[string]int64, error) {
+	resp, err := c.http.Get(c.base + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	var out map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("server: decoding stats: %w", err)
+	}
+	return out, nil
+}
+
+// Healthy reports whether the server answers its health check.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// AppendRows bulk-appends rows to a chronicle through POST /append.
+func (c *Client) AppendRows(chronicle string, rows [][]any) (*AppendResponse, error) {
+	body, err := json.Marshal(AppendRequest{Chronicle: chronicle, Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+			return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server: %s", eb.Error)
+	}
+	var out AppendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("server: decoding response: %w", err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,221 @@
+// Package server exposes a chronicle database over HTTP/JSON — the
+// transaction-recording service shape the paper's applications (billing,
+// banking, cellular) take in practice. One endpoint executes statements;
+// appends return only after every affected persistent view is maintained,
+// so a subsequent summary query is guaranteed current (the ATM-balance
+// requirement from the paper's introduction).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/value"
+)
+
+// Request is the body of POST /exec.
+type Request struct {
+	Stmt string `json:"stmt"`
+}
+
+// AppendRequest is the body of POST /append: a bulk, JSON-native append
+// path that skips SQL parsing — the shape a high-rate transaction recorder
+// actually feeds the server. Each row's cells must match the chronicle
+// schema (JSON numbers land as int or float per the column kind).
+type AppendRequest struct {
+	Chronicle string  `json:"chronicle"`
+	Rows      [][]any `json:"rows"`
+}
+
+// AppendResponse acknowledges a bulk append.
+type AppendResponse struct {
+	FirstSN int64 `json:"first_sn"`
+	LastSN  int64 `json:"last_sn"`
+	Rows    int   `json:"rows"`
+}
+
+// Response is the body of every successful /exec reply.
+type Response struct {
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+	Message string   `json:"message,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server serves a DB over HTTP.
+type Server struct {
+	db  *chronicledb.DB
+	mux *http.ServeMux
+}
+
+// New wraps db in an HTTP handler.
+func New(db *chronicledb.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /exec", s.handleExec)
+	s.mux.HandleFunc("POST /append", s.handleAppend)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Stmt == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing stmt"))
+		return
+	}
+	res, err := s.db.Exec(req.Stmt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Chronicle == "" || len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("chronicle and rows required"))
+		return
+	}
+	c, ok := s.db.Chronicle(req.Chronicle)
+	if !ok {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown chronicle %q", req.Chronicle))
+		return
+	}
+	schema := c.Schema()
+	var firstSN, lastSN int64
+	for i, raw := range req.Rows {
+		tuple, err := tupleFromJSON(schema, raw)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		sn, err := s.db.Append(req.Chronicle, tuple)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		if i == 0 {
+			firstSN = sn
+		}
+		lastSN = sn
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{FirstSN: firstSN, LastSN: lastSN, Rows: len(req.Rows)})
+}
+
+// tupleFromJSON converts one JSON row to a typed tuple per the schema.
+func tupleFromJSON(schema *value.Schema, raw []any) (value.Tuple, error) {
+	if len(raw) != schema.Len() {
+		return nil, fmt.Errorf("arity %d, schema needs %d", len(raw), schema.Len())
+	}
+	out := make(value.Tuple, len(raw))
+	for i, cell := range raw {
+		col := schema.Col(i)
+		switch cell := cell.(type) {
+		case nil:
+			out[i] = value.Null()
+		case bool:
+			out[i] = value.Bool(cell)
+		case string:
+			out[i] = value.Str(cell)
+		case float64: // every JSON number
+			switch col.Kind {
+			case value.KindInt:
+				n := int64(cell)
+				if float64(n) != cell {
+					return nil, fmt.Errorf("column %q expects int, got %v", col.Name, cell)
+				}
+				out[i] = value.Int(n)
+			case value.KindTime:
+				out[i] = value.Chronon(int64(cell))
+			default:
+				out[i] = value.Float(cell)
+			}
+		default:
+			return nil, fmt.Errorf("column %q: unsupported JSON value %T", col.Name, cell)
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.db.Stats()
+	lat := s.db.Engine().MaintenanceLatency()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"appends":            st.Appends,
+		"tuples_appended":    st.TuplesAppended,
+		"relation_updates":   st.RelationUpdates,
+		"views_maintained":   st.ViewsMaintained,
+		"maintenance_ns":     st.MaintenanceNs,
+		"maintenance_p50_ns": int64(lat.P50),
+		"maintenance_p99_ns": int64(lat.P99),
+		"maintenance_max_ns": int64(lat.Max),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func toResponse(res *chronicledb.Result) Response {
+	out := Response{Columns: res.Columns, Message: res.Message}
+	for _, row := range res.Rows {
+		jr := make([]any, len(row))
+		for i, v := range row {
+			jr[i] = jsonValue(v)
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return out
+}
+
+// jsonValue maps a typed value onto its natural JSON shape.
+func jsonValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindFloat:
+		return v.AsFloat()
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		return v.AsBool()
+	case value.KindTime:
+		return v.AsTime().UTC().Format(time.RFC3339Nano)
+	default:
+		return v.String()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

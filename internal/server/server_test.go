@@ -1,0 +1,162 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	chronicledb "chronicledb"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL)
+}
+
+func TestExecOverHTTP(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`APPEND INTO calls VALUES ('alice', 12)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(`SELECT * FROM usage WHERE acct = 'alice'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// JSON numbers decode as float64.
+	if res.Rows[0][0] != "alice" || res.Rows[0][1].(float64) != 12 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+	if res.Columns[1] != "total" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestExecErrorsOverHTTP(t *testing.T) {
+	_, c := newTestServer(t)
+	_, err := c.Exec(`APPEND INTO ghost VALUES (1)`)
+	if err == nil || !strings.Contains(err.Error(), "unknown chronicle") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = c.Exec(``)
+	if err == nil {
+		t.Error("empty statement accepted")
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	_, c := newTestServer(t)
+	if !c.Healthy() {
+		t.Error("health check failed")
+	}
+	c.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`)
+	c.Exec(`APPEND INTO calls VALUES ('alice', 12)`)
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["appends"] != 1 || st["tuples_appended"] != 1 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/exec", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/exec", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing stmt status = %d", resp.StatusCode)
+	}
+	// Unknown route.
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route status = %d", resp.StatusCode)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens here
+	if c.Healthy() {
+		t.Error("dead server reported healthy")
+	}
+	if _, err := c.Exec("SHOW VIEWS"); err == nil {
+		t.Error("Exec against dead server succeeded")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Error("Stats against dead server succeeded")
+	}
+}
+
+func TestBulkAppend(t *testing.T) {
+	_, c := newTestServer(t)
+	c.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT, cost FLOAT)`)
+	c.Exec(`CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct`)
+	resp, err := c.AppendRows("calls", [][]any{
+		{"alice", 10, 1.5},
+		{"alice", 5, 0.25},
+		{"bob", 7, nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows != 3 || resp.LastSN != resp.FirstSN+2 {
+		t.Errorf("resp = %+v", resp)
+	}
+	res, err := c.Exec(`SELECT * FROM usage WHERE acct = 'alice'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1].(float64) != 15 {
+		t.Errorf("usage = %v", res.Rows)
+	}
+}
+
+func TestBulkAppendErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	c.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`)
+	if _, err := c.AppendRows("ghost", [][]any{{"a", 1}}); err == nil {
+		t.Error("unknown chronicle accepted")
+	}
+	if _, err := c.AppendRows("calls", nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := c.AppendRows("calls", [][]any{{"a"}}); err == nil {
+		t.Error("arity violation accepted")
+	}
+	if _, err := c.AppendRows("calls", [][]any{{"a", 1.5}}); err == nil {
+		t.Error("fractional value for INT column accepted")
+	}
+	if _, err := c.AppendRows("calls", [][]any{{"a", []any{1}}}); err == nil {
+		t.Error("nested JSON accepted")
+	}
+}

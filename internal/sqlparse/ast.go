@@ -1,0 +1,167 @@
+package sqlparse
+
+import "chronicledb/internal/value"
+
+// Statement is any parsed statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column of a CREATE CHRONICLE / CREATE RELATION.
+type ColumnDef struct {
+	Name string
+	Kind value.Kind
+}
+
+// CreateGroup is "CREATE GROUP name".
+type CreateGroup struct {
+	Name string
+}
+
+// CreateChronicle is
+// "CREATE CHRONICLE name (col type, ...) [IN GROUP g]
+//
+//	[RETAIN ALL|NONE|n] [WINDOW chronons]".
+type CreateChronicle struct {
+	Name   string
+	Cols   []ColumnDef
+	Group  string
+	Retain *int64 // nil = engine default; -1 all; 0 none; n last-n
+	Window *int64 // time-based retention span in chronons
+}
+
+// CreateRelation is
+// "CREATE RELATION name (col type, ..., KEY(col, ...))".
+type CreateRelation struct {
+	Name string
+	Cols []ColumnDef
+	Keys []string
+}
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// SelectItem is one output of a view's SELECT list.
+type SelectItem struct {
+	Agg  string // aggregation function name; empty for a plain column
+	Col  ColRef // input column (ignored when Star)
+	Star bool   // COUNT(*)
+	As   string // output name; defaulted by the planner when empty
+}
+
+// Cond is one comparison in a WHERE clause.
+type Cond struct {
+	Left     ColRef
+	Op       string // = != < <= > >=
+	Right    value.Value
+	RightCol *ColRef // non-nil for column-column comparisons
+}
+
+// BoolExpr is a conjunction of disjunctions of conditions — exactly the
+// shape Definition 4.1 supports through stacked selections.
+type BoolExpr struct {
+	Conj [][]Cond // AND over OR-groups
+}
+
+// JoinClause joins the chronicle expression with a relation, or — with
+// OnSN — with another chronicle of the same group on the sequencing
+// attribute (the only chronicle-chronicle join inside CA, Definition 4.1).
+type JoinClause struct {
+	Relation string
+	Cross    bool   // CROSS JOIN (no ON): the paper's C × R
+	OnSN     bool   // JOIN <chronicle> ON SN
+	On       []Cond // equality conditions for JOIN ... ON
+}
+
+// PeriodicClause is "EVERY p [WIDTH w] [OFFSET o] [EXPIRE e]" on a view.
+type PeriodicClause struct {
+	Period int64
+	Width  int64 // 0 = Period (non-overlapping)
+	Offset int64
+	Expire *int64 // nil = keep forever
+}
+
+// CreateView is
+//
+//	CREATE [PERIODIC] VIEW name AS
+//	  SELECT [DISTINCT] items FROM chronicle
+//	  [JOIN rel ON c.col = rel.col [AND ...]] [CROSS JOIN rel] ...
+//	  [WHERE boolexpr] [GROUP BY cols]
+//	  [EVERY p [WIDTH w] [OFFSET o] [EXPIRE e]]
+//	  [WITH STORE HASH|BTREE]
+type CreateView struct {
+	Name     string
+	Distinct bool
+	Items    []SelectItem
+	Star     bool // SELECT *
+	From     string
+	Joins    []JoinClause
+	Where    *BoolExpr
+	GroupBy  []ColRef
+	Periodic *PeriodicClause
+	Store    string // "", "HASH", "BTREE"
+}
+
+// AppendPart is one chronicle's share of an append statement.
+type AppendPart struct {
+	Chronicle string
+	Rows      [][]value.Value
+}
+
+// Append is "APPEND INTO chronicle VALUES (...), (...) [ALSO INTO c2
+// VALUES (...)]". Multiple parts form one simultaneous insert sharing a
+// single sequence number — the paper's "multiple tuples with the same
+// sequence number can be inserted simultaneously".
+type Append struct {
+	Parts []AppendPart
+}
+
+// Upsert is "UPSERT INTO relation VALUES (...), (...)".
+type Upsert struct {
+	Relation string
+	Rows     [][]value.Value
+}
+
+// Delete is "DELETE FROM relation KEY (...)": a proactive delete by key.
+type Delete struct {
+	Relation string
+	Key      []value.Value
+}
+
+// Query is "SELECT * FROM view-or-relation [WHERE boolexpr]
+// [ORDER BY col [DESC]] [LIMIT n]".
+type Query struct {
+	From      string
+	Where     *BoolExpr
+	OrderBy   *ColRef // nil = storage order
+	OrderDesc bool
+	Limit     int // 0 = unlimited
+}
+
+// DropView is "DROP VIEW name" (persistent or periodic).
+type DropView struct {
+	Name string
+}
+
+// Explain is "EXPLAIN VIEW name".
+type Explain struct {
+	View string
+}
+
+// Show is "SHOW VIEWS|CHRONICLES|RELATIONS|GROUPS|STATS".
+type Show struct {
+	What string
+}
+
+func (*CreateGroup) stmt()     {}
+func (*CreateChronicle) stmt() {}
+func (*CreateRelation) stmt()  {}
+func (*CreateView) stmt()      {}
+func (*DropView) stmt()        {}
+func (*Append) stmt()          {}
+func (*Upsert) stmt()          {}
+func (*Delete) stmt()          {}
+func (*Query) stmt()           {}
+func (*Explain) stmt()         {}
+func (*Show) stmt()            {}

@@ -1,0 +1,296 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"chronicledb/internal/value"
+)
+
+func parseOne(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("ParseOne(%q): %v", src, err)
+	}
+	return s
+}
+
+func expectParseError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse(%q) succeeded, want error containing %q", src, fragment)
+	}
+	if fragment != "" && !strings.Contains(err.Error(), fragment) {
+		t.Errorf("Parse(%q) error %q does not mention %q", src, err, fragment)
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex("SELECT * FROM t WHERE a >= 1.5 AND b != 'o''k' -- comment\n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+	// Find the escaped string.
+	found := false
+	for _, tok := range toks {
+		if tok.kind == tokString && tok.text == "o'k" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped string not lexed")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("a ! b"); err == nil {
+		t.Error("stray ! accepted")
+	}
+	if _, err := lex("a @ b"); err == nil {
+		t.Error("stray @ accepted")
+	}
+	// <> is an alias for !=
+	toks, err := lex("a <> b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokOp || toks[1].text != "!=" {
+		t.Errorf("<> lexed as %v %q", toks[1].kind, toks[1].text)
+	}
+}
+
+func TestParseCreateGroup(t *testing.T) {
+	s := parseOne(t, "CREATE GROUP telecom")
+	g, ok := s.(*CreateGroup)
+	if !ok || g.Name != "telecom" {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestParseCreateChronicle(t *testing.T) {
+	s := parseOne(t, `CREATE CHRONICLE calls (acct STRING, minutes INT, cost FLOAT)
+		IN GROUP telecom RETAIN 1000`)
+	c, ok := s.(*CreateChronicle)
+	if !ok {
+		t.Fatalf("parsed %T", s)
+	}
+	if c.Name != "calls" || c.Group != "telecom" {
+		t.Errorf("%+v", c)
+	}
+	if len(c.Cols) != 3 || c.Cols[0].Kind != value.KindString || c.Cols[1].Kind != value.KindInt || c.Cols[2].Kind != value.KindFloat {
+		t.Errorf("cols = %+v", c.Cols)
+	}
+	if c.Retain == nil || *c.Retain != 1000 {
+		t.Errorf("retain = %v", c.Retain)
+	}
+
+	s = parseOne(t, "CREATE CHRONICLE c (x INT) RETAIN ALL")
+	if c := s.(*CreateChronicle); c.Retain == nil || *c.Retain != -1 {
+		t.Errorf("RETAIN ALL = %v", c.Retain)
+	}
+	s = parseOne(t, "CREATE CHRONICLE c (x INT) RETAIN NONE")
+	if c := s.(*CreateChronicle); c.Retain == nil || *c.Retain != 0 {
+		t.Errorf("RETAIN NONE = %v", c.Retain)
+	}
+	s = parseOne(t, "CREATE CHRONICLE c (x INT)")
+	if c := s.(*CreateChronicle); c.Retain != nil {
+		t.Errorf("default retain = %v", c.Retain)
+	}
+
+	expectParseError(t, "CREATE CHRONICLE c (x BLOB)", "unknown type")
+	expectParseError(t, "CREATE CHRONICLE c (x INT, KEY(x))", "no keys")
+	expectParseError(t, "CREATE CHRONICLE c (x INT) RETAIN", "RETAIN")
+}
+
+func TestParseCreateRelation(t *testing.T) {
+	s := parseOne(t, "CREATE RELATION customers (acct STRING, state STRING, KEY(acct))")
+	r, ok := s.(*CreateRelation)
+	if !ok {
+		t.Fatalf("parsed %T", s)
+	}
+	if r.Name != "customers" || len(r.Cols) != 2 || len(r.Keys) != 1 || r.Keys[0] != "acct" {
+		t.Errorf("%+v", r)
+	}
+	expectParseError(t, "CREATE RELATION r (x INT)", "KEY")
+}
+
+func TestParseCreateView(t *testing.T) {
+	s := parseOne(t, `CREATE VIEW balances AS
+		SELECT acct, SUM(cost) AS total, COUNT(*) AS n
+		FROM calls
+		JOIN customers ON calls.acct = customers.acct
+		WHERE minutes > 0 AND (state = 'nj' OR state = 'ny')
+		GROUP BY acct
+		WITH STORE BTREE`)
+	v, ok := s.(*CreateView)
+	if !ok {
+		t.Fatalf("parsed %T", s)
+	}
+	if v.Name != "balances" || v.From != "calls" || v.Store != "BTREE" {
+		t.Errorf("%+v", v)
+	}
+	if len(v.Items) != 3 || v.Items[1].Agg != "SUM" || v.Items[1].As != "total" || !v.Items[2].Star {
+		t.Errorf("items = %+v", v.Items)
+	}
+	if len(v.Joins) != 1 || v.Joins[0].Relation != "customers" || len(v.Joins[0].On) != 1 {
+		t.Errorf("joins = %+v", v.Joins)
+	}
+	if len(v.Where.Conj) != 2 || len(v.Where.Conj[0]) != 1 || len(v.Where.Conj[1]) != 2 {
+		t.Errorf("where = %+v", v.Where)
+	}
+	if len(v.GroupBy) != 1 || v.GroupBy[0].Name != "acct" {
+		t.Errorf("groupby = %+v", v.GroupBy)
+	}
+}
+
+func TestParseCreateViewDistinct(t *testing.T) {
+	s := parseOne(t, "CREATE VIEW accts AS SELECT DISTINCT acct FROM calls")
+	v := s.(*CreateView)
+	if !v.Distinct || len(v.Items) != 1 || v.Items[0].Col.Name != "acct" {
+		t.Errorf("%+v", v)
+	}
+	s = parseOne(t, "CREATE VIEW everything AS SELECT * FROM calls")
+	if v := s.(*CreateView); !v.Star {
+		t.Errorf("%+v", v)
+	}
+}
+
+func TestParseCrossJoin(t *testing.T) {
+	s := parseOne(t, "CREATE VIEW x AS SELECT acct, COUNT(*) AS n FROM calls CROSS JOIN rates GROUP BY acct")
+	v := s.(*CreateView)
+	if len(v.Joins) != 1 || !v.Joins[0].Cross || v.Joins[0].Relation != "rates" {
+		t.Errorf("%+v", v.Joins)
+	}
+	expectParseError(t, "CREATE VIEW x AS SELECT a FROM c CROSS rates", "JOIN")
+}
+
+func TestParsePeriodicView(t *testing.T) {
+	s := parseOne(t, `CREATE PERIODIC VIEW monthly AS
+		SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct
+		EVERY 2592000 WIDTH 7776000 OFFSET 100 EXPIRE 86400`)
+	v := s.(*CreateView)
+	if v.Periodic == nil {
+		t.Fatal("periodic clause missing")
+	}
+	p := v.Periodic
+	if p.Period != 2592000 || p.Width != 7776000 || p.Offset != 100 || p.Expire == nil || *p.Expire != 86400 {
+		t.Errorf("%+v", p)
+	}
+	expectParseError(t, "CREATE PERIODIC VIEW v AS SELECT a, COUNT(*) AS n FROM c GROUP BY a", "EVERY")
+	expectParseError(t, "CREATE VIEW v AS SELECT a, COUNT(*) AS n FROM c GROUP BY a EVERY 100", "PERIODIC")
+}
+
+func TestParseAppendUpsertDelete(t *testing.T) {
+	s := parseOne(t, "APPEND INTO calls VALUES ('a', 10, 1.5), ('b', -3, 0.25)")
+	a := s.(*Append)
+	if len(a.Parts) != 1 || a.Parts[0].Chronicle != "calls" || len(a.Parts[0].Rows) != 2 {
+		t.Fatalf("%+v", a)
+	}
+	rows := a.Parts[0].Rows
+	if rows[0][0].AsString() != "a" || rows[0][1].AsInt() != 10 || rows[0][2].AsFloat() != 1.5 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1][1].AsInt() != -3 {
+		t.Errorf("negative literal = %v", rows[1][1])
+	}
+
+	// Simultaneous multi-chronicle append.
+	s = parseOne(t, "APPEND INTO calls VALUES ('a', 1, 0.5) ALSO INTO payments VALUES ('a', 9.0)")
+	a = s.(*Append)
+	if len(a.Parts) != 2 || a.Parts[1].Chronicle != "payments" || len(a.Parts[1].Rows) != 1 {
+		t.Fatalf("multi-part = %+v", a)
+	}
+
+	s = parseOne(t, "UPSERT INTO customers VALUES ('a', 'nj')")
+	u := s.(*Upsert)
+	if u.Relation != "customers" || len(u.Rows) != 1 {
+		t.Errorf("%+v", u)
+	}
+
+	s = parseOne(t, "DELETE FROM customers KEY ('a')")
+	d := s.(*Delete)
+	if d.Relation != "customers" || len(d.Key) != 1 || d.Key[0].AsString() != "a" {
+		t.Errorf("%+v", d)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	s := parseOne(t, "APPEND INTO c VALUES (TRUE, FALSE, NULL, 'text')")
+	a := s.(*Append)
+	r := a.Parts[0].Rows[0]
+	if !r[0].AsBool() || r[1].AsBool() || !r[2].IsNull() || r[3].AsString() != "text" {
+		t.Errorf("literals = %v", r)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	s := parseOne(t, "SELECT * FROM balances WHERE acct = 'a' LIMIT 10")
+	q := s.(*Query)
+	if q.From != "balances" || q.Limit != 10 || q.Where == nil {
+		t.Errorf("%+v", q)
+	}
+	s = parseOne(t, "SELECT * FROM balances")
+	if q := s.(*Query); q.Where != nil || q.Limit != 0 {
+		t.Errorf("%+v", q)
+	}
+	expectParseError(t, "SELECT acct FROM balances", "SELECT *")
+	expectParseError(t, "SELECT * FROM v LIMIT -1", "")
+}
+
+func TestParseExplainShow(t *testing.T) {
+	if e := parseOne(t, "EXPLAIN VIEW balances").(*Explain); e.View != "balances" {
+		t.Errorf("%+v", e)
+	}
+	for _, w := range []string{"VIEWS", "CHRONICLES", "RELATIONS", "STATS"} {
+		if sh := parseOne(t, "SHOW "+w).(*Show); sh.What != w {
+			t.Errorf("SHOW %s = %+v", w, sh)
+		}
+	}
+	expectParseError(t, "SHOW TABLES", "cannot SHOW")
+}
+
+func TestParseMultipleStatements(t *testing.T) {
+	stmts, err := Parse(`
+		CREATE GROUP g;
+		CREATE CHRONICLE c (x INT) IN GROUP g;
+		APPEND INTO c VALUES (1);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Errorf("parsed %d statements", len(stmts))
+	}
+	if _, err := ParseOne("CREATE GROUP a; CREATE GROUP b"); err == nil {
+		t.Error("ParseOne accepted two statements")
+	}
+}
+
+func TestParseColumnColumnCondition(t *testing.T) {
+	s := parseOne(t, "CREATE VIEW v AS SELECT DISTINCT a FROM c WHERE a = b")
+	v := s.(*CreateView)
+	cond := v.Where.Conj[0][0]
+	if cond.RightCol == nil || cond.RightCol.Name != "b" {
+		t.Errorf("cond = %+v", cond)
+	}
+}
+
+func TestParseErrorsGeneral(t *testing.T) {
+	expectParseError(t, "FROB x", "expected a statement")
+	expectParseError(t, "CREATE TABLE t (x INT)", "expected GROUP")
+	expectParseError(t, "CREATE GROUP g CREATE GROUP h", "';'")
+	expectParseError(t, "APPEND INTO c VALUES 1", `"("`)
+	expectParseError(t, "CREATE VIEW v AS SELECT SUM( FROM c", "")
+}

@@ -1,0 +1,197 @@
+// Package tiers implements Section 5.3 of the chronicle paper: converting
+// batch, end-of-period computations — tiered discount and fee schedules —
+// into equivalent incremental computations on individual records.
+//
+// The motivating plan: "a discount of 10% on all calls made if the monthly
+// undiscounted expenses exceed $10, a discount of 20% if the expenses
+// exceed $25, and so on." Computed in batch at period end, the result is
+// stale all month; computed incrementally, the persistent total_expenses
+// view (and the discount derived from it) is current after every call.
+package tiers
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode selects how tier rates apply.
+type Mode uint8
+
+const (
+	// AllUnits applies the reached tier's rate to the entire total — the
+	// paper's telephone plan ("10% on all calls made if … exceed $10").
+	AllUnits Mode = iota
+	// Marginal applies each tier's rate only to the portion of the total
+	// falling inside that tier (tax-bracket style).
+	Marginal
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == AllUnits {
+		return "all-units"
+	}
+	return "marginal"
+}
+
+// Tier is one step of a schedule: the rate applies beyond Threshold.
+type Tier struct {
+	Threshold float64 // exclusive lower bound on the cumulative total
+	Rate      float64 // discount rate, 0..1
+}
+
+// Schedule is an ordered tier list with an application mode.
+type Schedule struct {
+	mode  Mode
+	tiers []Tier // ascending thresholds; implicit base tier (0 rate) below
+}
+
+// NewSchedule validates and builds a schedule. Thresholds must be
+// non-negative and strictly increasing; rates must lie in [0, 1].
+func NewSchedule(mode Mode, tiers ...Tier) (*Schedule, error) {
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("tiers: schedule needs at least one tier")
+	}
+	sorted := append([]Tier(nil), tiers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Threshold < sorted[j].Threshold })
+	prev := -1.0
+	for _, tr := range sorted {
+		if tr.Threshold < 0 {
+			return nil, fmt.Errorf("tiers: negative threshold %v", tr.Threshold)
+		}
+		if tr.Threshold == prev {
+			return nil, fmt.Errorf("tiers: duplicate threshold %v", tr.Threshold)
+		}
+		if tr.Rate < 0 || tr.Rate > 1 {
+			return nil, fmt.Errorf("tiers: rate %v outside [0,1]", tr.Rate)
+		}
+		prev = tr.Threshold
+	}
+	return &Schedule{mode: mode, tiers: sorted}, nil
+}
+
+// Mode returns the schedule's application mode.
+func (s *Schedule) Mode() Mode { return s.mode }
+
+// TierFor returns the index of the tier reached by the given total
+// (-1 when below every threshold).
+func (s *Schedule) TierFor(total float64) int {
+	idx := -1
+	for i, tr := range s.tiers {
+		if total > tr.Threshold {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Discount computes the discount amount owed for a cumulative total.
+func (s *Schedule) Discount(total float64) float64 {
+	switch s.mode {
+	case AllUnits:
+		if i := s.TierFor(total); i >= 0 {
+			return total * s.tiers[i].Rate
+		}
+		return 0
+	default: // Marginal
+		var d float64
+		for i, tr := range s.tiers {
+			if total <= tr.Threshold {
+				break
+			}
+			upper := total
+			if i+1 < len(s.tiers) && s.tiers[i+1].Threshold < total {
+				upper = s.tiers[i+1].Threshold
+			}
+			d += (upper - tr.Threshold) * tr.Rate
+		}
+		return d
+	}
+}
+
+// Summary is the always-current answer for one key: the paper's summary
+// fields, derived from the persistent total rather than from the records.
+type Summary struct {
+	Total    float64 // cumulative undiscounted expenses
+	Discount float64 // discount owed at the current total
+	Net      float64 // Total − Discount
+	Tier     int     // reached tier index; -1 below all thresholds
+	Records  int64   // transactions folded in
+}
+
+// Tracker maintains per-key summaries incrementally: O(#tiers) per record,
+// independent of how many records the period has seen.
+type Tracker struct {
+	sched *Schedule
+	byKey map[string]*Summary
+	// Crossings records tier transitions as they happen — exactly the
+	// events a batch system cannot produce until period end.
+	Crossings []Crossing
+}
+
+// Crossing is one observed tier transition.
+type Crossing struct {
+	Key      string
+	FromTier int
+	ToTier   int
+	AtTotal  float64
+}
+
+// NewTracker creates an empty tracker over a schedule.
+func NewTracker(sched *Schedule) *Tracker {
+	return &Tracker{sched: sched, byKey: make(map[string]*Summary)}
+}
+
+// Add folds one transaction amount into key's running summary and returns
+// the updated summary.
+func (t *Tracker) Add(key string, amount float64) Summary {
+	s, ok := t.byKey[key]
+	if !ok {
+		s = &Summary{Tier: -1}
+		t.byKey[key] = s
+	}
+	before := s.Tier
+	s.Total += amount
+	s.Records++
+	s.Tier = t.sched.TierFor(s.Total)
+	s.Discount = t.sched.Discount(s.Total)
+	s.Net = s.Total - s.Discount
+	if s.Tier != before {
+		t.Crossings = append(t.Crossings, Crossing{Key: key, FromTier: before, ToTier: s.Tier, AtTotal: s.Total})
+	}
+	return *s
+}
+
+// Current returns key's summary (zero Summary with Tier −1 if unseen).
+func (t *Tracker) Current(key string) Summary {
+	if s, ok := t.byKey[key]; ok {
+		return *s
+	}
+	return Summary{Tier: -1}
+}
+
+// Keys returns the number of tracked keys.
+func (t *Tracker) Keys() int { return len(t.byKey) }
+
+// Reset clears all summaries (a new billing period).
+func (t *Tracker) Reset() {
+	t.byKey = make(map[string]*Summary)
+	t.Crossings = nil
+}
+
+// BatchCompute is the end-of-period batch computation the tracker replaces:
+// it folds a full record slice at once. Tests assert Tracker ≡ BatchCompute
+// at every prefix; benchmarks measure the staleness/latency gap.
+func BatchCompute(sched *Schedule, amounts []float64) Summary {
+	var total float64
+	for _, a := range amounts {
+		total += a
+	}
+	return Summary{
+		Total:    total,
+		Discount: sched.Discount(total),
+		Net:      total - sched.Discount(total),
+		Tier:     sched.TierFor(total),
+		Records:  int64(len(amounts)),
+	}
+}

@@ -1,0 +1,182 @@
+package tiers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// phonePlan is the paper's example: 10% over $10, 20% over $25.
+func phonePlan(t testing.TB, mode Mode) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(mode, Tier{Threshold: 10, Rate: 0.10}, Tier{Threshold: 25, Rate: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(AllUnits); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewSchedule(AllUnits, Tier{Threshold: -1, Rate: 0.1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := NewSchedule(AllUnits, Tier{Threshold: 5, Rate: 1.5}); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := NewSchedule(AllUnits, Tier{Threshold: 5, Rate: 0.1}, Tier{Threshold: 5, Rate: 0.2}); err == nil {
+		t.Error("duplicate thresholds accepted")
+	}
+	// Unsorted input is sorted.
+	s, err := NewSchedule(AllUnits, Tier{Threshold: 25, Rate: 0.2}, Tier{Threshold: 10, Rate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TierFor(15) != 0 {
+		t.Error("schedule not sorted by threshold")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if AllUnits.String() != "all-units" || Marginal.String() != "marginal" {
+		t.Error("Mode strings")
+	}
+}
+
+func TestTierFor(t *testing.T) {
+	s := phonePlan(t, AllUnits)
+	for _, tc := range []struct {
+		total float64
+		want  int
+	}{
+		{0, -1}, {10, -1}, {10.01, 0}, {25, 0}, {25.01, 1}, {1000, 1},
+	} {
+		if got := s.TierFor(tc.total); got != tc.want {
+			t.Errorf("TierFor(%v) = %d, want %d", tc.total, got, tc.want)
+		}
+	}
+}
+
+func TestAllUnitsDiscount(t *testing.T) {
+	s := phonePlan(t, AllUnits)
+	for _, tc := range []struct {
+		total, want float64
+	}{
+		{5, 0},
+		{10, 0},
+		{20, 2.0},   // 10% of all 20
+		{30, 6.0},   // 20% of all 30
+		{100, 20.0}, // 20% of all 100
+	} {
+		if got := s.Discount(tc.total); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Discount(%v) = %v, want %v", tc.total, got, tc.want)
+		}
+	}
+}
+
+func TestMarginalDiscount(t *testing.T) {
+	s := phonePlan(t, Marginal)
+	for _, tc := range []struct {
+		total, want float64
+	}{
+		{5, 0},
+		{10, 0},
+		{20, 1.0},   // 10% of (20-10)
+		{25, 1.5},   // 10% of (25-10)
+		{30, 2.5},   // 10% of 15 + 20% of (30-25)
+		{100, 16.5}, // 1.5 + 20% of 75
+	} {
+		if got := s.Discount(tc.total); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Discount(%v) = %v, want %v", tc.total, got, tc.want)
+		}
+	}
+}
+
+func TestMarginalNeverExceedsAllUnits(t *testing.T) {
+	all := phonePlan(t, AllUnits)
+	marg := phonePlan(t, Marginal)
+	f := func(raw uint16) bool {
+		total := float64(raw) / 100
+		return marg.Discount(total) <= all.Discount(total)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrackerMatchesBatchAtEveryPrefix is Section 5.3's equivalence: the
+// incremental tracker agrees with the batch computation after every single
+// record, not just at period end.
+func TestTrackerMatchesBatchAtEveryPrefix(t *testing.T) {
+	for _, mode := range []Mode{AllUnits, Marginal} {
+		s := phonePlan(t, mode)
+		tr := NewTracker(s)
+		rng := rand.New(rand.NewSource(int64(mode)))
+		var amounts []float64
+		for i := 0; i < 500; i++ {
+			a := float64(rng.Intn(500)) / 100
+			amounts = append(amounts, a)
+			got := tr.Add("k", a)
+			want := BatchCompute(s, amounts)
+			if math.Abs(got.Total-want.Total) > 1e-9 ||
+				math.Abs(got.Discount-want.Discount) > 1e-9 ||
+				math.Abs(got.Net-want.Net) > 1e-9 ||
+				got.Tier != want.Tier || got.Records != want.Records {
+				t.Fatalf("%s: prefix %d: incremental %+v != batch %+v", mode, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestTrackerPerKeyIsolation(t *testing.T) {
+	s := phonePlan(t, AllUnits)
+	tr := NewTracker(s)
+	tr.Add("a", 20)
+	tr.Add("b", 5)
+	if got := tr.Current("a"); got.Tier != 0 {
+		t.Errorf("a tier = %d", got.Tier)
+	}
+	if got := tr.Current("b"); got.Tier != -1 {
+		t.Errorf("b tier = %d", got.Tier)
+	}
+	if got := tr.Current("missing"); got.Tier != -1 || got.Records != 0 {
+		t.Errorf("missing = %+v", got)
+	}
+	if tr.Keys() != 2 {
+		t.Errorf("Keys = %d", tr.Keys())
+	}
+}
+
+func TestCrossings(t *testing.T) {
+	s := phonePlan(t, AllUnits)
+	tr := NewTracker(s)
+	tr.Add("k", 8)  // below tiers
+	tr.Add("k", 8)  // total 16: crosses into tier 0
+	tr.Add("k", 5)  // total 21: stays
+	tr.Add("k", 10) // total 31: crosses into tier 1
+	if len(tr.Crossings) != 2 {
+		t.Fatalf("Crossings = %+v", tr.Crossings)
+	}
+	if tr.Crossings[0].FromTier != -1 || tr.Crossings[0].ToTier != 0 {
+		t.Errorf("first crossing = %+v", tr.Crossings[0])
+	}
+	if tr.Crossings[1].FromTier != 0 || tr.Crossings[1].ToTier != 1 {
+		t.Errorf("second crossing = %+v", tr.Crossings[1])
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := phonePlan(t, AllUnits)
+	tr := NewTracker(s)
+	tr.Add("k", 50)
+	tr.Reset()
+	if tr.Keys() != 0 || len(tr.Crossings) != 0 {
+		t.Error("Reset incomplete")
+	}
+	if got := tr.Current("k"); got.Total != 0 {
+		t.Errorf("after reset: %+v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of values and tuples, used by the write-ahead log and by
+// view checkpoints. The format is:
+//
+//	value:  kind byte, then a kind-specific payload
+//	        int/time: 8-byte little-endian two's complement
+//	        float:    8-byte little-endian IEEE-754 bits
+//	        bool:     1 byte
+//	        string:   uvarint length + bytes
+//	        null:     no payload
+//	tuple:  uvarint column count, then each value
+//
+// The encoding is self-delimiting, so records can be concatenated.
+
+// AppendValue appends the encoding of v to dst and returns the extended slice.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt, KindTime:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.i))
+	case KindFloat:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindBool:
+		dst = append(dst, byte(v.i))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// DecodeValue decodes one value from the front of b, returning the value and
+// the number of bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, fmt.Errorf("value: empty buffer")
+	}
+	k := Kind(b[0])
+	rest := b[1:]
+	switch k {
+	case KindNull:
+		return Null(), 1, nil
+	case KindInt, KindTime:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: truncated %s payload", k)
+		}
+		i := int64(binary.LittleEndian.Uint64(rest))
+		return Value{kind: k, i: i}, 9, nil
+	case KindFloat:
+		if len(rest) < 8 {
+			return Value{}, 0, fmt.Errorf("value: truncated float payload")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		return Float(f), 9, nil
+	case KindBool:
+		if len(rest) < 1 {
+			return Value{}, 0, fmt.Errorf("value: truncated bool payload")
+		}
+		return Bool(rest[0] != 0), 2, nil
+	case KindString:
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("value: bad string length")
+		}
+		if uint64(len(rest)-sz) < n {
+			return Value{}, 0, fmt.Errorf("value: truncated string payload")
+		}
+		s := string(rest[sz : sz+int(n)])
+		return Str(s), 1 + sz + int(n), nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: unknown kind tag %d", b[0])
+	}
+}
+
+// AppendTuple appends the encoding of t to dst and returns the extended slice.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from the front of b, returning the tuple and
+// the number of bytes consumed.
+func DecodeTuple(b []byte) (Tuple, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("value: bad tuple arity")
+	}
+	if n > uint64(len(b)) {
+		// Each value takes at least one byte, so arity can never exceed the
+		// remaining buffer; this rejects corrupt headers early.
+		return nil, 0, fmt.Errorf("value: tuple arity %d exceeds buffer", n)
+	}
+	off := sz
+	t := make(Tuple, n)
+	for i := range t {
+		v, used, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: column %d: %w", i, err)
+		}
+		t[i] = v
+		off += used
+	}
+	return t, off, nil
+}

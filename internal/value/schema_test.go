@@ -1,0 +1,140 @@
+package value
+
+import "testing"
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "name", Kind: KindString},
+		Column{Name: "score", Kind: KindFloat},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Col(1).Name != "name" || s.Col(1).Kind != KindString {
+		t.Errorf("Col(1) = %v", s.Col(1))
+	}
+	if i, ok := s.Index("score"); !ok || i != 2 {
+		t.Errorf("Index(score) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Error("Index(missing) should fail")
+	}
+	if s.MustIndex("id") != 0 {
+		t.Error("MustIndex(id) != 0")
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "id" || names[2] != "score" {
+		t.Errorf("Names = %v", names)
+	}
+	if got := s.String(); got != "(id int, name string, score float)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex should panic on unknown column")
+		}
+	}()
+	testSchema().MustIndex("nope")
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSchema should panic on duplicate names")
+		}
+	}()
+	NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "a", Kind: KindInt})
+}
+
+func TestSchemaEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSchema should panic on empty name")
+		}
+	}()
+	NewSchema(Column{Name: "", Kind: KindInt})
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := testSchema()
+	b := testSchema()
+	if !a.Equal(b) {
+		t.Error("identical schemas should be equal")
+	}
+	c := NewSchema(Column{Name: "id", Kind: KindInt})
+	if a.Equal(c) {
+		t.Error("different arity schemas should differ")
+	}
+	d := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "name", Kind: KindString},
+		Column{Name: "score", Kind: KindInt}, // kind differs
+	)
+	if a.Equal(d) {
+		t.Error("different kinds should differ")
+	}
+	var nilSchema *Schema
+	if nilSchema.Equal(a) || a.Equal(nilSchema) {
+		t.Error("nil schema equals only nil")
+	}
+	if !nilSchema.Equal(nil) {
+		t.Error("nil.Equal(nil) should hold")
+	}
+}
+
+func TestSchemaProjectConcat(t *testing.T) {
+	s := testSchema()
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.Col(0).Name != "score" || p.Col(1).Name != "id" {
+		t.Errorf("Project = %v", p)
+	}
+	o := NewSchema(Column{Name: "id", Kind: KindInt}, Column{Name: "extra", Kind: KindBool})
+	c := s.Concat(o, "r.")
+	if c.Len() != 5 {
+		t.Fatalf("Concat len = %d", c.Len())
+	}
+	if _, ok := c.Index("r.id"); !ok {
+		t.Error("clashing column should be prefixed")
+	}
+	if _, ok := c.Index("extra"); !ok {
+		t.Error("non-clashing column keeps its name")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := testSchema()
+	if err := s.Validate(Tuple{Int(1), Str("x"), Float(0.5)}); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := s.Validate(Tuple{Int(1), Null(), Float(0.5)}); err != nil {
+		t.Errorf("null should be allowed: %v", err)
+	}
+	if err := s.Validate(Tuple{Int(1), Str("x")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := s.Validate(Tuple{Str("no"), Str("x"), Float(0.5)}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestSchemaFingerprint(t *testing.T) {
+	a := testSchema()
+	b := testSchema()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical schemas should fingerprint equal")
+	}
+	c := NewSchema(Column{Name: "id", Kind: KindFloat},
+		Column{Name: "name", Kind: KindString},
+		Column{Name: "score", Kind: KindFloat})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("kind change should alter fingerprint")
+	}
+}

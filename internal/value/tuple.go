@@ -1,0 +1,109 @@
+package value
+
+import "strings"
+
+// Tuple is an ordered list of values interpreted against a Schema.
+type Tuple []Value
+
+// Clone returns a copy of the tuple. Values themselves are immutable, so a
+// shallow copy of the slice suffices.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// CompareTuples orders two tuples lexicographically column by column.
+// Shorter tuples sort before longer ones with an equal prefix.
+func CompareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(int64(len(a)), int64(len(b)))
+}
+
+// TuplesEqual reports whether two tuples compare equal column by column.
+func TuplesEqual(a, b Tuple) bool { return CompareTuples(a, b) == 0 }
+
+// Hash returns a 64-bit hash of the whole tuple.
+func (t Tuple) Hash() uint64 {
+	h := HashSeed
+	for _, v := range t {
+		h = v.Hash(h)
+	}
+	return h
+}
+
+// HashCols hashes only the values at the given column indexes, in order.
+// It is the grouping key used by view group stores and hash joins.
+func (t Tuple) HashCols(cols []int) uint64 {
+	h := HashSeed
+	for _, c := range cols {
+		h = t[c].Hash(h)
+	}
+	return h
+}
+
+// Project returns a new tuple containing the values at the given indexes.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// Key renders the tuple's values at the given columns into a canonical
+// string usable as a Go map key. Encodings are prefixed with the value kind
+// and length-delimited so distinct tuples cannot collide.
+func (t Tuple) Key(cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		appendKey(&b, t[c])
+	}
+	return b.String()
+}
+
+// FullKey is Key over every column.
+func (t Tuple) FullKey() string {
+	var b strings.Builder
+	for _, v := range t {
+		appendKey(&b, v)
+	}
+	return b.String()
+}
+
+func appendKey(b *strings.Builder, v Value) {
+	// Numeric values are canonicalized through their binary encoding so that
+	// Int(2) and Float(2.0) — which Compare equal — also key equal.
+	enc := AppendValue(nil, canonicalize(v))
+	b.WriteByte(byte(len(enc)))
+	b.Write(enc)
+}
+
+// canonicalize folds float values holding exact integers into KindInt.
+func canonicalize(v Value) Value {
+	if v.kind == KindFloat {
+		i := int64(v.f)
+		if float64(i) == v.f {
+			return Int(i)
+		}
+	}
+	return v
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

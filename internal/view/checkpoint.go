@@ -1,0 +1,127 @@
+package view
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/keyenc"
+	"chronicledb/internal/value"
+)
+
+// View checkpoints. Because the chronicle itself is not retained, a view's
+// materialization (including aggregation states) is the only durable record
+// of past transactional activity; recovery restores the checkpoint and
+// replays the WAL suffix. The format is:
+//
+//	magic "CDBV", version byte
+//	schema fingerprint of the expression output (8 bytes LE)
+//	mode byte, aggregation count (uvarint)
+//	entry count (uvarint), then per entry:
+//	  vals tuple, count (uvarint), one state per aggregation spec
+
+const (
+	checkpointMagic   = "CDBV"
+	checkpointVersion = 1
+)
+
+// Checkpoint serializes the view's materialized state.
+func (v *View) Checkpoint() []byte {
+	var b []byte
+	b = append(b, checkpointMagic...)
+	b = append(b, checkpointVersion)
+	b = binary.LittleEndian.AppendUint64(b, v.def.Expr.Schema().Fingerprint())
+	b = append(b, byte(v.def.Mode))
+	b = binary.AppendUvarint(b, uint64(len(v.def.Aggs)))
+	b = binary.AppendUvarint(b, uint64(v.store.len()))
+	v.store.ascend(func(_ string, e *entry) bool {
+		b = value.AppendTuple(b, e.vals)
+		b = binary.AppendUvarint(b, uint64(e.count))
+		for i, st := range e.states {
+			b = aggregate.AppendState(b, v.def.Aggs[i].Func, st)
+		}
+		return true
+	})
+	return b
+}
+
+// RestoreCheckpoint replaces the view's state with a checkpoint previously
+// produced by a view with the same definition.
+func (v *View) RestoreCheckpoint(data []byte) error {
+	if len(data) < len(checkpointMagic)+1+8+1 {
+		return fmt.Errorf("view %s: checkpoint truncated", v.def.Name)
+	}
+	if string(data[:4]) != checkpointMagic {
+		return fmt.Errorf("view %s: bad checkpoint magic", v.def.Name)
+	}
+	if data[4] != checkpointVersion {
+		return fmt.Errorf("view %s: unsupported checkpoint version %d", v.def.Name, data[4])
+	}
+	off := 5
+	fp := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	if fp != v.def.Expr.Schema().Fingerprint() {
+		return fmt.Errorf("view %s: checkpoint schema drift (expression changed since checkpoint)", v.def.Name)
+	}
+	if Summarize(data[off]) != v.def.Mode {
+		return fmt.Errorf("view %s: checkpoint mode mismatch", v.def.Name)
+	}
+	off++
+	nAggs, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return fmt.Errorf("view %s: bad aggregation count", v.def.Name)
+	}
+	off += n
+	if int(nAggs) != len(v.def.Aggs) {
+		return fmt.Errorf("view %s: checkpoint has %d aggregations, definition has %d",
+			v.def.Name, nAggs, len(v.def.Aggs))
+	}
+	count, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return fmt.Errorf("view %s: bad entry count", v.def.Name)
+	}
+	off += n
+
+	fresh := newStore(storeKindOf(v.store))
+	for i := uint64(0); i < count; i++ {
+		vals, used, err := value.DecodeTuple(data[off:])
+		if err != nil {
+			return fmt.Errorf("view %s: entry %d: %w", v.def.Name, i, err)
+		}
+		off += used
+		c, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return fmt.Errorf("view %s: entry %d: bad count", v.def.Name, i)
+		}
+		off += n
+		e := &entry{vals: vals, count: int64(c)}
+		if v.def.Mode == SummarizeGroupBy {
+			e.states = make([]aggregate.State, len(v.def.Aggs))
+			for j, spec := range v.def.Aggs {
+				st, used, err := aggregate.DecodeState(spec.Func, data[off:])
+				if err != nil {
+					return fmt.Errorf("view %s: entry %d state %d: %w", v.def.Name, i, j, err)
+				}
+				e.states[j] = st
+				off += used
+			}
+		}
+		fresh.set(keyenc.TupleKey(e.vals), e)
+	}
+	if off != len(data) {
+		return fmt.Errorf("view %s: %d trailing checkpoint bytes", v.def.Name, len(data)-off)
+	}
+	v.store = fresh
+	return nil
+}
+
+// Restored entries are re-keyed by e.vals.FullKey(): projection views key
+// by the whole projected tuple and group-by views by the group columns,
+// which are exactly e.vals in both cases (matching Apply's keying).
+
+func storeKindOf(s store) StoreKind {
+	if _, ok := s.(*treeStore); ok {
+		return StoreBTree
+	}
+	return StoreHash
+}

@@ -1,0 +1,90 @@
+package view
+
+import (
+	"sort"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/btree"
+	"chronicledb/internal/value"
+)
+
+// entry is one materialized view row: the group values (or projected
+// tuple), the per-group aggregation states, and a contribution count used
+// for refcounted duplicate elimination in projection views.
+type entry struct {
+	vals   value.Tuple
+	states []aggregate.State
+	count  int64
+}
+
+// StoreKind selects the view's group store. The paper's Theorem 4.4 bound,
+// O(t·log|V|), corresponds to the ordered B-tree store; the hash store is
+// the "modulo index look ups" fast path with O(t) expected time. E10
+// measures the difference.
+type StoreKind uint8
+
+const (
+	// StoreHash is an unordered hash store: O(1) expected per touch.
+	StoreHash StoreKind = iota
+	// StoreBTree is an ordered B-tree store: O(log|V|) per touch, ordered
+	// scans, range queries.
+	StoreBTree
+)
+
+// String names the store kind.
+func (k StoreKind) String() string {
+	if k == StoreHash {
+		return "hash"
+	}
+	return "btree"
+}
+
+// store is the minimal interface view maintenance needs.
+type store interface {
+	get(key string) (*entry, bool)
+	set(key string, e *entry)
+	len() int
+	// ascend visits entries; the B-tree store visits in key order, the hash
+	// store sorts keys on demand (acceptable: scans are query-side).
+	ascend(fn func(key string, e *entry) bool)
+}
+
+func newStore(kind StoreKind) store {
+	if kind == StoreBTree {
+		return &treeStore{t: btree.New[string, *entry](func(a, b string) bool { return a < b })}
+	}
+	return &hashStore{m: make(map[string]*entry)}
+}
+
+type hashStore struct {
+	m map[string]*entry
+}
+
+func (h *hashStore) get(key string) (*entry, bool) { e, ok := h.m[key]; return e, ok }
+func (h *hashStore) set(key string, e *entry)      { h.m[key] = e }
+func (h *hashStore) len() int                      { return len(h.m) }
+
+func (h *hashStore) ascend(fn func(string, *entry) bool) {
+	keys := make([]string, 0, len(h.m))
+	for k := range h.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, h.m[k]) {
+			return
+		}
+	}
+}
+
+type treeStore struct {
+	t *btree.Tree[string, *entry]
+}
+
+func (t *treeStore) get(key string) (*entry, bool) { return t.t.Get(key) }
+func (t *treeStore) set(key string, e *entry)      { t.t.Set(key, e) }
+func (t *treeStore) len() int                      { return t.t.Len() }
+
+func (t *treeStore) ascend(fn func(string, *entry) bool) {
+	t.t.Ascend(fn)
+}

@@ -1,0 +1,484 @@
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/algebra"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/pred"
+	"chronicledb/internal/relation"
+	"chronicledb/internal/value"
+)
+
+// fixture mirrors the algebra test scenario.
+type fixture struct {
+	group *chronicle.Group
+	calls *chronicle.Chronicle
+	cust  *relation.Relation
+	lsn   uint64
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	g := chronicle.NewGroup("telecom")
+	calls, err := g.NewChronicle("calls", value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "minutes", Kind: value.KindInt},
+	), chronicle.RetainAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cust, err := relation.New("customers", value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "state", Kind: value.KindString},
+	), []int{0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{group: g, calls: calls, cust: cust}
+}
+
+func (f *fixture) nextLSN() uint64 { f.lsn++; return f.lsn }
+
+func (f *fixture) appendCall(t testing.TB, acct string, minutes int64) algebra.BatchDelta {
+	t.Helper()
+	rows, err := f.calls.Append(f.group.NextSN(), 0, f.nextLSN(),
+		[]value.Tuple{{value.Str(acct), value.Int(minutes)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algebra.BatchDelta{f.calls: rows}
+}
+
+// minutesPerAcct is the canonical example view: total minutes per account.
+func minutesPerAcct(t testing.TB, f *fixture, kind StoreKind) *View {
+	t.Helper()
+	v, err := New(Def{
+		Name:      "minutes_per_acct",
+		Expr:      algebra.NewScan(f.calls),
+		Mode:      SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs: []aggregate.Spec{
+			{Func: aggregate.Sum, Col: 1, Name: "total"},
+			{Func: aggregate.Count, Col: -1, Name: "n"},
+		},
+	}, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	f := newFixture(t)
+	scan := algebra.NewScan(f.calls)
+	cases := []Def{
+		{},          // no name
+		{Name: "v"}, // no expr
+		{Name: "v", Expr: scan, Mode: SummarizeProject},                 // no cols
+		{Name: "v", Expr: scan, Mode: SummarizeProject, Cols: []int{7}}, // bad col
+		{Name: "v", Expr: scan, Mode: SummarizeGroupBy},                 // no aggs
+		{Name: "v", Expr: scan, Mode: SummarizeGroupBy, GroupCols: []int{7}, // bad group col
+			Aggs: []aggregate.Spec{{Func: aggregate.Count, Col: -1, Name: "n"}}},
+		{Name: "v", Expr: scan, Mode: SummarizeGroupBy, // bad agg col
+			Aggs: []aggregate.Spec{{Func: aggregate.Sum, Col: 7, Name: "s"}}},
+		{Name: "v", Expr: scan, Mode: SummarizeGroupBy, // unnamed agg
+			Aggs: []aggregate.Spec{{Func: aggregate.Sum, Col: 1}}},
+		{Name: "v", Expr: scan, Mode: Summarize(9), Cols: []int{0}}, // bad mode
+	}
+	for i, def := range cases {
+		if _, err := New(def, StoreHash); err == nil {
+			t.Errorf("case %d: invalid definition accepted: %+v", i, def)
+		}
+	}
+}
+
+func TestGroupByViewBasics(t *testing.T) {
+	f := newFixture(t)
+	v := minutesPerAcct(t, f, StoreHash)
+	if v.Name() != "minutes_per_acct" || v.Len() != 0 {
+		t.Fatal("fresh view state")
+	}
+	if got := v.Schema().Names(); got[0] != "acct" || got[1] != "total" || got[2] != "n" {
+		t.Errorf("schema = %v", got)
+	}
+	v.Apply(f.appendCall(t, "a", 10))
+	v.Apply(f.appendCall(t, "b", 5))
+	v.Apply(f.appendCall(t, "a", 20))
+	if v.Len() != 2 {
+		t.Errorf("Len = %d", v.Len())
+	}
+	got, ok := v.Lookup(value.Tuple{value.Str("a")})
+	if !ok || got[1].AsInt() != 30 || got[2].AsInt() != 2 {
+		t.Errorf("Lookup(a) = %v, %v", got, ok)
+	}
+	if _, ok := v.Lookup(value.Tuple{value.Str("zz")}); ok {
+		t.Error("Lookup of absent group succeeded")
+	}
+	st := v.Stats()
+	if st.Applies != 3 || st.DeltaRows != 3 || st.Touched != 3 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestProjectViewRefcounts(t *testing.T) {
+	f := newFixture(t)
+	// Distinct accounts that ever placed a call.
+	v, err := New(Def{
+		Name: "active_accts",
+		Expr: algebra.NewScan(f.calls),
+		Mode: SummarizeProject,
+		Cols: []int{0},
+	}, StoreBTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Apply(f.appendCall(t, "b", 1))
+	v.Apply(f.appendCall(t, "a", 2))
+	v.Apply(f.appendCall(t, "a", 3))
+	rows := v.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("Rows = %v (duplicates must be eliminated)", rows)
+	}
+	// BTree store scans in key order.
+	if rows[0][0].AsString() != "a" || rows[1][0].AsString() != "b" {
+		t.Errorf("Rows order = %v", rows)
+	}
+	if _, ok := v.Lookup(value.Tuple{value.Str("a")}); !ok {
+		t.Error("Lookup(a) failed")
+	}
+}
+
+func TestViewOverSelection(t *testing.T) {
+	f := newFixture(t)
+	sel, err := algebra.NewSelect(algebra.NewScan(f.calls), pred.Or(pred.ColConst(1, pred.Ge, value.Int(10))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(Def{
+		Name:      "long_calls",
+		Expr:      sel,
+		Mode:      SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs:      []aggregate.Spec{{Func: aggregate.Count, Col: -1, Name: "n"}},
+	}, StoreHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Apply(f.appendCall(t, "a", 5)) // filtered out
+	v.Apply(f.appendCall(t, "a", 50))
+	got, ok := v.Lookup(value.Tuple{value.Str("a")})
+	if !ok || got[1].AsInt() != 1 {
+		t.Errorf("Lookup = %v, %v", got, ok)
+	}
+}
+
+func TestViewClassification(t *testing.T) {
+	f := newFixture(t)
+	v := minutesPerAcct(t, f, StoreHash)
+	if v.Lang() != algebra.LangCA1 || v.IMClass() != algebra.IMConstant {
+		t.Errorf("SCA1 view classified %s/%s", v.Lang(), v.IMClass())
+	}
+	jr, err := algebra.NewJoinRel(algebra.NewScan(f.calls), f.cust, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(Def{
+		Name: "with_state", Expr: jr, Mode: SummarizeGroupBy,
+		GroupCols: []int{3},
+		Aggs:      []aggregate.Spec{{Func: aggregate.Sum, Col: 1, Name: "total"}},
+	}, StoreHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.IMClass() != algebra.IMLogR {
+		t.Errorf("SCA⋈ view classified %s", v2.IMClass())
+	}
+}
+
+func TestSummarizeString(t *testing.T) {
+	if SummarizeProject.String() != "project" || SummarizeGroupBy.String() != "groupby" {
+		t.Error("Summarize strings")
+	}
+	if StoreHash.String() != "hash" || StoreBTree.String() != "btree" {
+		t.Error("StoreKind strings")
+	}
+}
+
+// TestIncrementalMatchesRecompute is the golden invariant at the view level
+// for both store kinds and both summarization modes, on a random stream.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		f := newFixture(t)
+		f.cust.Upsert(f.nextLSN(), value.Tuple{value.Str("a"), value.Str("nj")})
+		f.cust.Upsert(f.nextLSN(), value.Tuple{value.Str("b"), value.Str("ny")})
+
+		jr, err := algebra.NewJoinRel(algebra.NewScan(f.calls), f.cust, []int{0}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views := []*View{
+			minutesPerAcct(t, f, StoreHash),
+			minutesPerAcct(t, f, StoreBTree),
+			mustNew(t, Def{
+				Name: "accts", Expr: algebra.NewScan(f.calls),
+				Mode: SummarizeProject, Cols: []int{0},
+			}, StoreHash),
+			mustNew(t, Def{
+				Name: "state_minutes", Expr: jr, Mode: SummarizeGroupBy,
+				GroupCols: []int{3},
+				Aggs: []aggregate.Spec{
+					{Func: aggregate.Sum, Col: 1, Name: "total"},
+					{Func: aggregate.Min, Col: 1, Name: "shortest"},
+					{Func: aggregate.Max, Col: 1, Name: "longest"},
+					{Func: aggregate.Avg, Col: 1, Name: "mean"},
+				},
+			}, StoreBTree),
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		states := []string{"nj", "ny", "ca"}
+		for step := 0; step < 150; step++ {
+			if rng.Intn(5) == 0 { // proactive relation update
+				acct := string(rune('a' + rng.Intn(3)))
+				f.cust.Upsert(f.nextLSN(), value.Tuple{value.Str(acct), value.Str(states[rng.Intn(3)])})
+				continue
+			}
+			d := f.appendCall(t, string(rune('a'+rng.Intn(3))), int64(rng.Intn(60)))
+			for _, v := range views {
+				v.Apply(d)
+			}
+		}
+
+		for _, v := range views {
+			want, err := v.Recompute()
+			if err != nil {
+				t.Fatalf("%s: %v", v.Name(), err)
+			}
+			got := v.Rows()
+			if !sameTuples(got, want) {
+				t.Errorf("seed %d view %s: incremental %v != recompute %v", seed, v.Name(), got, want)
+			}
+		}
+	}
+}
+
+func mustNew(t testing.TB, def Def, kind StoreKind) *View {
+	t.Helper()
+	v, err := New(def, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func sameTuples(a, b []value.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = a[i].FullKey()
+		kb[i] = b[i].FullKey()
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	for _, kind := range []StoreKind{StoreHash, StoreBTree} {
+		for _, mode := range []Summarize{SummarizeGroupBy, SummarizeProject} {
+			def := Def{Name: fmt.Sprintf("v_%s_%s", kind, mode), Expr: algebra.NewScan(f.calls)}
+			if mode == SummarizeGroupBy {
+				def.Mode = SummarizeGroupBy
+				def.GroupCols = []int{0}
+				def.Aggs = []aggregate.Spec{
+					{Func: aggregate.Sum, Col: 1, Name: "total"},
+					{Func: aggregate.Avg, Col: 1, Name: "mean"},
+				}
+			} else {
+				def.Mode = SummarizeProject
+				def.Cols = []int{0}
+			}
+			v := mustNew(t, def, kind)
+			for i := 0; i < 20; i++ {
+				v.Apply(f.appendCall(t, string(rune('a'+i%4)), int64(i)))
+			}
+			snap := v.Checkpoint()
+
+			v2 := mustNew(t, def, kind)
+			if err := v2.RestoreCheckpoint(snap); err != nil {
+				t.Fatalf("%s: restore: %v", def.Name, err)
+			}
+			if !sameTuples(v.Rows(), v2.Rows()) {
+				t.Fatalf("%s: restore mismatch:\n%v\nvs\n%v", def.Name, v.Rows(), v2.Rows())
+			}
+			// The restored view must keep maintaining correctly.
+			d := f.appendCall(t, "a", 100)
+			v.Apply(d)
+			v2.Apply(d)
+			if !sameTuples(v.Rows(), v2.Rows()) {
+				t.Fatalf("%s: diverged after post-restore append", def.Name)
+			}
+		}
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	f := newFixture(t)
+	v := minutesPerAcct(t, f, StoreHash)
+	v.Apply(f.appendCall(t, "a", 1))
+	snap := v.Checkpoint()
+
+	if err := v.RestoreCheckpoint(nil); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+	bad := append([]byte("XXXX"), snap[4:]...)
+	if err := v.RestoreCheckpoint(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	badVer := append([]byte(nil), snap...)
+	badVer[4] = 99
+	if err := v.RestoreCheckpoint(badVer); err == nil {
+		t.Error("bad version accepted")
+	}
+	truncated := snap[:len(snap)-3]
+	if err := v.RestoreCheckpoint(truncated); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	trailing := append(append([]byte(nil), snap...), 0xAB)
+	if err := v.RestoreCheckpoint(trailing); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	// Schema drift: a view over a different schema rejects the checkpoint.
+	g2 := chronicle.NewGroup("g2")
+	other, _ := g2.NewChronicle("other", value.NewSchema(
+		value.Column{Name: "x", Kind: value.KindInt},
+	), chronicle.RetainAll)
+	v2 := mustNew(t, Def{
+		Name: "v2", Expr: algebra.NewScan(other), Mode: SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs:      []aggregate.Spec{{Func: aggregate.Count, Col: -1, Name: "n"}},
+	}, StoreHash)
+	if err := v2.RestoreCheckpoint(snap); err == nil {
+		t.Error("schema drift accepted")
+	}
+	// Aggregation count mismatch.
+	v3 := mustNew(t, Def{
+		Name: "v3", Expr: algebra.NewScan(f.calls), Mode: SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs:      []aggregate.Spec{{Func: aggregate.Count, Col: -1, Name: "n"}},
+	}, StoreHash)
+	if err := v3.RestoreCheckpoint(snap); err == nil {
+		t.Error("agg count mismatch accepted")
+	}
+	// A failed restore must leave the original state intact.
+	if got, ok := v.Lookup(value.Tuple{value.Str("a")}); !ok || got[1].AsInt() != 1 {
+		t.Errorf("view state damaged by failed restores: %v, %v", got, ok)
+	}
+}
+
+func TestRecomputeFailsOnLossyChronicle(t *testing.T) {
+	g := chronicle.NewGroup("g")
+	c, _ := g.NewChronicle("c", value.NewSchema(
+		value.Column{Name: "k", Kind: value.KindString},
+		value.Column{Name: "x", Kind: value.KindInt},
+	), chronicle.RetainNone)
+	v := mustNew(t, Def{
+		Name: "v", Expr: algebra.NewScan(c), Mode: SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs:      []aggregate.Spec{{Func: aggregate.Sum, Col: 1, Name: "s"}},
+	}, StoreHash)
+	rows, err := c.Append(0, 0, 1, []value.Tuple{{value.Str("a"), value.Int(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Apply(algebra.BatchDelta{c: rows})
+	// The view is correct even though the chronicle stored nothing …
+	if got, ok := v.Lookup(value.Tuple{value.Str("a")}); !ok || got[1].AsInt() != 5 {
+		t.Errorf("view over RetainNone chronicle = %v, %v", got, ok)
+	}
+	// … and recomputation is impossible, which is the whole point.
+	if _, err := v.Recompute(); err == nil {
+		t.Error("Recompute over a RetainNone chronicle must fail")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	f := newFixture(t)
+	for _, kind := range []StoreKind{StoreBTree, StoreHash} {
+		v := mustNew(t, Def{
+			Name: fmt.Sprintf("ranged_%s", kind), Expr: algebra.NewScan(f.calls),
+			Mode: SummarizeGroupBy, GroupCols: []int{0},
+			Aggs: []aggregate.Spec{{Func: aggregate.Sum, Col: 1, Name: "total"}},
+		}, kind)
+		for _, acct := range []string{"delta", "alpha", "echo", "bravo", "charlie"} {
+			v.Apply(f.appendCall(t, acct, 1))
+		}
+		var got []string
+		v.ScanRange(value.Tuple{value.Str("b")}, value.Tuple{value.Str("d")}, func(t value.Tuple) bool {
+			got = append(got, t[0].AsString())
+			return true
+		})
+		if len(got) != 2 || got[0] != "bravo" || got[1] != "charlie" {
+			t.Errorf("%s: ScanRange = %v", kind, got)
+		}
+		// Early stop.
+		count := 0
+		v.ScanRange(value.Tuple{value.Str("a")}, value.Tuple{value.Str("z")}, func(value.Tuple) bool {
+			count++
+			return false
+		})
+		if count != 1 {
+			t.Errorf("%s: early stop visited %d", kind, count)
+		}
+		// Empty range.
+		got = got[:0]
+		v.ScanRange(value.Tuple{value.Str("x")}, value.Tuple{value.Str("y")}, func(t value.Tuple) bool {
+			got = append(got, t[0].AsString())
+			return true
+		})
+		if len(got) != 0 {
+			t.Errorf("%s: empty range = %v", kind, got)
+		}
+	}
+}
+
+func TestScanOrderIsTupleOrder(t *testing.T) {
+	// With the order-preserving key encoding, both stores scan in group-key
+	// order — including numerically across int groups.
+	g := chronicle.NewGroup("g")
+	c, _ := g.NewChronicle("nums", value.NewSchema(
+		value.Column{Name: "n", Kind: value.KindInt},
+	), chronicle.RetainNone)
+	for _, kind := range []StoreKind{StoreBTree, StoreHash} {
+		v := mustNew(t, Def{
+			Name: fmt.Sprintf("byn_%s", kind), Expr: algebra.NewScan(c),
+			Mode: SummarizeGroupBy, GroupCols: []int{0},
+			Aggs: []aggregate.Spec{{Func: aggregate.Count, Col: -1, Name: "cnt"}},
+		}, kind)
+		for _, n := range []int64{10, -3, 200, 0, -40} {
+			v.ApplyRows([]chronicle.Row{{SN: n, Vals: value.Tuple{value.Int(n)}}})
+		}
+		var got []int64
+		v.Scan(func(t value.Tuple) bool { got = append(got, t[0].AsInt()); return true })
+		want := []int64{-40, -3, 0, 10, 200}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: scan order = %v, want %v", kind, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package wal implements the write-ahead log of a chronicle database.
+//
+// Transaction *recording* systems must not lose records: every durable
+// mutation (chronicle append, proactive relation update) is framed,
+// checksummed, and written to the log before it is applied. Because the
+// chronicle itself is not retained, the log plus the view checkpoints are
+// the only durable record of past activity; recovery replays the log tail
+// over the last checkpoint instead of reprocessing the full history (E12).
+//
+// Frame format: u32 little-endian payload length, u32 CRC-32 (IEEE) of the
+// payload, payload. Replay stops cleanly at the first torn or corrupt
+// frame, which is the expected crash shape for an append-only file.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"chronicledb/internal/value"
+)
+
+// RecordKind tags a log record.
+type RecordKind uint8
+
+// The record kinds.
+const (
+	// RecDDL is a schema statement (stored as its source text and replayed
+	// through the statement executor).
+	RecDDL RecordKind = iota
+	// RecAppend is a chronicle append (possibly multi-chronicle).
+	RecAppend
+	// RecUpsert is a proactive relation upsert.
+	RecUpsert
+	// RecDelete is a proactive relation delete (Tuple holds key values).
+	RecDelete
+)
+
+// Part is one chronicle's share of an append record.
+type Part struct {
+	Chronicle string
+	Tuples    []value.Tuple
+}
+
+// Record is one durable mutation.
+type Record struct {
+	Kind     RecordKind
+	Stmt     string // RecDDL
+	SN       int64  // RecAppend
+	Chronon  int64  // RecAppend
+	Parts    []Part // RecAppend
+	Relation string // RecUpsert / RecDelete
+	Tuple    value.Tuple
+}
+
+// Log is an append-only record log.
+type Log struct {
+	path     string
+	f        *os.File
+	w        *bufio.Writer
+	syncEach bool
+}
+
+// Open opens (creating if needed) the log at path for appending. When
+// syncEach is true every record is fsynced — the durable configuration; off,
+// records are buffered and flushed on Flush/Close (faster, test-friendly).
+func Open(path string, syncEach bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16), syncEach: syncEach}, nil
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// Append frames and writes one record.
+func (l *Log) Append(r Record) error {
+	payload := encodeRecord(nil, r)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	if l.syncEach {
+		return l.Sync()
+	}
+	return nil
+}
+
+// Flush pushes buffered records to the OS.
+func (l *Log) Flush() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs.
+func (l *Log) Sync() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Reset truncates the log to empty (after a successful checkpoint).
+func (l *Log) Reset() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	l.w.Reset(l.f)
+	return nil
+}
+
+// Replay reads records from path in order, calling fn for each. It stops
+// cleanly at the first torn or corrupt frame (the crash tail), reporting
+// how many records were applied and how many trailing bytes were ignored.
+// A missing file replays zero records.
+func Replay(path string, fn func(Record) error) (n int, ignored int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: read: %w", err)
+	}
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return n, int64(len(data) - off), nil
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen <= 0 || len(data)-off-8 < plen {
+			return n, int64(len(data) - off), nil
+		}
+		payload := data[off+8 : off+8+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return n, int64(len(data) - off), nil
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return n, int64(len(data) - off), nil
+		}
+		if err := fn(rec); err != nil {
+			return n, 0, fmt.Errorf("wal: applying record %d: %w", n, err)
+		}
+		n++
+		off += 8 + plen
+	}
+}
+
+func encodeRecord(dst []byte, r Record) []byte {
+	dst = append(dst, byte(r.Kind))
+	switch r.Kind {
+	case RecDDL:
+		dst = appendString(dst, r.Stmt)
+	case RecAppend:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.SN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Chronon))
+		dst = binary.AppendUvarint(dst, uint64(len(r.Parts)))
+		for _, p := range r.Parts {
+			dst = appendString(dst, p.Chronicle)
+			dst = binary.AppendUvarint(dst, uint64(len(p.Tuples)))
+			for _, t := range p.Tuples {
+				dst = value.AppendTuple(dst, t)
+			}
+		}
+	case RecUpsert, RecDelete:
+		dst = appendString(dst, r.Relation)
+		dst = value.AppendTuple(dst, r.Tuple)
+	}
+	return dst
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	if len(b) == 0 {
+		return Record{}, fmt.Errorf("wal: empty payload")
+	}
+	r := Record{Kind: RecordKind(b[0])}
+	b = b[1:]
+	switch r.Kind {
+	case RecDDL:
+		stmt, _, err := readString(b)
+		if err != nil {
+			return Record{}, err
+		}
+		r.Stmt = stmt
+	case RecAppend:
+		if len(b) < 16 {
+			return Record{}, fmt.Errorf("wal: truncated append header")
+		}
+		r.SN = int64(binary.LittleEndian.Uint64(b))
+		r.Chronon = int64(binary.LittleEndian.Uint64(b[8:]))
+		b = b[16:]
+		nParts, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return Record{}, fmt.Errorf("wal: bad part count")
+		}
+		b = b[sz:]
+		for i := uint64(0); i < nParts; i++ {
+			name, used, err := readString(b)
+			if err != nil {
+				return Record{}, err
+			}
+			b = b[used:]
+			nTuples, sz := binary.Uvarint(b)
+			if sz <= 0 {
+				return Record{}, fmt.Errorf("wal: bad tuple count")
+			}
+			b = b[sz:]
+			p := Part{Chronicle: name}
+			for j := uint64(0); j < nTuples; j++ {
+				t, used, err := value.DecodeTuple(b)
+				if err != nil {
+					return Record{}, err
+				}
+				p.Tuples = append(p.Tuples, t)
+				b = b[used:]
+			}
+			r.Parts = append(r.Parts, p)
+		}
+	case RecUpsert, RecDelete:
+		name, used, err := readString(b)
+		if err != nil {
+			return Record{}, err
+		}
+		b = b[used:]
+		t, _, err := value.DecodeTuple(b)
+		if err != nil {
+			return Record{}, err
+		}
+		r.Relation = name
+		r.Tuple = t
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	return r, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte) (string, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", 0, fmt.Errorf("wal: bad string")
+	}
+	return string(b[sz : sz+int(n)]), sz + int(n), nil
+}

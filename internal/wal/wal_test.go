@@ -1,0 +1,266 @@
+package wal
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chronicledb/internal/value"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: RecDDL, Stmt: "CREATE CHRONICLE calls (acct STRING, minutes INT)"},
+		{Kind: RecAppend, SN: 7, Chronon: 1234, Parts: []Part{
+			{Chronicle: "calls", Tuples: []value.Tuple{
+				{value.Str("a"), value.Int(10)},
+				{value.Str("b"), value.Int(20)},
+			}},
+		}},
+		{Kind: RecAppend, SN: 8, Chronon: 2345, Parts: []Part{
+			{Chronicle: "calls", Tuples: []value.Tuple{{value.Str("c"), value.Int(1)}}},
+			{Chronicle: "payments", Tuples: []value.Tuple{{value.Str("c"), value.Int(9)}}},
+		}},
+		{Kind: RecUpsert, Relation: "customers", Tuple: value.Tuple{value.Str("a"), value.Str("nj")}},
+		{Kind: RecDelete, Relation: "customers", Tuple: value.Tuple{value.Str("a")}},
+	}
+}
+
+func writeLog(t *testing.T, dir string, recs []Record) string {
+	t.Helper()
+	path := filepath.Join(dir, "test.wal")
+	l, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.Kind != b.Kind || a.Stmt != b.Stmt || a.SN != b.SN || a.Chronon != b.Chronon ||
+		a.Relation != b.Relation || len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	if !value.TuplesEqual(a.Tuple, b.Tuple) {
+		return false
+	}
+	for i := range a.Parts {
+		if a.Parts[i].Chronicle != b.Parts[i].Chronicle || len(a.Parts[i].Tuples) != len(b.Parts[i].Tuples) {
+			return false
+		}
+		for j := range a.Parts[i].Tuples {
+			if !value.TuplesEqual(a.Parts[i].Tuples[j], b.Parts[i].Tuples[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLog(t, t.TempDir(), recs)
+	var got []Record
+	n, ignored, err := Replay(path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) || ignored != 0 {
+		t.Fatalf("Replay = %d records, %d ignored", n, ignored)
+	}
+	for i := range recs {
+		if !recordsEqual(recs[i], got[i]) {
+			t.Errorf("record %d: %+v != %+v", i, recs[i], got[i])
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, ignored, err := Replay(filepath.Join(t.TempDir(), "absent.wal"), func(Record) error { return nil })
+	if err != nil || n != 0 || ignored != 0 {
+		t.Errorf("missing file: n=%d ignored=%d err=%v", n, ignored, err)
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLog(t, t.TempDir(), recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record: drop the last 3 bytes.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	n, ignored, err := Replay(path, func(Record) error { got++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs)-1 || got != len(recs)-1 {
+		t.Errorf("torn tail: replayed %d, want %d", n, len(recs)-1)
+	}
+	if ignored == 0 {
+		t.Error("torn bytes not reported")
+	}
+}
+
+func TestReplayCorruptMiddleStops(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLog(t, t.TempDir(), recs)
+	data, _ := os.ReadFile(path)
+	// Flip one byte inside the second record's payload.
+	data[20] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	n, ignored, err := Replay(path, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= len(recs) {
+		t.Errorf("corrupt record replayed: n=%d", n)
+	}
+	if ignored == 0 {
+		t.Error("corruption not reported as ignored bytes")
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	path := writeLog(t, t.TempDir(), sampleRecords())
+	_, _, err := Replay(path, func(r Record) error {
+		if r.Kind == RecUpsert {
+			return os.ErrInvalid
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("callback error not surfaced")
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reset.wal")
+	l, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(sampleRecords()[0])
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(sampleRecords()[3])
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	n, _, err := Replay(path, func(r Record) error { got = append(got, r); return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("after reset: n=%d err=%v", n, err)
+	}
+	if got[0].Kind != RecUpsert {
+		t.Errorf("after reset: %+v", got[0])
+	}
+}
+
+func TestSyncEach(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sync.wal")
+	l, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// With syncEach, the record is durable before Close.
+	n, _, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Errorf("pre-close replay: n=%d err=%v", n, err)
+	}
+	l.Close()
+}
+
+func TestReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "re.wal")
+	l, _ := Open(path, false)
+	l.Append(sampleRecords()[0])
+	l.Close()
+	l2, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(sampleRecords()[1])
+	l2.Close()
+	n, _, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 2 {
+		t.Errorf("reopen: n=%d err=%v", n, err)
+	}
+	if l2.Path() != path {
+		t.Error("Path mismatch")
+	}
+}
+
+func TestFlushMakesDurableWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flush.wal")
+	l, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append(sampleRecords()[0])
+	// Unflushed, the record may still sit in the buffer.
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Errorf("after Flush: n=%d err=%v", n, err)
+	}
+}
+
+func TestReplayUnknownKindStops(t *testing.T) {
+	// A frame with a valid CRC but an unknown kind byte stops replay cleanly.
+	payload := []byte{99}
+	var frame []byte
+	frame = append(frame, 1, 0, 0, 0) // length 1
+	crc := crc32.ChecksumIEEE(payload)
+	frame = append(frame, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	frame = append(frame, payload...)
+	path := filepath.Join(t.TempDir(), "bad.wal")
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, ignored, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 0 || ignored == 0 {
+		t.Errorf("unknown kind: n=%d ignored=%d err=%v", n, ignored, err)
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	cases := [][]byte{
+		{},                         // empty
+		{byte(RecAppend), 1, 2, 3}, // truncated append header
+		{byte(RecUpsert)},          // missing name
+		{byte(RecDDL), 200},        // bad string length
+	}
+	for i, b := range cases {
+		if _, err := decodeRecord(b); err == nil {
+			t.Errorf("case %d: decode accepted %v", i, b)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package chronicledb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/engine"
+	"chronicledb/internal/sqlparse"
+	"chronicledb/internal/value"
+	"chronicledb/internal/wal"
+)
+
+// Durability layout under Options.Dir:
+//
+//	catalog.sql     — every DDL statement, in order (schema is replayed
+//	                  through the normal planner at recovery)
+//	chronicle.wal   — framed, checksummed data mutations since the last
+//	                  checkpoint
+//	checkpoint.bin  — group high-water marks, retained chronicle windows,
+//	                  relation snapshots, view and periodic-view states
+//
+// Recovery order: catalog → checkpoint → WAL tail. A checkpoint atomically
+// replaces checkpoint.bin (write-temp, fsync, rename) and then truncates
+// the WAL, so recovery work is proportional to the log tail, not to the
+// full transactional history (experiment E12).
+
+const ckptMagic = "CDBC"
+
+// recover rebuilds in-memory state from disk. Called by Open before the
+// WAL is reopened for appending.
+func (db *DB) recover() error {
+	// 1. Catalog: replay DDL.
+	if src, err := os.ReadFile(db.catalogPath); err == nil && len(src) > 0 {
+		stmts, err := sqlparse.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("chronicledb: corrupt catalog: %w", err)
+		}
+		for _, s := range stmts {
+			if _, err := db.execOne(s, false); err != nil {
+				return fmt.Errorf("chronicledb: replaying catalog: %w", err)
+			}
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("chronicledb: catalog: %w", err)
+	}
+
+	// 2. Checkpoint.
+	ckptPath := filepath.Join(db.opts.Dir, "checkpoint.bin")
+	if data, err := os.ReadFile(ckptPath); err == nil {
+		if err := db.restoreCheckpoint(data); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("chronicledb: checkpoint: %w", err)
+	}
+
+	// 3. WAL tail.
+	walPath := filepath.Join(db.opts.Dir, "chronicle.wal")
+	_, _, err := wal.Replay(walPath, func(r wal.Record) error {
+		switch r.Kind {
+		case wal.RecDDL:
+			s, err := sqlparse.ParseOne(r.Stmt)
+			if err != nil {
+				return err
+			}
+			_, err = db.execOne(s, false)
+			return err
+		case wal.RecAppend:
+			parts := make([]engine.MutationPart, len(r.Parts))
+			for i, p := range r.Parts {
+				parts[i] = engine.MutationPart{Chronicle: p.Chronicle, Tuples: p.Tuples}
+			}
+			_, err := db.eng.AppendBatchAt(parts, r.SN, r.Chronon)
+			return err
+		case wal.RecUpsert:
+			return db.eng.Upsert(r.Relation, r.Tuple)
+		case wal.RecDelete:
+			_, err := db.eng.DeleteKey(r.Relation, r.Tuple)
+			return err
+		default:
+			return fmt.Errorf("unknown WAL record kind %d", r.Kind)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("chronicledb: WAL replay: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint atomically persists the database state and truncates the WAL.
+// It is a no-op (with an error) for in-memory databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.opts.Dir == "" {
+		return fmt.Errorf("chronicledb: checkpoint requires a durable database (Options.Dir)")
+	}
+	data := db.buildCheckpoint()
+	tmp := filepath.Join(db.opts.Dir, "checkpoint.tmp")
+	final := filepath.Join(db.opts.Dir, "checkpoint.bin")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("chronicledb: checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("chronicledb: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("chronicledb: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("chronicledb: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("chronicledb: checkpoint: %w", err)
+	}
+	if db.log != nil {
+		if err := db.log.Reset(); err != nil {
+			return fmt.Errorf("chronicledb: truncating WAL after checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) buildCheckpoint() []byte {
+	var b []byte
+	b = append(b, ckptMagic...)
+	b = append(b, 1) // version
+	b = binary.LittleEndian.AppendUint64(b, db.eng.LSN())
+
+	groups := db.eng.GroupNames()
+	b = binary.AppendUvarint(b, uint64(len(groups)))
+	for _, name := range groups {
+		g, _ := db.eng.Group(name)
+		b = appendName(b, name)
+		b = binary.LittleEndian.AppendUint64(b, uint64(g.LastSN()))
+	}
+
+	chrons := db.eng.ChronicleNames()
+	b = binary.AppendUvarint(b, uint64(len(chrons)))
+	for _, name := range chrons {
+		c, _ := db.eng.Chronicle(name)
+		b = appendName(b, name)
+		b = binary.LittleEndian.AppendUint64(b, uint64(c.Dropped()))
+		rows := c.Rows()
+		b = binary.AppendUvarint(b, uint64(len(rows)))
+		for _, r := range rows {
+			b = binary.LittleEndian.AppendUint64(b, uint64(r.SN))
+			b = binary.LittleEndian.AppendUint64(b, uint64(r.Chronon))
+			b = binary.LittleEndian.AppendUint64(b, r.LSN)
+			b = value.AppendTuple(b, r.Vals)
+		}
+	}
+
+	rels := db.eng.RelationNames()
+	b = binary.AppendUvarint(b, uint64(len(rels)))
+	for _, name := range rels {
+		r, _ := db.eng.Relation(name)
+		b = appendName(b, name)
+		var tuples []value.Tuple
+		r.Scan(func(t value.Tuple) bool {
+			tuples = append(tuples, t)
+			return true
+		})
+		b = binary.AppendUvarint(b, uint64(len(tuples)))
+		for _, t := range tuples {
+			b = value.AppendTuple(b, t)
+		}
+	}
+
+	views := db.eng.ViewNames()
+	b = binary.AppendUvarint(b, uint64(len(views)))
+	for _, name := range views {
+		v, _ := db.eng.View(name)
+		snap := v.Checkpoint()
+		b = appendName(b, name)
+		b = binary.AppendUvarint(b, uint64(len(snap)))
+		b = append(b, snap...)
+	}
+
+	pviews := db.eng.PeriodicViewNames()
+	b = binary.AppendUvarint(b, uint64(len(pviews)))
+	for _, name := range pviews {
+		pv, _ := db.eng.PeriodicView(name)
+		snap := pv.Checkpoint()
+		b = appendName(b, name)
+		b = binary.AppendUvarint(b, uint64(len(snap)))
+		b = append(b, snap...)
+	}
+	return b
+}
+
+func (db *DB) restoreCheckpoint(data []byte) error {
+	bad := func(what string) error {
+		return fmt.Errorf("chronicledb: corrupt checkpoint (%s)", what)
+	}
+	if len(data) < 13 || string(data[:4]) != ckptMagic {
+		return bad("header")
+	}
+	if data[4] != 1 {
+		return fmt.Errorf("chronicledb: unsupported checkpoint version %d", data[4])
+	}
+	off := 5
+	lsn := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	db.eng.RestoreLSN(lsn)
+
+	// Groups.
+	nGroups, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return bad("group count")
+	}
+	off += n
+	for i := uint64(0); i < nGroups; i++ {
+		name, used, err := readName(data[off:])
+		if err != nil {
+			return bad("group name")
+		}
+		off += used
+		if len(data)-off < 8 {
+			return bad("group sn")
+		}
+		lastSN := int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		if g, ok := db.eng.Group(name); ok && lastSN >= 0 {
+			g.RestoreLastSN(lastSN)
+		}
+	}
+
+	// Chronicles.
+	nChron, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return bad("chronicle count")
+	}
+	off += n
+	for i := uint64(0); i < nChron; i++ {
+		name, used, err := readName(data[off:])
+		if err != nil {
+			return bad("chronicle name")
+		}
+		off += used
+		if len(data)-off < 8 {
+			return bad("chronicle dropped")
+		}
+		dropped := int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		nRows, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return bad("chronicle rows")
+		}
+		off += n
+		rows := make([]chronicle.Row, nRows)
+		for j := range rows {
+			if len(data)-off < 24 {
+				return bad("chronicle row header")
+			}
+			rows[j].SN = int64(binary.LittleEndian.Uint64(data[off:]))
+			rows[j].Chronon = int64(binary.LittleEndian.Uint64(data[off+8:]))
+			rows[j].LSN = binary.LittleEndian.Uint64(data[off+16:])
+			off += 24
+			t, used, err := value.DecodeTuple(data[off:])
+			if err != nil {
+				return bad("chronicle row tuple")
+			}
+			rows[j].Vals = t
+			off += used
+		}
+		c, ok := db.eng.Chronicle(name)
+		if !ok {
+			return fmt.Errorf("chronicledb: checkpoint references unknown chronicle %q", name)
+		}
+		if err := c.Restore(rows, dropped); err != nil {
+			return err
+		}
+	}
+
+	// Relations.
+	nRels, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return bad("relation count")
+	}
+	off += n
+	for i := uint64(0); i < nRels; i++ {
+		name, used, err := readName(data[off:])
+		if err != nil {
+			return bad("relation name")
+		}
+		off += used
+		nTuples, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return bad("relation tuples")
+		}
+		off += n
+		r, ok := db.eng.Relation(name)
+		if !ok {
+			return fmt.Errorf("chronicledb: checkpoint references unknown relation %q", name)
+		}
+		for j := uint64(0); j < nTuples; j++ {
+			t, used, err := value.DecodeTuple(data[off:])
+			if err != nil {
+				return bad("relation tuple")
+			}
+			off += used
+			if err := r.Upsert(lsn, t); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Views.
+	nViews, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return bad("view count")
+	}
+	off += n
+	for i := uint64(0); i < nViews; i++ {
+		name, used, err := readName(data[off:])
+		if err != nil {
+			return bad("view name")
+		}
+		off += used
+		snapLen, n := binary.Uvarint(data[off:])
+		if n <= 0 || uint64(len(data)-off-n) < snapLen {
+			return bad("view snapshot")
+		}
+		off += n
+		v, ok := db.eng.View(name)
+		if !ok {
+			return fmt.Errorf("chronicledb: checkpoint references unknown view %q", name)
+		}
+		if err := v.RestoreCheckpoint(data[off : off+int(snapLen)]); err != nil {
+			return err
+		}
+		off += int(snapLen)
+	}
+
+	// Periodic views.
+	nPViews, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return bad("periodic view count")
+	}
+	off += n
+	for i := uint64(0); i < nPViews; i++ {
+		name, used, err := readName(data[off:])
+		if err != nil {
+			return bad("periodic view name")
+		}
+		off += used
+		snapLen, n := binary.Uvarint(data[off:])
+		if n <= 0 || uint64(len(data)-off-n) < snapLen {
+			return bad("periodic view snapshot")
+		}
+		off += n
+		pv, ok := db.eng.PeriodicView(name)
+		if !ok {
+			return fmt.Errorf("chronicledb: checkpoint references unknown periodic view %q", name)
+		}
+		if err := pv.RestoreCheckpoint(data[off : off+int(snapLen)]); err != nil {
+			return err
+		}
+		off += int(snapLen)
+	}
+	if off != len(data) {
+		return bad("trailing bytes")
+	}
+	return nil
+}
+
+func appendName(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readName(b []byte) (string, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", 0, fmt.Errorf("bad name")
+	}
+	return string(b[sz : sz+int(n)]), sz + int(n), nil
+}

@@ -1,0 +1,28 @@
+package chronicledb
+
+import "chronicledb/internal/value"
+
+// Value is a typed scalar: the cell type of chronicles, relations, and
+// views. Values are immutable.
+type Value = value.Value
+
+// Tuple is an ordered list of values.
+type Tuple = value.Tuple
+
+// Int returns an integer value.
+func Int(v int64) Value { return value.Int(v) }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return value.Float(v) }
+
+// Str returns a string value.
+func Str(v string) Value { return value.Str(v) }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return value.Bool(v) }
+
+// Chronon returns a time value from nanoseconds since the Unix epoch.
+func Chronon(ns int64) Value { return value.Chronon(ns) }
+
+// Null returns the null value.
+func Null() Value { return value.Null() }
