@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz examples clean
+.PHONY: all build test race vet check cover bench experiments fuzz examples clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the gate for every change: static analysis plus the full suite
+# under the race detector (the sharded kernel is concurrent by design).
+check: build vet race
 
 cover:
 	$(GO) test -cover ./...

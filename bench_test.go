@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment in DESIGN.md (E1–E13). The paper has no
+// Benchmarks, one per experiment in DESIGN.md (E1–E14). The paper has no
 // measured tables or figures of its own — it is a theory extended abstract —
 // so these benchmarks regenerate its quantitative *claims*: the IM
 // complexity-class separations (Theorems 4.2/4.4/4.5, Proposition 3.1) and
@@ -9,6 +9,7 @@ package chronicledb_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	chronicledb "chronicledb"
@@ -505,6 +506,54 @@ func BenchmarkE13_EndToEndAppend(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE14_ShardScaling — the sharded execution layer: concurrent
+// clients on disjoint chronicle groups, routed to single-writer shards.
+// Throughput should grow with the shard count up to the host's core count
+// (on a single-core host the curve is flat by design).
+func BenchmarkE14_ShardScaling(b *testing.B) {
+	const clients = 8
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db, err := chronicledb.Open(chronicledb.Options{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			for c := 0; c < clients; c++ {
+				stmts := fmt.Sprintf(`CREATE CHRONICLE calls%[1]d (acct STRING, minutes INT) IN GROUP g%[1]d;
+					CREATE VIEW usage%[1]d AS SELECT acct, SUM(minutes) AS total FROM calls%[1]d GROUP BY acct`, c)
+				if _, err := db.Exec(stmts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batch := make([]chronicledb.Tuple, 64)
+			for i := range batch {
+				batch[i] = chronicledb.Tuple{chronicledb.Str(bench.Acct(i % 64)), chronicledb.Int(3)}
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					name := fmt.Sprintf("calls%d", c)
+					for done := 0; done < b.N/clients; done += len(batch) {
+						n := len(batch)
+						if b.N/clients-done < n {
+							n = b.N/clients - done
+						}
+						if _, _, err := db.AppendRows(name, batch[:n]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
 		})
 	}
 }

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	chronicled [-addr :7457] [-dir /var/lib/chronicledb] [-sync]
-//	           [-retain all|none|N] [-checkpoint-every N]
+//	           [-retain all|none|N] [-checkpoint-every N] [-shards N]
 //
 // With -dir, the database is durable: appends hit the WAL before views are
 // maintained, and every N appends (default 10000) the server checkpoints
@@ -16,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -31,6 +32,7 @@ func main() {
 		retain    = flag.String("retain", "none", "default chronicle retention: all, none, or a row count")
 		ckptEvery = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 disables; durable mode only)")
 		initFile  = flag.String("init", "", "SQL file executed at startup (idempotence is the caller's concern)")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "single-writer shards (0 = classic single-engine kernel)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,7 @@ func main() {
 	db, err := chronicledb.Open(chronicledb.Options{
 		Dir:              *dir,
 		SyncWAL:          *sync,
+		Shards:           *shards,
 		DefaultRetention: retention,
 	})
 	if err != nil {
@@ -69,7 +72,7 @@ func main() {
 		}()
 	}
 
-	log.Printf("chronicled listening on %s (dir=%q retain=%s)", *addr, *dir, *retain)
+	log.Printf("chronicled listening on %s (dir=%q retain=%s shards=%d)", *addr, *dir, *retain, *shards)
 	log.Fatal(http.ListenAndServe(*addr, server.New(db)))
 }
 

@@ -6,9 +6,13 @@ import (
 	"path/filepath"
 	"sync"
 
+	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/engine"
+	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
+	"chronicledb/internal/shard"
+	"chronicledb/internal/stats"
 	"chronicledb/internal/value"
 	"chronicledb/internal/view"
 	"chronicledb/internal/wal"
@@ -21,6 +25,12 @@ type Options struct {
 	Dir string
 	// SyncWAL fsyncs every WAL record (durable but slow). Ignored without Dir.
 	SyncWAL bool
+	// Shards > 0 runs the sharded execution layer: chronicle groups (and
+	// their views) are hash-partitioned across that many single-writer
+	// shards, each with its own engine and WAL segment; relation updates
+	// apply under a cross-shard epoch barrier. Zero keeps the classic
+	// single-engine kernel.
+	Shards int
 	// DefaultRetention applies to chronicles created without RETAIN. The
 	// zero value (RetainNone) is the pure chronicle model: nothing stored.
 	DefaultRetention Retention
@@ -53,51 +63,215 @@ type Result struct {
 	Message string
 }
 
+// Kernel is the execution surface shared by the single-engine kernel
+// (*engine.Engine) and the sharded router (*shard.Router). The statement
+// executor, recovery, and checkpointing all run against it, so the two
+// kernels are interchangeable behind the DB facade.
+type Kernel interface {
+	CreateGroup(name string) (*chronicle.Group, error)
+	CreateChronicle(name, groupName string, schema *value.Schema, retain *chronicle.Retention) (*chronicle.Chronicle, error)
+	CreateRelation(name string, schema *value.Schema, keyCols []int) (*relation.Relation, error)
+	CreateView(def view.Def, kind view.StoreKind, filter pred.Predicate, filterChronicle *chronicle.Chronicle) (*view.View, error)
+	CreatePeriodicView(name string, def view.Def, cal calendar.Calendar, expireAfter int64, kind view.StoreKind) (*calendar.PeriodicView, error)
+	DropView(name string) error
+
+	Append(chronicleName string, tuples []value.Tuple) (int64, error)
+	AppendEach(chronicleName string, tuples []value.Tuple) (first, last int64, err error)
+	AppendBatch(parts []engine.MutationPart) (int64, error)
+	AppendAt(chronicleName string, sn, chronon int64, tuples []value.Tuple) (int64, error)
+	AppendBatchAt(parts []engine.MutationPart, sn, chronon int64) (int64, error)
+	Upsert(relationName string, t value.Tuple) error
+	DeleteKey(relationName string, keyVals value.Tuple) (bool, error)
+
+	Stats() engine.Stats
+	MaintenanceLatency() stats.Snapshot
+	LSN() uint64
+	RestoreLSN(lsn uint64)
+
+	Group(name string) (*chronicle.Group, bool)
+	GroupNames() []string
+	Chronicle(name string) (*chronicle.Chronicle, bool)
+	ChronicleNames() []string
+	ChronicleRows(name string) ([]chronicle.Row, error)
+	Relation(name string) (*relation.Relation, bool)
+	RelationNames() []string
+	RelationRows(name string) ([]value.Tuple, error)
+	View(name string) (*view.View, bool)
+	ViewNames() []string
+	ViewLookup(name string, key value.Tuple) (value.Tuple, bool, error)
+	ViewRows(name string) ([]value.Tuple, error)
+	ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error)
+	PeriodicView(name string) (*calendar.PeriodicView, bool)
+	PeriodicViewNames() []string
+}
+
 // DB is a chronicle database: Definition 2.1's (C, R, L, V) with a
 // declarative statement interface, durability, and recovery.
 type DB struct {
 	mu   sync.Mutex
-	eng  *engine.Engine
+	eng  Kernel
 	opts Options
 
-	log         *wal.Log
+	// Exactly one of these backs eng.
+	uno    *engine.Engine
+	router *shard.Router
+
+	// Open WAL logs. Unsharded: [chronicle.wal]. Sharded: one segment per
+	// shard followed by the relation segment.
+	logs        []*wal.Log
 	catalogPath string
 }
 
 // Open creates or reopens a database. With Options.Dir set, Open replays
 // the catalog, the latest checkpoint, and the WAL tail, in that order.
+// Reopening a directory with a different shard count (including switching
+// between sharded and unsharded) recovers the old layout, checkpoints, and
+// rewrites the WAL layout for the new count.
 func Open(opts Options) (*DB, error) {
-	db := &DB{
-		eng: engine.New(engine.Config{
-			DefaultRetention: opts.DefaultRetention,
-			RelationHistory:  opts.RelationHistory,
-			DispatchIndexed:  !opts.NoDispatchIndex,
-			Clock:            opts.Clock,
-		}),
-		opts: opts,
+	db := &DB{opts: opts}
+	ecfg := engine.Config{
+		DefaultRetention: opts.DefaultRetention,
+		RelationHistory:  opts.RelationHistory,
+		DispatchIndexed:  !opts.NoDispatchIndex,
+		Clock:            opts.Clock,
+	}
+	if opts.Shards > 0 {
+		r, err := shard.NewRouter(shard.Config{Shards: opts.Shards, Engine: ecfg})
+		if err != nil {
+			return nil, fmt.Errorf("chronicledb: %w", err)
+		}
+		db.router = r
+		db.eng = r
+	} else {
+		db.uno = engine.New(ecfg)
+		db.eng = db.uno
 	}
 	if opts.Dir == "" {
 		return db, nil
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		db.stopKernel()
 		return nil, fmt.Errorf("chronicledb: %w", err)
 	}
 	db.catalogPath = filepath.Join(opts.Dir, "catalog.sql")
-	if err := db.recover(); err != nil {
-		return nil, err
-	}
-	log, err := wal.Open(filepath.Join(opts.Dir, "chronicle.wal"), opts.SyncWAL)
+
+	oldManifest, hadManifest, err := wal.ReadManifest(opts.Dir)
 	if err != nil {
+		db.stopKernel()
 		return nil, fmt.Errorf("chronicledb: %w", err)
 	}
-	db.log = log
-	db.eng.SetRecorder(db.record)
+	if err := db.recover(oldManifest, hadManifest); err != nil {
+		db.stopKernel()
+		return nil, err
+	}
+	if err := db.openLogs(); err != nil {
+		db.stopKernel()
+		return nil, err
+	}
+	db.installRecorders()
+	if err := db.normalizeLayout(oldManifest, hadManifest); err != nil {
+		db.Close()
+		return nil, err
+	}
 	return db, nil
 }
 
-// record is the engine's WAL hook.
-func (db *DB) record(m engine.Mutation) error {
-	rec := wal.Record{SN: m.SN, Chronon: m.Chronon, Relation: m.Relation, Tuple: m.Tuple}
+// openLogs opens the WAL files for the active kernel layout.
+func (db *DB) openLogs() error {
+	var paths []string
+	if db.router != nil {
+		for i := 0; i < db.router.NumShards(); i++ {
+			paths = append(paths, filepath.Join(db.opts.Dir, wal.SegmentName(i)))
+		}
+		paths = append(paths, filepath.Join(db.opts.Dir, wal.RelationSegment))
+	} else {
+		paths = append(paths, filepath.Join(db.opts.Dir, "chronicle.wal"))
+	}
+	for _, p := range paths {
+		log, err := wal.Open(p, db.opts.SyncWAL)
+		if err != nil {
+			db.closeLogs()
+			return fmt.Errorf("chronicledb: %w", err)
+		}
+		db.logs = append(db.logs, log)
+	}
+	return nil
+}
+
+// installRecorders wires each kernel mutation source to its WAL log.
+func (db *DB) installRecorders() {
+	if db.router != nil {
+		// Each shard's appends go to its own segment; relation updates
+		// (which the router applies itself, under the barrier) go to the
+		// relation segment.
+		for i := 0; i < db.router.NumShards(); i++ {
+			log := db.logs[i]
+			db.router.Engine(i).SetRecorder(func(m engine.Mutation) error {
+				return log.Append(toRecord(m))
+			})
+		}
+		relLog := db.logs[len(db.logs)-1]
+		db.router.SetRelationRecorder(func(m engine.Mutation) error {
+			return relLog.Append(toRecord(m))
+		})
+		return
+	}
+	db.uno.SetRecorder(func(m engine.Mutation) error {
+		return db.logs[0].Append(toRecord(m))
+	})
+}
+
+// normalizeLayout converts the on-disk WAL layout to the active kernel's
+// shape after a shard-count change: everything recovered is checkpointed
+// (so no WAL record is still needed), stale segments are removed, and the
+// manifest is rewritten last.
+func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
+	legacyWAL := filepath.Join(db.opts.Dir, "chronicle.wal")
+	if db.router == nil {
+		if !hadManifest {
+			return nil // classic layout already
+		}
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		for _, seg := range old.Segments {
+			os.Remove(filepath.Join(db.opts.Dir, seg))
+		}
+		os.Remove(filepath.Join(db.opts.Dir, wal.ManifestName))
+		return wal.SyncDir(db.opts.Dir)
+	}
+	_, statErr := os.Stat(legacyWAL)
+	hadLegacy := statErr == nil
+	if hadManifest && old.Shards == db.router.NumShards() && !hadLegacy {
+		return nil // layout already matches
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	cur := wal.NewManifest(db.router.NumShards())
+	keep := make(map[string]bool, len(cur.Segments))
+	for _, seg := range cur.Segments {
+		keep[seg] = true
+	}
+	if hadManifest {
+		for _, seg := range old.Segments {
+			if !keep[seg] {
+				os.Remove(filepath.Join(db.opts.Dir, seg))
+			}
+		}
+	}
+	if hadLegacy {
+		os.Remove(legacyWAL)
+	}
+	if err := wal.WriteManifest(db.opts.Dir, cur); err != nil {
+		return fmt.Errorf("chronicledb: %w", err)
+	}
+	return nil
+}
+
+// toRecord converts an engine mutation to its WAL record.
+func toRecord(m engine.Mutation) wal.Record {
+	rec := wal.Record{LSN: m.LSN, SN: m.SN, Chronon: m.Chronon, Relation: m.Relation, Tuple: m.Tuple}
 	switch m.Kind {
 	case engine.MutAppend:
 		rec.Kind = wal.RecAppend
@@ -109,20 +283,40 @@ func (db *DB) record(m engine.Mutation) error {
 	case engine.MutDelete:
 		rec.Kind = wal.RecDelete
 	}
-	return db.log.Append(rec)
+	return rec
 }
 
-// Close flushes and closes the WAL. The in-memory state stays usable for
-// reads but further updates will fail to persist.
+// stopKernel stops shard writers (no-op for the single-engine kernel).
+func (db *DB) stopKernel() {
+	if db.router != nil {
+		db.router.Close()
+	}
+}
+
+func (db *DB) closeLogs() error {
+	var first error
+	for _, l := range db.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.logs = nil
+	return first
+}
+
+// Close drains shard writers and flushes and closes the WAL. The in-memory
+// state stays usable for reads but further updates will fail.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.log == nil {
+	db.stopKernel()
+	if db.logs == nil {
 		return nil
 	}
-	err := db.log.Close()
-	db.log = nil
-	db.eng.SetRecorder(nil)
+	err := db.closeLogs()
+	if db.uno != nil {
+		db.uno.SetRecorder(nil)
+	}
 	return err
 }
 
@@ -130,17 +324,36 @@ func (db *DB) Close() error {
 func (db *DB) Flush() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.log == nil {
-		return nil
+	var first error
+	for _, l := range db.logs {
+		if err := l.Sync(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return db.log.Sync()
+	return first
 }
 
-// Engine exposes the kernel for advanced callers (benchmarks, tests).
-func (db *DB) Engine() *engine.Engine { return db.eng }
+// Engine exposes the kernel for advanced callers (benchmarks, tests). In
+// sharded mode this is the *shard.Router, otherwise the *engine.Engine.
+func (db *DB) Engine() Kernel { return db.eng }
 
-// Stats returns engine counters.
+// Router returns the shard router, or nil for a single-engine database.
+func (db *DB) Router() *shard.Router { return db.router }
+
+// Shards reports the shard count (0 for the single-engine kernel).
+func (db *DB) Shards() int {
+	if db.router == nil {
+		return 0
+	}
+	return db.router.NumShards()
+}
+
+// Stats returns engine counters (summed across shards when sharded).
 func (db *DB) Stats() engine.Stats { return db.eng.Stats() }
+
+// MaintenanceLatency returns the per-append view maintenance latency
+// distribution, merged across shards when sharded.
+func (db *DB) MaintenanceLatency() stats.Snapshot { return db.eng.MaintenanceLatency() }
 
 // Chronicle implements sqlparse.Catalog.
 func (db *DB) Chronicle(name string) (*chronicle.Chronicle, bool) {
@@ -159,6 +372,13 @@ func (db *DB) View(name string) (*view.View, bool) { return db.eng.View(name) }
 // maintaining every affected persistent view before returning.
 func (db *DB) Append(chronicleName string, tuples ...value.Tuple) (int64, error) {
 	return db.eng.Append(chronicleName, tuples)
+}
+
+// AppendRows bulk-ingests tuples into a chronicle, one transaction (own
+// sequence number and maintenance round) per tuple, applied under a single
+// kernel pass. It returns the first and last sequence numbers assigned.
+func (db *DB) AppendRows(chronicleName string, tuples []value.Tuple) (first, last int64, err error) {
+	return db.eng.AppendEach(chronicleName, tuples)
 }
 
 // Upsert applies a proactive relation update.

@@ -56,7 +56,7 @@ func RunE13(cfg Config) (*Table, error) {
 				return err
 			}
 		}
-		lat := db.Engine().MaintenanceLatency()
+		lat := db.MaintenanceLatency()
 		t.AddRow(label, fmt.Sprint(lat.P50), fmt.Sprint(lat.P95), fmt.Sprint(lat.P99), fmt.Sprint(lat.Max))
 		return nil
 	}

@@ -1,7 +1,7 @@
 // Package bench is the experiment harness: it regenerates, as measured
 // tables, every claim of the chronicle paper with quantitative content.
 // The paper (a theory extended abstract) has no tables or figures of its
-// own, so the experiment list in DESIGN.md — E1..E13 — plays that role:
+// own, so the experiment list in DESIGN.md — E1..E14 — plays that role:
 // each experiment's expected *shape* (who wins, what the scaling exponent
 // is, where the crossover falls) comes straight from a theorem or a
 // Section-5 design argument, and EXPERIMENTS.md records claim vs measured.
@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"E11", "proactive updates and temporal joins", RunE11},
 		{"E12", "recovery: checkpoint + WAL tail vs full replay", RunE12},
 		{"E13", "end-to-end maintenance latency distribution", RunE13},
+		{"E14", "shard scaling: concurrent appends vs shard count", RunE14},
 	}
 }
 

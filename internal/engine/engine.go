@@ -54,10 +54,11 @@ type Stats struct {
 
 // Engine is the chronicle database system kernel.
 type Engine struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	cfg Config
 
 	lsn        uint64
+	lsnSrc     func() uint64 // shared LSN domain (sharded mode); nil = internal counter
 	groups     map[string]*chronicle.Group
 	chronicles map[string]*chronicle.Chronicle
 	relations  map[string]*relation.Relation
@@ -78,6 +79,7 @@ type Engine struct {
 // Mutation describes one durable engine mutation, in replayable form.
 type Mutation struct {
 	Kind     MutationKind
+	LSN      uint64 // logical sequence number assigned to this mutation
 	SN       int64
 	Chronon  int64
 	Parts    []MutationPart // appends
@@ -125,10 +127,22 @@ func (e *Engine) SetRecorder(fn func(Mutation) error) {
 	e.onRecord = fn
 }
 
-// Stats returns a copy of the engine counters.
-func (e *Engine) Stats() Stats {
+// SetLSNSource makes the engine draw LSNs from an external allocator
+// instead of its internal counter. The shard router installs one shared
+// allocator into every shard engine so that chronicle rows and relation
+// versions live in a single, totally ordered LSN domain — which is what
+// makes cross-shard proactive-update semantics (and AsOf reference
+// evaluation) exact.
+func (e *Engine) SetLSNSource(next func() uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lsnSrc = next
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.stats
 }
 
@@ -200,6 +214,20 @@ func (e *Engine) CreateRelation(name string, schema *value.Schema, keyCols []int
 	}
 	e.relations[name] = r
 	return r, nil
+}
+
+// AdoptRelation registers an externally created relation in this engine's
+// catalog. The shard router uses it to share one relation instance across
+// every shard: relations cut across chronicle groups, so all shards must
+// resolve a relation name to the same versioned state.
+func (e *Engine) AdoptRelation(r *relation.Relation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.claimName(r.Name(), "relation"); err != nil {
+		return err
+	}
+	e.relations[r.Name()] = r
+	return nil
 }
 
 // CreateView materializes a persistent view and registers it for dispatch.
@@ -326,14 +354,15 @@ func (e *Engine) appendLocked(chronicleName string, tuples []value.Tuple, snOver
 	if chOverride != nil {
 		chronon = *chOverride
 	}
+	lsn := e.nextLSN()
 	if e.onRecord != nil {
-		m := Mutation{Kind: MutAppend, SN: sn, Chronon: chronon,
+		m := Mutation{Kind: MutAppend, LSN: lsn, SN: sn, Chronon: chronon,
 			Parts: []MutationPart{{Chronicle: chronicleName, Tuples: tuples}}}
 		if err := e.onRecord(m); err != nil {
 			return 0, fmt.Errorf("engine: recording append: %w", err)
 		}
 	}
-	rows, err := c.Append(sn, chronon, e.nextLSN(), tuples)
+	rows, err := c.Append(sn, chronon, lsn, tuples)
 	if err != nil {
 		return 0, err
 	}
@@ -389,12 +418,13 @@ func (e *Engine) appendBatchLocked(parts []MutationPart, snOverride, chOverride 
 	if chOverride != nil {
 		chronon = *chOverride
 	}
+	lsn := e.nextLSN()
 	if e.onRecord != nil {
-		if err := e.onRecord(Mutation{Kind: MutAppend, SN: sn, Chronon: chronon, Parts: parts}); err != nil {
+		if err := e.onRecord(Mutation{Kind: MutAppend, LSN: lsn, SN: sn, Chronon: chronon, Parts: parts}); err != nil {
 			return 0, fmt.Errorf("engine: recording append: %w", err)
 		}
 	}
-	deltas, err := g.AppendBatch(sn, chronon, e.nextLSN(), resolved)
+	deltas, err := g.AppendBatch(sn, chronon, lsn, resolved)
 	if err != nil {
 		return 0, err
 	}
@@ -404,6 +434,30 @@ func (e *Engine) appendBatchLocked(parts []MutationPart, snOverride, chOverride 
 		e.stats.TuplesAppended += int64(len(p.Tuples))
 	}
 	return sn, nil
+}
+
+// AppendEach inserts each tuple as its own append transaction (its own
+// sequence number and view-maintenance round) but acquires the engine
+// lock once for the whole run — the bulk ingest path. It returns the first
+// and last sequence numbers assigned. On error, tuples before the failing
+// one remain applied, matching a loop of Append calls.
+func (e *Engine) AppendEach(chronicleName string, tuples []value.Tuple) (first, last int64, err error) {
+	if len(tuples) == 0 {
+		return 0, 0, fmt.Errorf("engine: empty append")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, t := range tuples {
+		sn, err := e.appendLocked(chronicleName, []value.Tuple{t}, nil, nil)
+		if err != nil {
+			return first, last, fmt.Errorf("engine: tuple %d: %w", i, err)
+		}
+		if i == 0 {
+			first = sn
+		}
+		last = sn
+	}
+	return first, last, nil
 }
 
 // maintain dispatches one append's deltas to every affected persistent and
@@ -437,9 +491,18 @@ func (e *Engine) maintain(deltas map[*chronicle.Chronicle][]chronicle.Row, chron
 // maintenance time — the operational readout of the view language's IM
 // class: SCA1 views keep this flat forever.
 func (e *Engine) MaintenanceLatency() stats.Snapshot {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.maintLat.Snapshot()
+}
+
+// MaintenanceHistogram returns a copy of the raw maintenance-latency
+// histogram so callers (the shard router's scatter/gather stats path) can
+// Merge distributions across engines before summarizing.
+func (e *Engine) MaintenanceHistogram() stats.Histogram {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.maintLat
 }
 
 // Upsert applies a proactive relation update.
@@ -455,12 +518,13 @@ func (e *Engine) Upsert(relationName string, t value.Tuple) error {
 		return fmt.Errorf("engine: relation %s: %w", relationName, err)
 	}
 	t = coerced
+	lsn := e.nextLSN()
 	if e.onRecord != nil {
-		if err := e.onRecord(Mutation{Kind: MutUpsert, Relation: relationName, Tuple: t}); err != nil {
+		if err := e.onRecord(Mutation{Kind: MutUpsert, LSN: lsn, Relation: relationName, Tuple: t}); err != nil {
 			return fmt.Errorf("engine: recording upsert: %w", err)
 		}
 	}
-	if err := r.Upsert(e.nextLSN(), t); err != nil {
+	if err := r.Upsert(lsn, t); err != nil {
 		return err
 	}
 	e.stats.RelationUpdates++
@@ -475,12 +539,13 @@ func (e *Engine) DeleteKey(relationName string, keyVals value.Tuple) (bool, erro
 	if !ok {
 		return false, fmt.Errorf("engine: unknown relation %q", relationName)
 	}
+	lsn := e.nextLSN()
 	if e.onRecord != nil {
-		if err := e.onRecord(Mutation{Kind: MutDelete, Relation: relationName, Tuple: keyVals}); err != nil {
+		if err := e.onRecord(Mutation{Kind: MutDelete, LSN: lsn, Relation: relationName, Tuple: keyVals}); err != nil {
 			return false, fmt.Errorf("engine: recording delete: %w", err)
 		}
 	}
-	deleted := r.Delete(e.nextLSN(), keyVals)
+	deleted := r.Delete(lsn, keyVals)
 	if deleted {
 		e.stats.RelationUpdates++
 	}
@@ -488,14 +553,19 @@ func (e *Engine) DeleteKey(relationName string, keyVals value.Tuple) (bool, erro
 }
 
 func (e *Engine) nextLSN() uint64 {
+	if e.lsnSrc != nil {
+		return e.lsnSrc()
+	}
 	e.lsn++
 	return e.lsn
 }
 
-// LSN returns the current logical sequence number.
+// LSN returns the current logical sequence number. With an external LSN
+// source installed the router owns the counter; this reports only the
+// internal one.
 func (e *Engine) LSN() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.lsn
 }
 
@@ -511,8 +581,8 @@ func (e *Engine) RestoreLSN(lsn uint64) {
 
 // GroupNames returns the chronicle group names, sorted.
 func (e *Engine) GroupNames() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.groups))
 	for n := range e.groups {
 		out = append(out, n)
@@ -523,16 +593,16 @@ func (e *Engine) GroupNames() []string {
 
 // Chronicle returns a chronicle by name.
 func (e *Engine) Chronicle(name string) (*chronicle.Chronicle, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	c, ok := e.chronicles[name]
 	return c, ok
 }
 
 // Relation returns a relation by name.
 func (e *Engine) Relation(name string) (*relation.Relation, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	r, ok := e.relations[name]
 	return r, ok
 }
@@ -542,8 +612,8 @@ func (e *Engine) Relation(name string) (*relation.Relation, bool) {
 // the engine's ViewLookup/ViewRows/ViewScanRange instead, which hold the
 // engine mutex.
 func (e *Engine) View(name string) (*view.View, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	v, ok := e.views[name]
 	return v, ok
 }
@@ -551,8 +621,8 @@ func (e *Engine) View(name string) (*view.View, bool) {
 // ViewLookup answers a summary query from a persistent view by group key,
 // serialized against appends.
 func (e *Engine) ViewLookup(name string, key value.Tuple) (value.Tuple, bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	v, ok := e.views[name]
 	if !ok {
 		return nil, false, fmt.Errorf("engine: unknown view %q", name)
@@ -563,8 +633,8 @@ func (e *Engine) ViewLookup(name string, key value.Tuple) (value.Tuple, bool, er
 
 // ViewRows materializes a view's contents, serialized against appends.
 func (e *Engine) ViewRows(name string) ([]value.Tuple, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	v, ok := e.views[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown view %q", name)
@@ -575,8 +645,8 @@ func (e *Engine) ViewRows(name string) ([]value.Tuple, error) {
 // RelationRows materializes a relation's live tuples in key order,
 // serialized against updates.
 func (e *Engine) RelationRows(name string) ([]value.Tuple, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	r, ok := e.relations[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown relation %q", name)
@@ -592,8 +662,8 @@ func (e *Engine) RelationRows(name string) ([]value.Tuple, error) {
 // ChronicleRows copies a chronicle's retained window, serialized against
 // appends.
 func (e *Engine) ChronicleRows(name string) ([]chronicle.Row, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	c, ok := e.chronicles[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown chronicle %q", name)
@@ -604,8 +674,8 @@ func (e *Engine) ChronicleRows(name string) ([]chronicle.Row, error) {
 // ViewScanRange collects the view rows with group key in [lo, hi),
 // serialized against appends.
 func (e *Engine) ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	v, ok := e.views[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown view %q", name)
@@ -620,16 +690,16 @@ func (e *Engine) ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, 
 
 // PeriodicView returns a periodic view family by name.
 func (e *Engine) PeriodicView(name string) (*calendar.PeriodicView, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	pv, ok := e.periodics[name]
 	return pv, ok
 }
 
 // Group returns a chronicle group by name.
 func (e *Engine) Group(name string) (*chronicle.Group, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	g, ok := e.groups[name]
 	return g, ok
 }
@@ -647,8 +717,8 @@ func (e *Engine) RelationNames() []string { return e.sortedNames("relation") }
 func (e *Engine) PeriodicViewNames() []string { return e.sortedNames("periodic view") }
 
 func (e *Engine) sortedNames(kind string) []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var out []string
 	for n, k := range e.names {
 		if k == kind {

@@ -104,22 +104,22 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	schema := c.Schema()
-	var firstSN, lastSN int64
+	tuples := make([]value.Tuple, len(req.Rows))
 	for i, raw := range req.Rows {
 		tuple, err := tupleFromJSON(schema, raw)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("row %d: %w", i, err))
 			return
 		}
-		sn, err := s.db.Append(req.Chronicle, tuple)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("row %d: %w", i, err))
-			return
-		}
-		if i == 0 {
-			firstSN = sn
-		}
-		lastSN = sn
+		tuples[i] = tuple
+	}
+	// One bulk call: each row is still its own transaction (own SN and
+	// maintenance round), but the whole run crosses the kernel — and, when
+	// sharded, the shard queue — once.
+	firstSN, lastSN, err := s.db.AppendRows(req.Chronicle, tuples)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, AppendResponse{FirstSN: firstSN, LastSN: lastSN, Rows: len(req.Rows)})
 }
@@ -161,8 +161,9 @@ func tupleFromJSON(schema *value.Schema, raw []any) (value.Tuple, error) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.db.Stats()
-	lat := s.db.Engine().MaintenanceLatency()
+	lat := s.db.MaintenanceLatency()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":             s.db.Shards(),
 		"appends":            st.Appends,
 		"tuples_appended":    st.TuplesAppended,
 		"relation_updates":   st.RelationUpdates,

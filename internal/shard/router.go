@@ -1,0 +1,658 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"chronicledb/internal/algebra"
+	"chronicledb/internal/calendar"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/engine"
+	"chronicledb/internal/pred"
+	"chronicledb/internal/relation"
+	"chronicledb/internal/stats"
+	"chronicledb/internal/value"
+	"chronicledb/internal/view"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Shards is the number of single-writer shards (≥ 1).
+	Shards int
+	// QueueDepth is each shard's append-queue capacity (default 1024).
+	QueueDepth int
+	// Engine is the per-shard engine configuration.
+	Engine engine.Config
+}
+
+// Router fronts N single-writer shards. Chronicle groups (and the views
+// that depend on them) are hash-partitioned across shards; relations are
+// shared state updated under an epoch barrier; queries scatter/gather.
+type Router struct {
+	cfg    Config
+	shards []*shardState
+	wg     sync.WaitGroup
+
+	// lsn is the shared LSN allocator: every shard engine and every
+	// relation update draws from it, giving one total mutation order.
+	lsn atomic.Uint64
+
+	// relGate is the epoch barrier. Shard writers and direct appliers hold
+	// the read side per batch; relation updates, checkpoints, and other
+	// quiescing operations take the write side.
+	relGate sync.RWMutex
+	// relMu serializes relation updates (and guards relRecorder).
+	relMu       sync.Mutex
+	relRecorder func(engine.Mutation) error
+	relUpdates  atomic.Int64
+
+	// mu guards the routing catalog.
+	mu        sync.RWMutex
+	names     map[string]string // object name -> kind, across all shards
+	chronHome map[string]int    // chronicle name -> shard index
+	viewHome  map[string]int    // view / periodic-view name -> shard index
+	relations map[string]*relation.Relation
+
+	// closeMu guards closed and the shard queues against concurrent Close.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// NewRouter creates a router with cfg.Shards single-writer shards.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	r := &Router{
+		cfg:       cfg,
+		names:     make(map[string]string),
+		chronHome: make(map[string]int),
+		viewHome:  make(map[string]int),
+		relations: make(map[string]*relation.Relation),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shardState{
+			id:   i,
+			eng:  engine.New(cfg.Engine),
+			reqs: make(chan *appendReq, cfg.QueueDepth),
+		}
+		s.eng.SetLSNSource(func() uint64 { return r.lsn.Add(1) })
+		r.shards = append(r.shards, s)
+		r.wg.Add(1)
+		go s.run(&r.relGate, &r.wg)
+	}
+	return r, nil
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Engine returns shard i's engine (diagnostics, recorder wiring).
+func (r *Router) Engine(i int) *engine.Engine { return r.shards[i].eng }
+
+// ShardOfGroup returns the shard index owning a group name.
+func (r *Router) ShardOfGroup(group string) int {
+	h := fnv.New32a()
+	h.Write([]byte(group))
+	return int(h.Sum32() % uint32(len(r.shards)))
+}
+
+// Close stops every shard writer after draining its queue. Further appends
+// fail; reads keep working.
+func (r *Router) Close() {
+	r.closeMu.Lock()
+	if r.closed {
+		r.closeMu.Unlock()
+		return
+	}
+	r.closed = true
+	r.closeMu.Unlock()
+	for _, s := range r.shards {
+		close(s.reqs)
+	}
+	r.wg.Wait()
+}
+
+// Barrier quiesces every shard's in-flight batches, runs fn with the
+// database frozen, and resumes. Checkpointing uses it to cut a consistent
+// cross-shard snapshot.
+func (r *Router) Barrier(fn func() error) error {
+	r.relMu.Lock()
+	defer r.relMu.Unlock()
+	r.relGate.Lock()
+	defer r.relGate.Unlock()
+	return fn()
+}
+
+// SetRelationRecorder installs the WAL hook for router-level relation
+// updates (the per-shard append hooks are installed on the shard engines).
+func (r *Router) SetRelationRecorder(fn func(engine.Mutation) error) {
+	r.relMu.Lock()
+	defer r.relMu.Unlock()
+	r.relRecorder = fn
+}
+
+// --- catalog ------------------------------------------------------------
+
+func (r *Router) claim(name, kind string) error {
+	if name == "" {
+		return fmt.Errorf("shard: empty %s name", kind)
+	}
+	if existing, ok := r.names[name]; ok {
+		return fmt.Errorf("engine: name %q already used by a %s", name, existing)
+	}
+	r.names[name] = kind
+	return nil
+}
+
+// CreateGroup creates a chronicle group on its home shard.
+func (r *Router) CreateGroup(name string) (*chronicle.Group, error) {
+	return r.shards[r.ShardOfGroup(name)].eng.CreateGroup(name)
+}
+
+// CreateChronicle creates a chronicle on the shard owning its group.
+func (r *Router) CreateChronicle(name, groupName string, schema *value.Schema, retain *chronicle.Retention) (*chronicle.Chronicle, error) {
+	if groupName == "" {
+		groupName = name
+	}
+	idx := r.ShardOfGroup(groupName)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.claim(name, "chronicle"); err != nil {
+		return nil, err
+	}
+	c, err := r.shards[idx].eng.CreateChronicle(name, groupName, schema, retain)
+	if err != nil {
+		delete(r.names, name)
+		return nil, err
+	}
+	r.chronHome[name] = idx
+	return c, nil
+}
+
+// CreateRelation creates a relation shared by every shard: relations cut
+// across groups, so one versioned instance is adopted into every shard's
+// catalog and all shards resolve the name to the same state.
+func (r *Router) CreateRelation(name string, schema *value.Schema, keyCols []int) (*relation.Relation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.claim(name, "relation"); err != nil {
+		return nil, err
+	}
+	rel, err := relation.New(name, schema, keyCols, r.cfg.Engine.RelationHistory)
+	if err != nil {
+		delete(r.names, name)
+		return nil, err
+	}
+	for _, s := range r.shards {
+		if err := s.eng.AdoptRelation(rel); err != nil {
+			delete(r.names, name)
+			return nil, fmt.Errorf("shard %d: %w", s.id, err)
+		}
+	}
+	r.relations[name] = rel
+	return rel, nil
+}
+
+// homeOfDef locates the single shard owning every chronicle a view
+// definition depends on. Views spanning groups on different shards are
+// rejected: the single-writer invariant requires each view to be
+// maintained by exactly one shard.
+func (r *Router) homeOfDef(name string, expr algebra.Node) (int, error) {
+	info := algebra.Analyze(expr)
+	if len(info.Chronicles) == 0 {
+		return 0, fmt.Errorf("shard: view %q depends on no chronicles", name)
+	}
+	home := -1
+	for _, c := range info.Chronicles {
+		idx, ok := r.chronHome[c.Name()]
+		if !ok {
+			return 0, fmt.Errorf("shard: view %q references unknown chronicle %q", name, c.Name())
+		}
+		if home == -1 {
+			home = idx
+		} else if home != idx {
+			return 0, fmt.Errorf("shard: view %q spans chronicle groups owned by different shards (%d and %d); views must be maintainable by a single writer", name, home, idx)
+		}
+	}
+	return home, nil
+}
+
+// CreateView materializes a persistent view on the shard owning its
+// chronicles and registers it with that shard's dispatcher.
+func (r *Router) CreateView(def view.Def, kind view.StoreKind, filter pred.Predicate, filterChronicle *chronicle.Chronicle) (*view.View, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, err := r.homeOfDef(def.Name, def.Expr)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.claim(def.Name, "view"); err != nil {
+		return nil, err
+	}
+	// Backfill inside CreateView reads relation state: hold the epoch
+	// gate so a concurrent relation update cannot tear the initial scan.
+	r.relGate.RLock()
+	v, err := r.shards[idx].eng.CreateView(def, kind, filter, filterChronicle)
+	r.relGate.RUnlock()
+	if err != nil {
+		delete(r.names, def.Name)
+		return nil, err
+	}
+	r.viewHome[def.Name] = idx
+	return v, nil
+}
+
+// CreatePeriodicView creates a periodic view family on its home shard.
+func (r *Router) CreatePeriodicView(name string, def view.Def, cal calendar.Calendar, expireAfter int64, kind view.StoreKind) (*calendar.PeriodicView, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, err := r.homeOfDef(name, def.Expr)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.claim(name, "periodic view"); err != nil {
+		return nil, err
+	}
+	pv, err := r.shards[idx].eng.CreatePeriodicView(name, def, cal, expireAfter, kind)
+	if err != nil {
+		delete(r.names, name)
+		return nil, err
+	}
+	r.viewHome[name] = idx
+	return pv, nil
+}
+
+// DropView removes a persistent or periodic view from its home shard.
+func (r *Router) DropView(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.viewHome[name]
+	if !ok {
+		return fmt.Errorf("engine: no view named %q", name)
+	}
+	if err := r.shards[idx].eng.DropView(name); err != nil {
+		return err
+	}
+	delete(r.viewHome, name)
+	delete(r.names, name)
+	return nil
+}
+
+// --- appends ------------------------------------------------------------
+
+func (r *Router) homeOfChronicle(name string) (*shardState, error) {
+	r.mu.RLock()
+	idx, ok := r.chronHome[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown chronicle %q", name)
+	}
+	return r.shards[idx], nil
+}
+
+// enqueue hands req to shard s's writer and waits for the result.
+func (r *Router) enqueue(s *shardState, req *appendReq) error {
+	r.closeMu.RLock()
+	if r.closed {
+		r.closeMu.RUnlock()
+		return fmt.Errorf("shard: router closed")
+	}
+	s.reqs <- req
+	r.closeMu.RUnlock()
+	<-req.done
+	return nil
+}
+
+// Append inserts tuples into one chronicle as a single transaction on its
+// home shard, returning after every affected view there is maintained.
+func (r *Router) Append(chronicleName string, tuples []value.Tuple) (int64, error) {
+	s, err := r.homeOfChronicle(chronicleName)
+	if err != nil {
+		return 0, err
+	}
+	req := &appendReq{chronicle: chronicleName, tuples: tuples, done: make(chan struct{})}
+	if err := r.enqueue(s, req); err != nil {
+		return 0, err
+	}
+	return req.sn, req.err
+}
+
+// AppendEach inserts each tuple as its own transaction via one queue
+// round-trip — the bulk ingest path the HTTP /append endpoint uses. The
+// shard writer applies the whole run under a single engine-lock
+// acquisition.
+func (r *Router) AppendEach(chronicleName string, tuples []value.Tuple) (first, last int64, err error) {
+	s, err := r.homeOfChronicle(chronicleName)
+	if err != nil {
+		return 0, 0, err
+	}
+	req := &appendReq{chronicle: chronicleName, tuples: tuples, each: true, done: make(chan struct{})}
+	if err := r.enqueue(s, req); err != nil {
+		return 0, 0, err
+	}
+	return req.first, req.last, req.err
+}
+
+// AppendBatch inserts tuples into several chronicles of one group
+// simultaneously, sharing one sequence number.
+func (r *Router) AppendBatch(parts []engine.MutationPart) (int64, error) {
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("engine: empty batch")
+	}
+	s, err := r.homeOfChronicle(parts[0].Chronicle)
+	if err != nil {
+		return 0, err
+	}
+	req := &appendReq{parts: parts, done: make(chan struct{})}
+	if err := r.enqueue(s, req); err != nil {
+		return 0, err
+	}
+	return req.sn, req.err
+}
+
+// AppendAt applies an append with caller-supplied SN and chronon directly
+// (bypassing the queue); WAL replay and tests use it.
+func (r *Router) AppendAt(chronicleName string, sn, chronon int64, tuples []value.Tuple) (int64, error) {
+	s, err := r.homeOfChronicle(chronicleName)
+	if err != nil {
+		return 0, err
+	}
+	r.relGate.RLock()
+	defer r.relGate.RUnlock()
+	return s.eng.AppendAt(chronicleName, sn, chronon, tuples)
+}
+
+// AppendBatchAt is AppendBatch with caller-supplied SN and chronon,
+// applied directly (WAL replay path).
+func (r *Router) AppendBatchAt(parts []engine.MutationPart, sn, chronon int64) (int64, error) {
+	if len(parts) == 0 {
+		return 0, fmt.Errorf("engine: empty batch")
+	}
+	s, err := r.homeOfChronicle(parts[0].Chronicle)
+	if err != nil {
+		return 0, err
+	}
+	r.relGate.RLock()
+	defer r.relGate.RUnlock()
+	return s.eng.AppendBatchAt(parts, sn, chronon)
+}
+
+// --- relation updates (epoch barrier) -----------------------------------
+
+func (r *Router) relationByName(name string) (*relation.Relation, error) {
+	r.mu.RLock()
+	rel, ok := r.relations[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown relation %q", name)
+	}
+	return rel, nil
+}
+
+// Upsert applies a proactive relation update under the epoch barrier: the
+// router stamps a global LSN, waits for every shard's in-flight batches to
+// drain, applies the update to the shared relation (visible in every
+// shard's catalog), and resumes. Appends that completed before this call
+// used the old version; appends that start after it see the new one — on
+// every shard, exactly the §2.3 semantics.
+func (r *Router) Upsert(relationName string, t value.Tuple) error {
+	rel, err := r.relationByName(relationName)
+	if err != nil {
+		return err
+	}
+	coerced, err := rel.Schema().Coerce(t)
+	if err != nil {
+		return fmt.Errorf("engine: relation %s: %w", relationName, err)
+	}
+	r.relMu.Lock()
+	defer r.relMu.Unlock()
+	r.relGate.Lock()
+	defer r.relGate.Unlock()
+	lsn := r.lsn.Add(1)
+	if r.relRecorder != nil {
+		m := engine.Mutation{Kind: engine.MutUpsert, LSN: lsn, Relation: relationName, Tuple: coerced}
+		if err := r.relRecorder(m); err != nil {
+			return fmt.Errorf("engine: recording upsert: %w", err)
+		}
+	}
+	if err := rel.Upsert(lsn, coerced); err != nil {
+		return err
+	}
+	r.relUpdates.Add(1)
+	return nil
+}
+
+// DeleteKey applies a proactive relation delete under the epoch barrier.
+func (r *Router) DeleteKey(relationName string, keyVals value.Tuple) (bool, error) {
+	rel, err := r.relationByName(relationName)
+	if err != nil {
+		return false, err
+	}
+	r.relMu.Lock()
+	defer r.relMu.Unlock()
+	r.relGate.Lock()
+	defer r.relGate.Unlock()
+	lsn := r.lsn.Add(1)
+	if r.relRecorder != nil {
+		m := engine.Mutation{Kind: engine.MutDelete, LSN: lsn, Relation: relationName, Tuple: keyVals}
+		if err := r.relRecorder(m); err != nil {
+			return false, fmt.Errorf("engine: recording delete: %w", err)
+		}
+	}
+	deleted := rel.Delete(lsn, keyVals)
+	if deleted {
+		r.relUpdates.Add(1)
+	}
+	return deleted, nil
+}
+
+// --- queries (scatter/gather) -------------------------------------------
+
+func (r *Router) homeOfView(name string) (*shardState, bool) {
+	r.mu.RLock()
+	idx, ok := r.viewHome[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return r.shards[idx], true
+}
+
+// Stats sums the per-shard engine counters plus router-level relation
+// updates.
+func (r *Router) Stats() engine.Stats {
+	var out engine.Stats
+	for _, s := range r.shards {
+		st := s.eng.Stats()
+		out.Appends += st.Appends
+		out.TuplesAppended += st.TuplesAppended
+		out.RelationUpdates += st.RelationUpdates
+		out.MaintenanceNs += st.MaintenanceNs
+		out.ViewsMaintained += st.ViewsMaintained
+	}
+	out.RelationUpdates += r.relUpdates.Load()
+	return out
+}
+
+// MaintenanceLatency merges every shard's maintenance-latency histogram
+// into one distribution (the SHOW STATS / HTTP gather path).
+func (r *Router) MaintenanceLatency() stats.Snapshot {
+	var merged stats.Histogram
+	for _, s := range r.shards {
+		h := s.eng.MaintenanceHistogram()
+		merged.Merge(&h)
+	}
+	return merged.Snapshot()
+}
+
+// ShardLatencies returns each shard's own latency snapshot, in shard
+// order.
+func (r *Router) ShardLatencies() []stats.Snapshot {
+	out := make([]stats.Snapshot, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.eng.MaintenanceLatency()
+	}
+	return out
+}
+
+// LSN returns the current global logical sequence number.
+func (r *Router) LSN() uint64 { return r.lsn.Load() }
+
+// RestoreLSN advances the global LSN to at least lsn (checkpoint
+// recovery).
+func (r *Router) RestoreLSN(lsn uint64) {
+	for {
+		cur := r.lsn.Load()
+		if lsn <= cur || r.lsn.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// GroupNames gathers group names across shards, sorted.
+func (r *Router) GroupNames() []string {
+	var out []string
+	for _, s := range r.shards {
+		out = append(out, s.eng.GroupNames()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Group returns a group by name from its home shard.
+func (r *Router) Group(name string) (*chronicle.Group, bool) {
+	return r.shards[r.ShardOfGroup(name)].eng.Group(name)
+}
+
+// Chronicle returns a chronicle by name.
+func (r *Router) Chronicle(name string) (*chronicle.Chronicle, bool) {
+	s, err := r.homeOfChronicle(name)
+	if err != nil {
+		return nil, false
+	}
+	return s.eng.Chronicle(name)
+}
+
+// Relation returns the shared relation by name.
+func (r *Router) Relation(name string) (*relation.Relation, bool) {
+	r.mu.RLock()
+	rel, ok := r.relations[name]
+	r.mu.RUnlock()
+	return rel, ok
+}
+
+// View returns a persistent view by name from its home shard.
+func (r *Router) View(name string) (*view.View, bool) {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return nil, false
+	}
+	return s.eng.View(name)
+}
+
+// PeriodicView returns a periodic view family by name.
+func (r *Router) PeriodicView(name string) (*calendar.PeriodicView, bool) {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return nil, false
+	}
+	return s.eng.PeriodicView(name)
+}
+
+// ViewLookup answers a summary query from one shard, serialized against
+// that shard's appends.
+func (r *Router) ViewLookup(name string, key value.Tuple) (value.Tuple, bool, error) {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return nil, false, fmt.Errorf("engine: unknown view %q", name)
+	}
+	return s.eng.ViewLookup(name, key)
+}
+
+// ViewRows materializes a view's contents from its home shard.
+func (r *Router) ViewRows(name string) ([]value.Tuple, error) {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", name)
+	}
+	return s.eng.ViewRows(name)
+}
+
+// ViewScanRange scans a view's key range on its home shard.
+func (r *Router) ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error) {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", name)
+	}
+	return s.eng.ViewScanRange(name, lo, hi)
+}
+
+// RelationRows materializes a relation's live tuples in key order,
+// serialized against relation updates by the epoch gate.
+func (r *Router) RelationRows(name string) ([]value.Tuple, error) {
+	rel, err := r.relationByName(name)
+	if err != nil {
+		return nil, err
+	}
+	r.relGate.RLock()
+	defer r.relGate.RUnlock()
+	var out []value.Tuple
+	rel.Scan(func(t value.Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out, nil
+}
+
+// ChronicleRows copies a chronicle's retained window from its home shard.
+func (r *Router) ChronicleRows(name string) ([]chronicle.Row, error) {
+	s, err := r.homeOfChronicle(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.ChronicleRows(name)
+}
+
+func (r *Router) gatherNames(get func(*engine.Engine) []string) []string {
+	var out []string
+	for _, s := range r.shards {
+		out = append(out, get(s.eng)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns persistent view names across all shards, sorted.
+func (r *Router) ViewNames() []string {
+	return r.gatherNames(func(e *engine.Engine) []string { return e.ViewNames() })
+}
+
+// ChronicleNames returns chronicle names across all shards, sorted.
+func (r *Router) ChronicleNames() []string {
+	return r.gatherNames(func(e *engine.Engine) []string { return e.ChronicleNames() })
+}
+
+// RelationNames returns the shared relation names, sorted.
+func (r *Router) RelationNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.relations))
+	for n := range r.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PeriodicViewNames returns periodic view family names across shards,
+// sorted.
+func (r *Router) PeriodicViewNames() []string {
+	return r.gatherNames(func(e *engine.Engine) []string { return e.PeriodicViewNames() })
+}

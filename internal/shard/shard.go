@@ -1,0 +1,90 @@
+// Package shard implements the sharded execution layer: a Router hashes
+// every chronicle group — and, via the dispatch dependency registry, the
+// views defined over it — onto one of N single-writer shards, each owning
+// a private engine instance, an append queue with batch coalescing, its
+// own maintenance-latency histogram, and (wired up by the public facade)
+// its own WAL segment.
+//
+// The design exploits the structure of the chronicle data model directly:
+// groups share a sequence-number domain but are mutually independent, and
+// chronicles are insert-only, so per-group streams parallelize without
+// coordination. The one cross-cutting mutation — a proactive relation
+// update (§2.3) — is applied under an epoch barrier: the router stamps a
+// global LSN, quiesces every shard's in-flight batches, applies the update
+// to the shared relation state visible from every shard's catalog, and
+// resumes. Because all shards draw LSNs from one shared allocator, the
+// paper's semantics hold globally: a relation update is ordered before
+// exactly the appends that started after it, on every shard.
+package shard
+
+import (
+	"sync"
+
+	"chronicledb/internal/engine"
+	"chronicledb/internal/value"
+)
+
+// maxCoalesce bounds how many queued appends one writer pass absorbs under
+// a single epoch-gate acquisition.
+const maxCoalesce = 128
+
+// appendReq is one queued append awaiting its shard's writer goroutine.
+type appendReq struct {
+	chronicle string
+	tuples    []value.Tuple         // single-transaction append
+	parts     []engine.MutationPart // simultaneous group batch (one SN)
+	each      bool                  // bulk: one transaction per tuple
+
+	sn          int64 // single/batch result
+	first, last int64 // bulk result
+	err         error
+	done        chan struct{}
+}
+
+func (q *appendReq) apply(eng *engine.Engine) {
+	switch {
+	case q.parts != nil:
+		q.sn, q.err = eng.AppendBatch(q.parts)
+	case q.each:
+		q.first, q.last, q.err = eng.AppendEach(q.chronicle, q.tuples)
+	default:
+		q.sn, q.err = eng.Append(q.chronicle, q.tuples)
+	}
+}
+
+// shardState is one single-writer shard: an engine plus its append queue.
+type shardState struct {
+	id   int
+	eng  *engine.Engine
+	reqs chan *appendReq
+}
+
+// run is the shard's writer goroutine. It is the only goroutine that
+// applies appends to this shard's engine; it holds the router's epoch gate
+// (read side) across each coalesced batch so relation updates can quiesce
+// every shard by taking the write side.
+func (s *shardState) run(gate *sync.RWMutex, wg *sync.WaitGroup) {
+	defer wg.Done()
+	batch := make([]*appendReq, 0, maxCoalesce)
+	for req := range s.reqs {
+		batch = append(batch[:0], req)
+	coalesce:
+		for len(batch) < maxCoalesce {
+			select {
+			case more, ok := <-s.reqs:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, more)
+			default:
+				break coalesce
+			}
+		}
+		gate.RLock()
+		for _, q := range batch {
+			q.apply(s.eng)
+			close(q.done)
+		}
+		gate.RUnlock()
+	}
+}

@@ -1,0 +1,304 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/algebra"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/engine"
+	"chronicledb/internal/pred"
+	"chronicledb/internal/value"
+	"chronicledb/internal/view"
+)
+
+func callsSchema() *value.Schema {
+	return value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "minutes", Kind: value.KindInt},
+	)
+}
+
+func custSchema() *value.Schema {
+	return value.NewSchema(
+		value.Column{Name: "acct", Kind: value.KindString},
+		value.Column{Name: "state", Kind: value.KindString},
+	)
+}
+
+func newRouter(t testing.TB, n int) *Router {
+	t.Helper()
+	r, err := NewRouter(Config{Shards: n, Engine: engine.Config{
+		DefaultRetention: chronicle.RetainAll,
+		RelationHistory:  true,
+		DispatchIndexed:  true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+// usageDef is a per-chronicle group-by summary view.
+func usageDef(name string, c *chronicle.Chronicle) view.Def {
+	return view.Def{
+		Name:      name,
+		Expr:      algebra.NewScan(c),
+		Mode:      view.SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs: []aggregate.Spec{
+			{Func: aggregate.Sum, Col: 1, Name: "total"},
+			{Func: aggregate.Count, Col: -1, Name: "n"},
+		},
+	}
+}
+
+func mustCreateChronicle(t testing.TB, r *Router, name, group string) *chronicle.Chronicle {
+	t.Helper()
+	c, err := r.CreateChronicle(name, group, callsSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRouterBasics(t *testing.T) {
+	r := newRouter(t, 4)
+	c := mustCreateChronicle(t, r, "calls", "telecom")
+	if _, err := r.CreateChronicle("calls", "", callsSchema(), nil); err == nil {
+		t.Error("duplicate chronicle accepted")
+	}
+	if _, err := r.CreateView(usageDef("usage", c), view.StoreHash, pred.True(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateView(usageDef("usage", c), view.StoreHash, pred.True(), nil); err == nil {
+		t.Error("duplicate view accepted")
+	}
+	sn, err := r.Append("calls", []value.Tuple{{value.Str("alice"), value.Int(10)}})
+	if err != nil || sn != 0 {
+		t.Fatalf("Append = %d, %v", sn, err)
+	}
+	if _, err := r.Append("nope", nil); err == nil {
+		t.Error("append to unknown chronicle accepted")
+	}
+	row, ok, err := r.ViewLookup("usage", value.Tuple{value.Str("alice")})
+	if err != nil || !ok || row[1].AsInt() != 10 {
+		t.Fatalf("ViewLookup = %v %v %v", row, ok, err)
+	}
+	if got := r.Stats().Appends; got != 1 {
+		t.Errorf("Stats().Appends = %d", got)
+	}
+	if home := r.ShardOfGroup("telecom"); home < 0 || home >= r.NumShards() {
+		t.Errorf("ShardOfGroup out of range: %d", home)
+	}
+	if names := r.ChronicleNames(); len(names) != 1 || names[0] != "calls" {
+		t.Errorf("ChronicleNames = %v", names)
+	}
+}
+
+func TestViewHomeFollowsChronicle(t *testing.T) {
+	r := newRouter(t, 4)
+	for i := 0; i < 8; i++ {
+		group := fmt.Sprintf("g%d", i)
+		name := fmt.Sprintf("calls%d", i)
+		c := mustCreateChronicle(t, r, name, group)
+		if _, err := r.CreateView(usageDef("v"+name, c), view.StoreBTree, pred.True(), nil); err != nil {
+			t.Fatal(err)
+		}
+		home := r.ShardOfGroup(group)
+		if _, ok := r.Engine(home).View("v" + name); !ok {
+			t.Errorf("view v%s not on home shard %d of group %s", name, home, group)
+		}
+	}
+	ghost, err := chronicle.NewGroup("ghostgrp").NewChronicle("ghost", callsSchema(), chronicle.RetainAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CreateView(usageDef("orphan", ghost), view.StoreHash, pred.True(), nil); err == nil || !strings.Contains(err.Error(), "unknown chronicle") {
+		t.Errorf("view over unregistered chronicle: err = %v", err)
+	}
+}
+
+func TestAppendEachAndBatch(t *testing.T) {
+	r := newRouter(t, 2)
+	mustCreateChronicle(t, r, "calls", "telecom")
+	mustCreateChronicle(t, r, "payments", "telecom")
+	first, last, err := r.AppendEach("calls", []value.Tuple{
+		{value.Str("a"), value.Int(1)},
+		{value.Str("b"), value.Int(2)},
+		{value.Str("c"), value.Int(3)},
+	})
+	if err != nil || first != 0 || last != 2 {
+		t.Fatalf("AppendEach = %d..%d, %v", first, last, err)
+	}
+	sn, err := r.AppendBatch([]engine.MutationPart{
+		{Chronicle: "calls", Tuples: []value.Tuple{{value.Str("d"), value.Int(4)}}},
+		{Chronicle: "payments", Tuples: []value.Tuple{{value.Str("d"), value.Int(9)}}},
+	})
+	if err != nil || sn != 3 {
+		t.Fatalf("AppendBatch = %d, %v", sn, err)
+	}
+	rows, err := r.ChronicleRows("calls")
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("ChronicleRows = %d rows, %v", len(rows), err)
+	}
+}
+
+func TestRouterClose(t *testing.T) {
+	r := newRouter(t, 2)
+	mustCreateChronicle(t, r, "calls", "telecom")
+	r.Close()
+	r.Close() // idempotent
+	if _, err := r.Append("calls", []value.Tuple{{value.Str("a"), value.Int(1)}}); err == nil {
+		t.Error("append after Close succeeded")
+	}
+	// Reads still work.
+	if _, err := r.ChronicleRows("calls"); err != nil {
+		t.Errorf("read after Close: %v", err)
+	}
+}
+
+// TestConcurrentStress drives disjoint chronicle groups from concurrent
+// goroutines while another goroutine interleaves proactive relation
+// updates, then checks every temporal-join view against the AsOf reference
+// evaluation. Run under -race this exercises the single-writer queues, the
+// shared LSN allocator, and the epoch barrier at once; any divergence
+// means the barrier failed to order a relation update against appends.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		groups    = 8
+		perGroup  = 300
+		relOps    = 200
+		numShards = 4
+	)
+	r := newRouter(t, numShards)
+	rel, err := r.CreateRelation("customers", custSchema(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rel
+	states := []string{"nj", "ny", "ca", "tx", "wa"}
+	for a := 0; a < 16; a++ {
+		if err := r.Upsert("customers", value.Tuple{value.Str(acct(a)), value.Str("nj")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	views := make([]string, groups)
+	for g := 0; g < groups; g++ {
+		c := mustCreateChronicle(t, r, fmt.Sprintf("calls%d", g), fmt.Sprintf("grp%d", g))
+		jr, err := algebra.NewJoinRel(algebra.NewScan(c), rel, []int{0}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		def := view.Def{
+			Name:      fmt.Sprintf("by_state%d", g),
+			Expr:      jr,
+			Mode:      view.SummarizeGroupBy,
+			GroupCols: []int{3}, // state
+			Aggs:      []aggregate.Spec{{Func: aggregate.Sum, Col: 1, Name: "total"}},
+		}
+		if _, err := r.CreateView(def, view.StoreBTree, pred.True(), nil); err != nil {
+			t.Fatal(err)
+		}
+		views[g] = def.Name
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			name := fmt.Sprintf("calls%d", g)
+			for i := 0; i < perGroup; i++ {
+				tup := value.Tuple{value.Str(acct(rng.Intn(16))), value.Int(int64(rng.Intn(60)))}
+				if i%10 == 0 {
+					// Bulk path: several single-tuple transactions at once.
+					bulk := []value.Tuple{tup, {value.Str(acct(rng.Intn(16))), value.Int(1)}}
+					if _, _, err := r.AppendEach(name, bulk); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if _, err := r.Append(name, []value.Tuple{tup}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < relOps; i++ {
+			a := acct(rng.Intn(16))
+			if i%25 == 24 {
+				// Occasionally drop a customer entirely, then restore it:
+				// appends in between must not join.
+				if _, err := r.DeleteKey("customers", value.Tuple{value.Str(a)}); err != nil {
+					t.Error(err)
+					return
+				}
+				continue
+			}
+			st := states[rng.Intn(len(states))]
+			if err := r.Upsert("customers", value.Tuple{value.Str(a), value.Str(st)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	for _, name := range views {
+		v, ok := r.View(name)
+		if !ok {
+			t.Fatalf("view %s missing", name)
+		}
+		want, err := v.Recompute()
+		if err != nil {
+			t.Fatalf("recompute %s: %v", name, err)
+		}
+		if d := multisetDiff(v.Rows(), want); d != 0 {
+			t.Errorf("view %s diverges from AsOf reference in %d row(s)", name, d)
+		}
+	}
+	st := r.Stats()
+	wantAppends := int64(groups * perGroup) // bulk rounds count one transaction per tuple
+	if st.Appends < wantAppends {
+		t.Errorf("Stats().Appends = %d, want ≥ %d", st.Appends, wantAppends)
+	}
+	if st.RelationUpdates == 0 {
+		t.Error("Stats().RelationUpdates = 0")
+	}
+	if r.MaintenanceLatency().Count == 0 {
+		t.Error("merged maintenance histogram is empty")
+	}
+}
+
+func acct(i int) string { return fmt.Sprintf("acct%03d", i) }
+
+func multisetDiff(a, b []value.Tuple) int {
+	counts := map[string]int{}
+	for _, t := range a {
+		counts[t.FullKey()]++
+	}
+	for _, t := range b {
+		counts[t.FullKey()]--
+	}
+	n := 0
+	for _, c := range counts {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}

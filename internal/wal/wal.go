@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"chronicledb/internal/value"
 )
@@ -48,6 +49,7 @@ type Part struct {
 // Record is one durable mutation.
 type Record struct {
 	Kind     RecordKind
+	LSN      uint64 // global logical sequence number (orders records across segments)
 	Stmt     string // RecDDL
 	SN       int64  // RecAppend
 	Chronon  int64  // RecAppend
@@ -56,8 +58,11 @@ type Record struct {
 	Tuple    value.Tuple
 }
 
-// Log is an append-only record log.
+// Log is an append-only record log. It is safe for concurrent use: each
+// shard has a single writer goroutine, but checkpointing (Reset) and
+// flushing may come from other goroutines.
 type Log struct {
+	mu       sync.Mutex
 	path     string
 	f        *os.File
 	w        *bufio.Writer
@@ -80,6 +85,8 @@ func (l *Log) Path() string { return l.path }
 
 // Append frames and writes one record.
 func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	payload := encodeRecord(nil, r)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -91,13 +98,19 @@ func (l *Log) Append(r Record) error {
 		return fmt.Errorf("wal: write: %w", err)
 	}
 	if l.syncEach {
-		return l.Sync()
+		return l.syncLocked()
 	}
 	return nil
 }
 
 // Flush pushes buffered records to the OS.
 func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
@@ -106,7 +119,13 @@ func (l *Log) Flush() error {
 
 // Sync flushes and fsyncs.
 func (l *Log) Sync() error {
-	if err := l.Flush(); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.flushLocked(); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
@@ -117,7 +136,9 @@ func (l *Log) Sync() error {
 
 // Close flushes and closes the log.
 func (l *Log) Close() error {
-	if err := l.Flush(); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
 		l.f.Close()
 		return err
 	}
@@ -126,7 +147,9 @@ func (l *Log) Close() error {
 
 // Reset truncates the log to empty (after a successful checkpoint).
 func (l *Log) Reset() error {
-	if err := l.Flush(); err != nil {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
 		return err
 	}
 	if err := l.f.Truncate(0); err != nil {
@@ -179,6 +202,7 @@ func Replay(path string, fn func(Record) error) (n int, ignored int64, err error
 
 func encodeRecord(dst []byte, r Record) []byte {
 	dst = append(dst, byte(r.Kind))
+	dst = binary.AppendUvarint(dst, r.LSN)
 	switch r.Kind {
 	case RecDDL:
 		dst = appendString(dst, r.Stmt)
@@ -206,6 +230,12 @@ func decodeRecord(b []byte) (Record, error) {
 	}
 	r := Record{Kind: RecordKind(b[0])}
 	b = b[1:]
+	lsn, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return Record{}, fmt.Errorf("wal: bad record lsn")
+	}
+	r.LSN = lsn
+	b = b[sz:]
 	switch r.Kind {
 	case RecDDL:
 		stmt, _, err := readString(b)

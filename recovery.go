@@ -30,8 +30,11 @@ import (
 const ckptMagic = "CDBC"
 
 // recover rebuilds in-memory state from disk. Called by Open before the
-// WAL is reopened for appending.
-func (db *DB) recover() error {
+// WAL is reopened for appending. It replays every WAL segment present —
+// the legacy single log and/or the manifest's shard segments — merged into
+// global LSN order, so the layout on disk need not match the kernel being
+// opened (shard counts may change across restarts).
+func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 	// 1. Catalog: replay DDL.
 	if src, err := os.ReadFile(db.catalogPath); err == nil && len(src) > 0 {
 		stmts, err := sqlparse.Parse(string(src))
@@ -57,9 +60,14 @@ func (db *DB) recover() error {
 		return fmt.Errorf("chronicledb: checkpoint: %w", err)
 	}
 
-	// 3. WAL tail.
-	walPath := filepath.Join(db.opts.Dir, "chronicle.wal")
-	_, _, err := wal.Replay(walPath, func(r wal.Record) error {
+	// 3. WAL tail: every segment on disk, merged by global LSN so
+	// relation updates interleave with appends exactly as they did live
+	// (§2.3 proactive ordering).
+	segments := []string{"chronicle.wal"}
+	if hadManifest {
+		segments = append(segments, m.Segments...)
+	}
+	_, err := wal.ReplayMerged(db.opts.Dir, segments, func(r wal.Record) error {
 		switch r.Kind {
 		case wal.RecDDL:
 			s, err := sqlparse.ParseOne(r.Stmt)
@@ -91,40 +99,35 @@ func (db *DB) recover() error {
 }
 
 // Checkpoint atomically persists the database state and truncates the WAL.
-// It is a no-op (with an error) for in-memory databases.
+// The checkpoint file is replaced crash-safely (temp file, fsync, rename,
+// directory fsync), so a crash mid-checkpoint leaves either the previous
+// complete checkpoint or the new one — never a truncated mix. In sharded
+// mode the snapshot is cut under the router's epoch barrier, which drains
+// every shard's in-flight batches first. It is a no-op (with an error) for
+// in-memory databases.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.opts.Dir == "" {
 		return fmt.Errorf("chronicledb: checkpoint requires a durable database (Options.Dir)")
 	}
-	data := db.buildCheckpoint()
-	tmp := filepath.Join(db.opts.Dir, "checkpoint.tmp")
-	final := filepath.Join(db.opts.Dir, "checkpoint.bin")
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("chronicledb: checkpoint: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("chronicledb: checkpoint: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("chronicledb: checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("chronicledb: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("chronicledb: checkpoint: %w", err)
-	}
-	if db.log != nil {
-		if err := db.log.Reset(); err != nil {
-			return fmt.Errorf("chronicledb: truncating WAL after checkpoint: %w", err)
+	write := func() error {
+		data := db.buildCheckpoint()
+		final := filepath.Join(db.opts.Dir, "checkpoint.bin")
+		if err := wal.WriteFileAtomic(final, data); err != nil {
+			return fmt.Errorf("chronicledb: checkpoint: %w", err)
 		}
+		for _, l := range db.logs {
+			if err := l.Reset(); err != nil {
+				return fmt.Errorf("chronicledb: truncating WAL after checkpoint: %w", err)
+			}
+		}
+		return nil
 	}
-	return nil
+	if db.router != nil {
+		return db.router.Barrier(write)
+	}
+	return write()
 }
 
 func (db *DB) buildCheckpoint() []byte {
