@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench experiments fuzz examples clean
+.PHONY: all build test race vet check cover bench experiments fuzz examples torture clean
 
 all: check
 
@@ -18,9 +18,17 @@ race:
 vet:
 	$(GO) vet ./...
 
+# torture enumerates every crash point of the scripted workload on the
+# simulated disk (internal/fault) and verifies exact recovery, under the
+# race detector. -count=1 defeats test caching: the harness is the gate
+# for durability changes and must actually run.
+torture:
+	$(GO) test -race -count=1 -run 'TestCrashTorture' -v .
+
 # check is the gate for every change: static analysis plus the full suite
-# under the race detector (the sharded kernel is concurrent by design).
-check: build vet race
+# under the race detector (the sharded kernel is concurrent by design),
+# plus the crash-torture enumeration.
+check: build vet race torture
 
 cover:
 	$(GO) test -cover ./...

@@ -4,20 +4,31 @@
 //
 //	chronicled [-addr :7457] [-dir /var/lib/chronicledb] [-sync]
 //	           [-retain all|none|N] [-checkpoint-every N] [-shards N]
+//	           [-request-timeout 30s] [-max-body 8388608] [-drain-timeout 10s]
 //
 // With -dir, the database is durable: appends hit the WAL before views are
 // maintained, and every N appends (default 10000) the server checkpoints
 // and truncates the log. Without -dir, the database is in-memory.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
+// drains in-flight requests (bounded by -drain-timeout), flushes and syncs
+// the WAL, and — in durable mode — cuts a final checkpoint so the next
+// start replays an empty log tail.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"syscall"
 	"time"
 
 	chronicledb "chronicledb"
@@ -26,13 +37,16 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7457", "listen address")
-		dir       = flag.String("dir", "", "data directory (empty = in-memory)")
-		sync      = flag.Bool("sync", false, "fsync every WAL record")
-		retain    = flag.String("retain", "none", "default chronicle retention: all, none, or a row count")
-		ckptEvery = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 disables; durable mode only)")
-		initFile  = flag.String("init", "", "SQL file executed at startup (idempotence is the caller's concern)")
-		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "single-writer shards (0 = classic single-engine kernel)")
+		addr       = flag.String("addr", ":7457", "listen address")
+		dir        = flag.String("dir", "", "data directory (empty = in-memory)")
+		sync       = flag.Bool("sync", false, "fsync every WAL record")
+		retain     = flag.String("retain", "none", "default chronicle retention: all, none, or a row count")
+		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 disables; durable mode only)")
+		initFile   = flag.String("init", "", "SQL file executed at startup (idempotence is the caller's concern)")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "single-writer shards (0 = classic single-engine kernel)")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout")
+		maxBody    = flag.Int64("max-body", 8<<20, "maximum request body bytes")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
 	)
 	flag.Parse()
 
@@ -62,18 +76,44 @@ func main() {
 		log.Printf("executed init script %s", *initFile)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *dir != "" && *ckptEvery > 0 {
 		go func() {
-			for range time.Tick(*ckptEvery) {
-				if err := db.Checkpoint(); err != nil {
-					log.Printf("checkpoint: %v", err)
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := db.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
 				}
 			}
 		}()
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("chronicled listening on %s (dir=%q retain=%s shards=%d)", *addr, *dir, *retain, *shards)
-	log.Fatal(http.ListenAndServe(*addr, server.New(db)))
+	srv := server.NewWith(db, server.Config{MaxBodyBytes: *maxBody, RequestTimeout: *reqTimeout})
+	err = server.Serve(ctx, ln, srv, *reqTimeout, *drain)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("chronicled: drained, WAL flushed")
+	if *dir != "" {
+		// Final checkpoint: best-effort (a degraded DB refuses it), but on a
+		// healthy exit the next start replays an empty tail.
+		if err := db.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+	}
 }
 
 func parseRetention(s string) (chronicledb.Retention, error) {

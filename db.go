@@ -1,14 +1,16 @@
 package chronicledb
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/engine"
+	"chronicledb/internal/fault"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
 	"chronicledb/internal/shard"
@@ -17,6 +19,16 @@ import (
 	"chronicledb/internal/view"
 	"chronicledb/internal/wal"
 )
+
+// ErrReadOnly is wrapped by every write rejected after the database has
+// degraded to read-only (a WAL append, flush, or sync failed). Reads keep
+// working; writes fail fast rather than risk acking records the log
+// cannot make durable.
+var ErrReadOnly = errors.New("chronicledb: database is read-only after a WAL failure")
+
+// FS re-exports the filesystem abstraction so callers can inject a
+// fault.Disk (crash-torture tests) via Options.FS.
+type FS = fault.FS
 
 // Options configures a DB.
 type Options struct {
@@ -41,6 +53,10 @@ type Options struct {
 	NoDispatchIndex bool
 	// Clock supplies chronons for appends; nil uses wall-clock nanoseconds.
 	Clock func() int64
+	// FS overrides the filesystem used for all durable state. Nil means
+	// the real OS; tests inject a fault.Disk to simulate power cuts,
+	// fsync failures, and disk-full conditions.
+	FS fault.FS
 }
 
 // Retention re-exports the chronicle retention policy.
@@ -111,6 +127,7 @@ type DB struct {
 	mu   sync.Mutex
 	eng  Kernel
 	opts Options
+	fs   fault.FS
 
 	// Exactly one of these backs eng.
 	uno    *engine.Engine
@@ -118,8 +135,14 @@ type DB struct {
 
 	// Open WAL logs. Unsharded: [chronicle.wal]. Sharded: one segment per
 	// shard followed by the relation segment.
-	logs        []*wal.Log
-	catalogPath string
+	logs          []*wal.Log
+	catalogPath   string
+	catalogSynced bool // catalog.sql's dir entry is durable
+
+	// Degradation latch: the first WAL failure flips the DB read-only.
+	readOnly atomic.Bool
+	roMu     sync.Mutex
+	roCause  error
 }
 
 // Open creates or reopens a database. With Options.Dir set, Open replays
@@ -128,7 +151,10 @@ type DB struct {
 // between sharded and unsharded) recovers the old layout, checkpoints, and
 // rewrites the WAL layout for the new count.
 func Open(opts Options) (*DB, error) {
-	db := &DB{opts: opts}
+	db := &DB{opts: opts, fs: opts.FS}
+	if db.fs == nil {
+		db.fs = fault.OS
+	}
 	ecfg := engine.Config{
 		DefaultRetention: opts.DefaultRetention,
 		RelationHistory:  opts.RelationHistory,
@@ -149,13 +175,16 @@ func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
 		return db, nil
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := db.fs.MkdirAll(opts.Dir, 0o755); err != nil {
 		db.stopKernel()
 		return nil, fmt.Errorf("chronicledb: %w", err)
 	}
 	db.catalogPath = filepath.Join(opts.Dir, "catalog.sql")
+	if _, err := db.fs.Stat(db.catalogPath); err == nil {
+		db.catalogSynced = true
+	}
 
-	oldManifest, hadManifest, err := wal.ReadManifest(opts.Dir)
+	oldManifest, hadManifest, err := wal.ReadManifestFS(db.fs, opts.Dir)
 	if err != nil {
 		db.stopKernel()
 		return nil, fmt.Errorf("chronicledb: %w", err)
@@ -188,14 +217,57 @@ func (db *DB) openLogs() error {
 		paths = append(paths, filepath.Join(db.opts.Dir, "chronicle.wal"))
 	}
 	for _, p := range paths {
-		log, err := wal.Open(p, db.opts.SyncWAL)
+		log, err := wal.OpenFS(db.fs, p, db.opts.SyncWAL)
 		if err != nil {
 			db.closeLogs()
 			return fmt.Errorf("chronicledb: %w", err)
 		}
 		db.logs = append(db.logs, log)
 	}
+	// Make the segments' directory entries durable: a freshly created log
+	// must not vanish in a power cut after records were acked into it.
+	if err := db.fs.SyncDir(db.opts.Dir); err != nil {
+		db.closeLogs()
+		return fmt.Errorf("chronicledb: %w", err)
+	}
 	return nil
+}
+
+// failWrites latches the first WAL failure and degrades the DB to
+// read-only: subsequent writes fail fast with ErrReadOnly instead of
+// stalling on a log that can no longer guarantee durability.
+func (db *DB) failWrites(err error) {
+	db.roMu.Lock()
+	if db.roCause == nil {
+		db.roCause = err
+	}
+	db.roMu.Unlock()
+	db.readOnly.Store(true)
+}
+
+// ReadOnly reports whether the database has degraded to read-only, and
+// the first error that caused it.
+func (db *DB) ReadOnly() (bool, error) {
+	if !db.readOnly.Load() {
+		return false, nil
+	}
+	db.roMu.Lock()
+	defer db.roMu.Unlock()
+	return true, db.roCause
+}
+
+// writeGate rejects writes once the DB is read-only.
+func (db *DB) writeGate() error {
+	if !db.readOnly.Load() {
+		return nil
+	}
+	db.roMu.Lock()
+	cause := db.roCause
+	db.roMu.Unlock()
+	if cause != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrReadOnly, cause)
+	}
+	return ErrReadOnly
 }
 
 // installRecorders wires each kernel mutation source to its WAL log.
@@ -206,19 +278,28 @@ func (db *DB) installRecorders() {
 		// relation segment.
 		for i := 0; i < db.router.NumShards(); i++ {
 			log := db.logs[i]
-			db.router.Engine(i).SetRecorder(func(m engine.Mutation) error {
-				return log.Append(toRecord(m))
-			})
+			db.router.Engine(i).SetRecorder(db.recorder(log))
 		}
-		relLog := db.logs[len(db.logs)-1]
-		db.router.SetRelationRecorder(func(m engine.Mutation) error {
-			return relLog.Append(toRecord(m))
-		})
+		db.router.SetRelationRecorder(db.recorder(db.logs[len(db.logs)-1]))
 		return
 	}
-	db.uno.SetRecorder(func(m engine.Mutation) error {
-		return db.logs[0].Append(toRecord(m))
-	})
+	db.uno.SetRecorder(db.recorder(db.logs[0]))
+}
+
+// recorder builds the WAL recorder for one log: an append failure aborts
+// the mutation (the engine applies nothing after a recorder error) and
+// latches the read-only degradation.
+func (db *DB) recorder(log *wal.Log) func(engine.Mutation) error {
+	return func(m engine.Mutation) error {
+		if err := db.writeGate(); err != nil {
+			return err
+		}
+		if err := log.Append(toRecord(m)); err != nil {
+			db.failWrites(err)
+			return err
+		}
+		return nil
+	}
 }
 
 // normalizeLayout converts the on-disk WAL layout to the active kernel's
@@ -235,12 +316,12 @@ func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
 			return err
 		}
 		for _, seg := range old.Segments {
-			os.Remove(filepath.Join(db.opts.Dir, seg))
+			db.fs.Remove(filepath.Join(db.opts.Dir, seg))
 		}
-		os.Remove(filepath.Join(db.opts.Dir, wal.ManifestName))
-		return wal.SyncDir(db.opts.Dir)
+		db.fs.Remove(filepath.Join(db.opts.Dir, wal.ManifestName))
+		return db.fs.SyncDir(db.opts.Dir)
 	}
-	_, statErr := os.Stat(legacyWAL)
+	_, statErr := db.fs.Stat(legacyWAL)
 	hadLegacy := statErr == nil
 	if hadManifest && old.Shards == db.router.NumShards() && !hadLegacy {
 		return nil // layout already matches
@@ -256,14 +337,14 @@ func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
 	if hadManifest {
 		for _, seg := range old.Segments {
 			if !keep[seg] {
-				os.Remove(filepath.Join(db.opts.Dir, seg))
+				db.fs.Remove(filepath.Join(db.opts.Dir, seg))
 			}
 		}
 	}
 	if hadLegacy {
-		os.Remove(legacyWAL)
+		db.fs.Remove(legacyWAL)
 	}
-	if err := wal.WriteManifest(db.opts.Dir, cur); err != nil {
+	if err := wal.WriteManifestFS(db.fs, db.opts.Dir, cur); err != nil {
 		return fmt.Errorf("chronicledb: %w", err)
 	}
 	return nil
@@ -371,6 +452,9 @@ func (db *DB) View(name string) (*view.View, bool) { return db.eng.View(name) }
 // Append inserts tuples into a chronicle with the next sequence number,
 // maintaining every affected persistent view before returning.
 func (db *DB) Append(chronicleName string, tuples ...value.Tuple) (int64, error) {
+	if err := db.writeGate(); err != nil {
+		return 0, err
+	}
 	return db.eng.Append(chronicleName, tuples)
 }
 
@@ -378,11 +462,17 @@ func (db *DB) Append(chronicleName string, tuples ...value.Tuple) (int64, error)
 // sequence number and maintenance round) per tuple, applied under a single
 // kernel pass. It returns the first and last sequence numbers assigned.
 func (db *DB) AppendRows(chronicleName string, tuples []value.Tuple) (first, last int64, err error) {
+	if err := db.writeGate(); err != nil {
+		return 0, 0, err
+	}
 	return db.eng.AppendEach(chronicleName, tuples)
 }
 
 // Upsert applies a proactive relation update.
 func (db *DB) Upsert(relationName string, t value.Tuple) error {
+	if err := db.writeGate(); err != nil {
+		return err
+	}
 	return db.eng.Upsert(relationName, t)
 }
 

@@ -36,6 +36,16 @@ func (db *DB) Exec(src string) (*Result, error) {
 // execOne executes one statement. logDDL controls whether schema statements
 // are persisted to catalog.sql (recovery replays with logDDL=false).
 func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
+	if logDDL { // live execution (not recovery): reject writes once degraded
+		switch s.(type) {
+		case *sqlparse.CreateGroup, *sqlparse.CreateChronicle, *sqlparse.CreateRelation,
+			*sqlparse.CreateView, *sqlparse.DropView, *sqlparse.Append,
+			*sqlparse.Upsert, *sqlparse.Delete:
+			if err := db.writeGate(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	switch s := s.(type) {
 	case *sqlparse.CreateGroup:
 		if _, err := db.eng.CreateGroup(s.Name); err != nil {
@@ -187,7 +197,7 @@ func (db *DB) ddlDone(s sqlparse.Statement, logDDL bool, format string, args ...
 func (db *DB) appendCatalog(stmt string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	f, err := os.OpenFile(db.catalogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := db.fs.OpenFile(db.catalogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("chronicledb: catalog: %w", err)
 	}
@@ -195,7 +205,18 @@ func (db *DB) appendCatalog(stmt string) error {
 	if _, err := fmt.Fprintf(f, "%s;\n", stmt); err != nil {
 		return fmt.Errorf("chronicledb: catalog: %w", err)
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("chronicledb: catalog: %w", err)
+	}
+	// The first append creates catalog.sql; sync its directory entry so
+	// the schema cannot vanish in a power cut after the DDL was acked.
+	if !db.catalogSynced {
+		if err := db.fs.SyncDir(db.opts.Dir); err != nil {
+			return fmt.Errorf("chronicledb: catalog: %w", err)
+		}
+		db.catalogSynced = true
+	}
+	return nil
 }
 
 // query answers SELECT * FROM <view|relation|chronicle>.

@@ -1,0 +1,99 @@
+package chronicledb
+
+import (
+	"errors"
+	"testing"
+
+	"chronicledb/internal/fault"
+)
+
+// durableFaultDB opens a durable DB on a simulated disk and seeds one
+// chronicle with an acked row.
+func durableFaultDB(t *testing.T) (*DB, *fault.Disk) {
+	t.Helper()
+	disk := fault.NewDisk()
+	db, err := Open(Options{Dir: "/data", SyncWAL: true, FS: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	mustExec(t, db, `CREATE CHRONICLE calls (acct STRING, minutes INT) RETAIN ALL`)
+	mustExec(t, db, `APPEND INTO calls VALUES ('alice', 10)`)
+	return db, disk
+}
+
+// A full disk degrades the database to read-only without losing any acked
+// row: the failed append is rejected, later writes fail fast with
+// ErrReadOnly, reads keep serving, and after the disk grows the acked
+// state reopens intact.
+func TestDiskFullDegradesToReadOnly(t *testing.T) {
+	db, disk := durableFaultDB(t)
+
+	disk.SetCapacity(disk.BytesWritten()) // no room for the next WAL frame
+	if _, err := db.Exec(`APPEND INTO calls VALUES ('bob', 5)`); err == nil {
+		t.Fatal("append on a full disk acked")
+	}
+	ro, cause := db.ReadOnly()
+	if !ro || !errors.Is(cause, fault.ErrDiskFull) {
+		t.Fatalf("ReadOnly() = %v, %v; want disk-full degradation", ro, cause)
+	}
+	if _, err := db.Exec(`APPEND INTO calls VALUES ('carol', 1)`); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("write after degradation: %v, want ErrReadOnly", err)
+	}
+	// Reads still serve the acked row.
+	if res := mustExec(t, db, `SELECT * FROM calls`); len(res.Rows) != 1 {
+		t.Errorf("read while degraded: %v", res.Rows)
+	}
+
+	// Grow the disk and restart: only the acked row is there.
+	db.Close()
+	disk.SetCapacity(0)
+	disk.PowerCut()
+	disk.Heal()
+	db2, err := Open(Options{Dir: "/data", SyncWAL: true, FS: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Exec(`SELECT * FROM calls`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows after reopen = %v, want only the acked append", res.Rows)
+	}
+}
+
+// A failed fsync poisons the WAL (fsyncgate semantics): the append whose
+// sync failed is not acked, the DB latches read-only, and the acked prefix
+// survives a power cut.
+func TestFsyncFailureDegradesToReadOnly(t *testing.T) {
+	db, disk := durableFaultDB(t)
+
+	disk.FailNthSync(disk.Syncs())
+	if _, err := db.Exec(`APPEND INTO calls VALUES ('bob', 5)`); err == nil {
+		t.Fatal("append with failing WAL sync acked")
+	}
+	if ro, _ := db.ReadOnly(); !ro {
+		t.Fatal("fsync failure did not latch read-only")
+	}
+	if err := db.Checkpoint(); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("checkpoint while degraded: %v, want ErrReadOnly", err)
+	}
+
+	db.Close()
+	disk.PowerCut()
+	disk.Heal()
+	db2, err := Open(Options{Dir: "/data", SyncWAL: true, FS: disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Exec(`SELECT * FROM calls`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows after reopen = %v, want only the acked append", res.Rows)
+	}
+}

@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"E12", "recovery: checkpoint + WAL tail vs full replay", RunE12},
 		{"E13", "end-to-end maintenance latency distribution", RunE13},
 		{"E14", "shard scaling: concurrent appends vs shard count", RunE14},
+		{"E15", "recovery time vs WAL tail length", RunE15},
 	}
 }
 

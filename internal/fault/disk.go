@@ -1,0 +1,592 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The injectable failures.
+var (
+	// ErrCrashed is returned by every operation after a simulated power
+	// cut until Heal is called (and forever by handles opened before it).
+	ErrCrashed = errors.New("fault: simulated power cut")
+	// ErrDiskFull is returned by writes once the configured capacity is
+	// exhausted. The write may be partial, as on a real disk.
+	ErrDiskFull = errors.New("fault: disk full")
+	// ErrInjected is the base of injected write/sync errors.
+	ErrInjected = errors.New("fault: injected I/O error")
+)
+
+// Disk is a simulated disk with power-cut semantics and fault injection.
+//
+// Model: every file holds two byte images — the volatile content (what
+// the running process reads back) and the durable content (what survives
+// a power cut). Write and Truncate change only the volatile image; Sync
+// copies volatile to durable. Directory entries behave the same way:
+// creations, renames, and removals are volatile until SyncDir makes them
+// durable, exactly the contract POSIX gives a database. A crash reverts
+// every namespace entry and every file to its durable image and kills
+// all open handles; Heal then lets the "next process" reopen the
+// directory and recover.
+//
+// Mutating operations (Write, Sync, Truncate, Rename, Remove, SyncDir,
+// and file creation) are counted; SetCrashAt(n) cuts power in place of
+// the nth one, which is what lets the torture harness enumerate every
+// crash point of a workload. With torn writes enabled, a crash landing
+// on an append-shaped Write persists a prefix of that write — the torn
+// final frame a real log must tolerate.
+//
+// Sync failures follow the fsyncgate rule: once a file's fsync fails,
+// the file is poisoned and every later Write or Sync on it fails too —
+// the page cache state is unknowable, so nothing after the failure may
+// be trusted.
+type Disk struct {
+	mu      sync.Mutex
+	files   map[string]*node // volatile namespace: path -> inode
+	durable map[string]*node // durable namespace (dir-entry durability)
+	dirs    map[string]bool
+
+	ops     int // mutating operations performed
+	writes  int // Write calls performed
+	syncs   int // Sync calls performed
+	epoch   int // bumped on crash; stale handles are dead
+	crashed bool
+
+	crashAt    int // cut power in place of this mutating op (-1 = off)
+	torn       bool
+	writeErrAt int // fail this Write call (-1 = off)
+	syncErrAt  int // fail this Sync call, poisoning the file (-1 = off)
+	capacity   int64
+	written    int64
+	tmpSeq     int
+}
+
+// node is one inode.
+type node struct {
+	name     string
+	durable  []byte
+	volatile []byte
+	poisoned bool
+}
+
+// NewDisk returns an empty simulated disk with no faults armed.
+func NewDisk() *Disk {
+	return &Disk{
+		files:      make(map[string]*node),
+		durable:    make(map[string]*node),
+		dirs:       make(map[string]bool),
+		crashAt:    -1,
+		writeErrAt: -1,
+		syncErrAt:  -1,
+	}
+}
+
+// SetCrashAt arms a power cut in place of mutating operation n (0-based,
+// counted from NewDisk). Negative disarms.
+func (d *Disk) SetCrashAt(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAt = n
+}
+
+// SetTorn controls whether a crash landing on an append-shaped Write
+// persists a torn prefix of that write.
+func (d *Disk) SetTorn(torn bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.torn = torn
+}
+
+// FailNthWrite makes Write call n (0-based) fail after a partial write.
+func (d *Disk) FailNthWrite(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeErrAt = n
+}
+
+// FailNthSync makes Sync call n (0-based) fail and poisons the file.
+func (d *Disk) FailNthSync(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncErrAt = n
+}
+
+// SetCapacity bounds the total bytes accepted by Write across all files;
+// 0 means unlimited. Writes past the bound are partial and return
+// ErrDiskFull.
+func (d *Disk) SetCapacity(bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.capacity = bytes
+}
+
+// Ops reports how many mutating operations have been performed — a clean
+// run's count is the crash-point space the torture harness enumerates.
+func (d *Disk) Ops() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ops
+}
+
+// Syncs reports how many Sync calls have been performed, for aiming
+// FailNthSync at "the next sync from here".
+func (d *Disk) Syncs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// Writes reports how many Write calls have been performed, for aiming
+// FailNthWrite at "the next write from here".
+func (d *Disk) Writes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// BytesWritten reports the total bytes accepted by Write across all
+// files, for aiming SetCapacity at "full from here".
+func (d *Disk) BytesWritten() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.written
+}
+
+// Crashed reports whether the simulated power is off.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// PowerCut cuts power immediately: unsynced state is lost and every open
+// handle dies. Combine with Heal to model a stop-the-world restart.
+func (d *Disk) PowerCut() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashNow()
+}
+
+// Heal turns the power back on and disarms the crash trigger: durable
+// state is what the "next process" sees when it reopens the directory.
+// Handles opened before the crash stay dead.
+func (d *Disk) Heal() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = false
+	d.crashAt = -1
+}
+
+// crashNow cuts power: the namespace and every file revert to their
+// durable images, and all open handles die. Callers hold d.mu.
+func (d *Disk) crashNow() {
+	d.crashed = true
+	d.epoch++
+	d.files = make(map[string]*node, len(d.durable))
+	for p, n := range d.durable {
+		d.files[p] = n
+	}
+	for _, n := range d.files {
+		n.volatile = append([]byte(nil), n.durable...)
+	}
+}
+
+// beforeMutate counts one mutating operation and fires an armed crash in
+// its place. Callers hold d.mu.
+func (d *Disk) beforeMutate() error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	if d.crashAt >= 0 && d.ops == d.crashAt {
+		d.crashNow()
+		return ErrCrashed
+	}
+	d.ops++
+	return nil
+}
+
+func notExist(op, path string) error {
+	return &iofs.PathError{Op: op, Path: path, Err: iofs.ErrNotExist}
+}
+
+// --- FS implementation ---------------------------------------------------
+
+// OpenFile opens (creating if flagged) path for writing.
+func (d *Disk) OpenFile(path string, flag int, perm iofs.FileMode) (File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	n, ok := d.files[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", path)
+		}
+		if err := d.beforeMutate(); err != nil {
+			return nil, err
+		}
+		n = &node{name: path}
+		d.files[path] = n
+	}
+	f := &file{d: d, n: n, name: path, epoch: d.epoch, append: flag&os.O_APPEND != 0}
+	if flag&os.O_APPEND == 0 {
+		f.off = 0
+	}
+	return f, nil
+}
+
+// Open opens path read-only.
+func (d *Disk) Open(path string) (File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	n, ok := d.files[path]
+	if !ok {
+		return nil, notExist("open", path)
+	}
+	return &file{d: d, n: n, name: path, epoch: d.epoch}, nil
+}
+
+// CreateTemp creates a deterministically named temp file in dir.
+func (d *Disk) CreateTemp(dir, pattern string) (File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	if err := d.beforeMutate(); err != nil {
+		return nil, err
+	}
+	d.tmpSeq++
+	suffix := fmt.Sprintf("%06d", d.tmpSeq)
+	base := pattern
+	if strings.Contains(pattern, "*") {
+		base = strings.Replace(pattern, "*", suffix, 1)
+	} else {
+		base = pattern + suffix
+	}
+	path := filepath.Join(dir, base)
+	n := &node{name: path}
+	d.files[path] = n
+	return &file{d: d, n: n, name: path, epoch: d.epoch}, nil
+}
+
+// ReadFile returns a copy of path's volatile content.
+func (d *Disk) ReadFile(path string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	n, ok := d.files[path]
+	if !ok {
+		return nil, notExist("open", path)
+	}
+	return append([]byte(nil), n.volatile...), nil
+}
+
+// Rename moves the directory entry (volatile until SyncDir).
+func (d *Disk) Rename(oldpath, newpath string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	n, ok := d.files[oldpath]
+	if !ok {
+		return notExist("rename", oldpath)
+	}
+	if err := d.beforeMutate(); err != nil {
+		return err
+	}
+	delete(d.files, oldpath)
+	d.files[newpath] = n
+	return nil
+}
+
+// Remove unlinks path (volatile until SyncDir).
+func (d *Disk) Remove(path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if _, ok := d.files[path]; !ok {
+		return notExist("remove", path)
+	}
+	if err := d.beforeMutate(); err != nil {
+		return err
+	}
+	delete(d.files, path)
+	return nil
+}
+
+// Stat stats path.
+func (d *Disk) Stat(path string) (iofs.FileInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	if n, ok := d.files[path]; ok {
+		return fileInfo{name: filepath.Base(path), size: int64(len(n.volatile))}, nil
+	}
+	if d.dirs[path] {
+		return fileInfo{name: filepath.Base(path), dir: true}, nil
+	}
+	return nil, notExist("stat", path)
+}
+
+// MkdirAll records the directory. Directory creation is durable
+// immediately — the harness only ever uses one data directory, created
+// before any interesting crash point.
+func (d *Disk) MkdirAll(path string, perm iofs.FileMode) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	for p := path; p != "/" && p != "." && p != ""; p = filepath.Dir(p) {
+		d.dirs[p] = true
+	}
+	return nil
+}
+
+// SyncDir makes dir's entries durable: creations and renames persist,
+// removals actually unlink.
+func (d *Disk) SyncDir(dir string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	if err := d.beforeMutate(); err != nil {
+		return err
+	}
+	for p := range d.durable {
+		if filepath.Dir(p) == dir {
+			if _, live := d.files[p]; !live {
+				delete(d.durable, p)
+			}
+		}
+	}
+	for p, n := range d.files {
+		if filepath.Dir(p) == dir {
+			d.durable[p] = n
+		}
+	}
+	return nil
+}
+
+// --- file handle ---------------------------------------------------------
+
+type file struct {
+	d      *Disk
+	n      *node
+	name   string
+	epoch  int
+	off    int64
+	append bool
+	closed bool
+}
+
+// gate rejects operations on dead handles. Callers hold d.mu.
+func (f *file) gate() error {
+	if f.d.crashed || f.epoch != f.d.epoch {
+		return ErrCrashed
+	}
+	if f.closed {
+		return os.ErrClosed
+	}
+	return nil
+}
+
+func (f *file) Name() string { return f.name }
+
+func (f *file) Read(p []byte) (int, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	if f.off >= int64(len(f.n.volatile)) {
+		return 0, io.EOF
+	}
+	c := copy(p, f.n.volatile[f.off:])
+	f.off += int64(c)
+	return c, nil
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	d := f.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	if f.n.poisoned {
+		return 0, fmt.Errorf("fault: file poisoned by earlier sync failure: %w", ErrInjected)
+	}
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	if d.crashAt >= 0 && d.ops == d.crashAt {
+		// Power cut in place of this write. With torn writes on and an
+		// append-shaped write over fully synced content, a prefix of the
+		// data reaches the platter first — the torn final frame.
+		if d.torn && f.writeOffset() == int64(len(f.n.durable)) && len(f.n.durable) == len(f.n.volatile) {
+			keep := p[:(len(p)+1)/2]
+			f.n.durable = append(f.n.durable, keep...)
+		}
+		d.crashNow()
+		return 0, ErrCrashed
+	}
+	d.ops++
+	w := d.writes
+	d.writes++
+	if d.writeErrAt >= 0 && w == d.writeErrAt {
+		part := p[:len(p)/2]
+		f.writeAt(part)
+		d.written += int64(len(part))
+		return len(part), fmt.Errorf("fault: injected write error: %w", ErrInjected)
+	}
+	if d.capacity > 0 && d.written+int64(len(p)) > d.capacity {
+		room := d.capacity - d.written
+		if room < 0 {
+			room = 0
+		}
+		part := p[:room]
+		f.writeAt(part)
+		d.written += int64(len(part))
+		return len(part), fmt.Errorf("fault: writing %s: %w", f.name, ErrDiskFull)
+	}
+	f.writeAt(p)
+	d.written += int64(len(p))
+	return len(p), nil
+}
+
+// writeOffset is where the next write lands. Callers hold d.mu.
+func (f *file) writeOffset() int64 {
+	if f.append {
+		return int64(len(f.n.volatile))
+	}
+	return f.off
+}
+
+// writeAt applies p to the volatile image. Callers hold d.mu.
+func (f *file) writeAt(p []byte) {
+	off := f.writeOffset()
+	end := off + int64(len(p))
+	if int64(len(f.n.volatile)) < end {
+		nv := make([]byte, end)
+		copy(nv, f.n.volatile)
+		f.n.volatile = nv
+	}
+	copy(f.n.volatile[off:end], p)
+	f.off = end
+}
+
+func (f *file) Sync() error {
+	d := f.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return err
+	}
+	if f.n.poisoned {
+		return fmt.Errorf("fault: file poisoned by earlier sync failure: %w", ErrInjected)
+	}
+	if err := d.beforeMutate(); err != nil {
+		return err
+	}
+	s := d.syncs
+	d.syncs++
+	if d.syncErrAt >= 0 && s == d.syncErrAt {
+		f.n.poisoned = true
+		return fmt.Errorf("fault: injected sync error on %s: %w", f.name, ErrInjected)
+	}
+	f.n.durable = append(f.n.durable[:0], f.n.volatile...)
+	return nil
+}
+
+func (f *file) Truncate(size int64) error {
+	d := f.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return err
+	}
+	if err := d.beforeMutate(); err != nil {
+		return err
+	}
+	if size < int64(len(f.n.volatile)) {
+		f.n.volatile = f.n.volatile[:size]
+	} else {
+		for int64(len(f.n.volatile)) < size {
+			f.n.volatile = append(f.n.volatile, 0)
+		}
+	}
+	return nil
+}
+
+func (f *file) Seek(offset int64, whence int) (int64, error) {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.n.volatile)) + offset
+	default:
+		return 0, fmt.Errorf("fault: bad whence %d", whence)
+	}
+	if f.off < 0 {
+		return 0, fmt.Errorf("fault: negative seek offset")
+	}
+	return f.off, nil
+}
+
+func (f *file) Close() error {
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if f.d.crashed || f.epoch != f.d.epoch {
+		return ErrCrashed
+	}
+	f.closed = true
+	return nil
+}
+
+// --- FileInfo ------------------------------------------------------------
+
+type fileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (fi fileInfo) Name() string { return fi.name }
+func (fi fileInfo) Size() int64  { return fi.size }
+func (fi fileInfo) Mode() iofs.FileMode {
+	if fi.dir {
+		return iofs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.dir }
+func (fi fileInfo) Sys() any           { return nil }

@@ -1,0 +1,93 @@
+// Package fault abstracts the filesystem operations the durability stack
+// performs, so the same WAL / checkpoint / recovery code can run against
+// the real OS or against a simulated disk that injects the failures a
+// transaction-recording system must survive: power cuts at any write
+// operation (with unsynced bytes dropped and optionally a torn final
+// write), fsync errors that poison a file (the "fsyncgate" semantics —
+// once fsync fails, nothing later written to that file may be trusted),
+// and disk-full conditions.
+//
+// The crash-torture harness in the root package enumerates every write
+// operation of a scripted workload, crashes there, reopens, and checks
+// the recovery invariants; see Disk for the simulation model.
+package fault
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// File is the handle surface the durability stack needs. *os.File
+// implements it; Disk supplies a simulated version.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem surface the durability stack needs. Every
+// operation mirrors its os counterpart; SyncDir fsyncs a directory so
+// renames and creations inside it are durable.
+type FS interface {
+	// OpenFile opens path with os-style flags (write paths).
+	OpenFile(path string, flag int, perm iofs.FileMode) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// CreateTemp creates a temp file in dir (pattern as in os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks path.
+	Remove(path string) error
+	// Stat stats path.
+	Stat(path string) (iofs.FileInfo, error)
+	// MkdirAll creates path and parents.
+	MkdirAll(path string, perm iofs.FileMode) error
+	// SyncDir fsyncs the directory at path.
+	SyncDir(path string) error
+}
+
+// OS is the passthrough implementation backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string, flag int, perm iofs.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm.Perm())
+}
+
+func (osFS) Open(path string) (File, error) { return os.Open(path) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Stat(path string) (iofs.FileInfo, error) { return os.Stat(path) }
+
+func (osFS) MkdirAll(path string, perm iofs.FileMode) error {
+	return os.MkdirAll(path, perm.Perm())
+}
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("fault: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fault: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func writeString(t *testing.T, f File, s string) {
+	t.Helper()
+	if _, err := f.Write([]byte(s)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readAll(t *testing.T, fs FS, path string) string {
+	t.Helper()
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(b)
+}
+
+func TestDiskSyncDurability(t *testing.T) {
+	d := NewDisk()
+	if err := d.MkdirAll("/data", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.OpenFile("/data/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "hello ")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SyncDir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, f, "world") // never synced
+
+	// Crash immediately: power off at the next mutating op.
+	d.SetCrashAt(d.Ops())
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	d.Heal()
+	if got := readAll(t, d, "/data/a"); got != "hello " {
+		t.Fatalf("after crash: %q, want %q", got, "hello ")
+	}
+	// The pre-crash handle is dead even after healing.
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle: want ErrCrashed, got %v", err)
+	}
+}
+
+func TestDiskDirEntryDurability(t *testing.T) {
+	d := NewDisk()
+	d.MkdirAll("/data", 0o755)
+	f, _ := d.OpenFile("/data/a", os.O_CREATE|os.O_WRONLY, 0o644)
+	writeString(t, f, "abc")
+	f.Sync() // file content durable, but the dir entry is not
+
+	d.SetCrashAt(d.Ops())
+	d.SyncDir("/data") // crashes here, before the entry persists
+	d.Heal()
+	if _, err := d.ReadFile("/data/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file should have vanished with its dir entry, got %v", err)
+	}
+}
+
+func TestDiskRenameAtomicity(t *testing.T) {
+	d := NewDisk()
+	d.MkdirAll("/data", 0o755)
+
+	// Base file, fully durable.
+	f, _ := d.OpenFile("/data/ckpt", os.O_CREATE|os.O_WRONLY, 0o644)
+	writeString(t, f, "old")
+	f.Sync()
+	d.SyncDir("/data")
+
+	// Replacement via temp + rename, crash before the dir sync.
+	tmp, err := d.CreateTemp("/data", "ckpt-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeString(t, tmp, "new")
+	tmp.Sync()
+	if err := d.Rename(tmp.Name(), "/data/ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	d.SetCrashAt(d.Ops())
+	if err := d.SyncDir("/data"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	d.Heal()
+	// Without the dir sync the rename never became durable: old survives.
+	if got := readAll(t, d, "/data/ckpt"); got != "old" {
+		t.Fatalf("after crash: %q, want %q", got, "old")
+	}
+
+	// Same sequence, dir sync completes: new survives the next crash.
+	tmp2, _ := d.CreateTemp("/data", "ckpt-*.tmp")
+	writeString(t, tmp2, "new")
+	tmp2.Sync()
+	d.Rename(tmp2.Name(), "/data/ckpt")
+	d.SyncDir("/data")
+	d.SetCrashAt(d.Ops())
+	f2, _ := d.OpenFile("/data/other", os.O_CREATE|os.O_WRONLY, 0o644)
+	_ = f2
+	d.Heal()
+	if got := readAll(t, d, "/data/ckpt"); got != "new" {
+		t.Fatalf("after durable rename: %q, want %q", got, "new")
+	}
+}
+
+func TestDiskTornWrite(t *testing.T) {
+	d := NewDisk()
+	d.SetTorn(true)
+	d.MkdirAll("/data", 0o755)
+	f, _ := d.OpenFile("/data/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	writeString(t, f, "AAAA")
+	f.Sync()
+	d.SyncDir("/data")
+
+	d.SetCrashAt(d.Ops())
+	if _, err := f.Write([]byte("BBBBBBBB")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	d.Heal()
+	got := readAll(t, d, "/data/log")
+	if got != "AAAABBBB" {
+		t.Fatalf("torn write: %q, want synced prefix + half the frame (%q)", got, "AAAABBBB")
+	}
+}
+
+func TestDiskFsyncgate(t *testing.T) {
+	d := NewDisk()
+	d.MkdirAll("/data", 0o755)
+	f, _ := d.OpenFile("/data/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	writeString(t, f, "abc")
+	d.FailNthSync(0)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected sync error, got %v", err)
+	}
+	// Poisoned: every later write and sync fails.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("poisoned write: want ErrInjected, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("poisoned sync: want ErrInjected, got %v", err)
+	}
+}
+
+func TestDiskFull(t *testing.T) {
+	d := NewDisk()
+	d.MkdirAll("/data", 0o755)
+	d.SetCapacity(10)
+	f, _ := d.OpenFile("/data/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("within capacity: %v", err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("want ErrDiskFull, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("partial write length = %d, want 2", n)
+	}
+	f.Sync()
+	if got := readAll(t, d, "/data/log"); got != "12345678ab" {
+		t.Fatalf("content %q", got)
+	}
+}
+
+func TestDiskInjectedWriteError(t *testing.T) {
+	d := NewDisk()
+	d.MkdirAll("/data", 0o755)
+	f, _ := d.OpenFile("/data/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	d.FailNthWrite(1)
+	writeString(t, f, "ok")
+	n, err := f.Write([]byte("abcd"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("partial write length = %d, want 2", n)
+	}
+}
+
+func TestDiskTruncateVolatileUntilSync(t *testing.T) {
+	d := NewDisk()
+	d.MkdirAll("/data", 0o755)
+	f, _ := d.OpenFile("/data/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	writeString(t, f, "payload")
+	f.Sync()
+	d.SyncDir("/data")
+
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	d.SetCrashAt(d.Ops())
+	f.Sync() // crashes before the truncation becomes durable
+	d.Heal()
+	if got := readAll(t, d, "/data/log"); got != "payload" {
+		t.Fatalf("truncate leaked to durable state: %q", got)
+	}
+}
+
+func TestDiskReadSeek(t *testing.T) {
+	d := NewDisk()
+	d.MkdirAll("/data", 0o755)
+	f, _ := d.OpenFile("/data/a", os.O_CREATE|os.O_WRONLY, 0o644)
+	writeString(t, f, "0123456789")
+	f.Close()
+
+	r, err := d.Open("/data/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(r, buf); err != nil || string(buf) != "0123" {
+		t.Fatalf("read %q err %v", buf, err)
+	}
+	if _, err := r.Seek(8, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Read(buf)
+	if err != nil || string(buf[:n]) != "89" {
+		t.Fatalf("read after seek: %q err %v", buf[:n], err)
+	}
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestDiskCrashPointEnumerationDeterminism(t *testing.T) {
+	run := func(d *Disk) int {
+		d.MkdirAll("/data", 0o755)
+		f, err := d.OpenFile("/data/log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return d.Ops()
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := f.Write([]byte("rec")); err != nil {
+				return d.Ops()
+			}
+			if err := f.Sync(); err != nil {
+				return d.Ops()
+			}
+		}
+		d.SyncDir("/data")
+		return d.Ops()
+	}
+	clean := NewDisk()
+	total := run(clean)
+	if total < 8 {
+		t.Fatalf("expected >= 8 mutating ops, got %d", total)
+	}
+	// Crashing at op i always stops the workload with exactly i ops done.
+	for i := 0; i < total; i++ {
+		d := NewDisk()
+		d.SetCrashAt(i)
+		if got := run(d); got != i {
+			t.Fatalf("crash at %d: %d ops completed", i, got)
+		}
+		if !d.Crashed() {
+			t.Fatalf("crash at %d did not fire", i)
+		}
+	}
+}

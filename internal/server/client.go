@@ -44,8 +44,10 @@ func (c *Client) Exec(stmt string) (*Response, error) {
 	return &out, nil
 }
 
-// Stats fetches engine counters.
-func (c *Client) Stats() (map[string]int64, error) {
+// Stats fetches engine counters. Numeric stats arrive as float64 (JSON
+// numbers); read_only is a bool and read_only_cause, when present, the
+// degradation cause.
+func (c *Client) Stats() (map[string]any, error) {
 	resp, err := c.http.Get(c.base + "/stats")
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -54,7 +56,7 @@ func (c *Client) Stats() (map[string]int64, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
 	}
-	var out map[string]int64
+	var out map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("server: decoding stats: %w", err)
 	}

@@ -7,9 +7,15 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"net"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	chronicledb "chronicledb"
@@ -49,15 +55,36 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// Server serves a DB over HTTP.
-type Server struct {
-	db  *chronicledb.DB
-	mux *http.ServeMux
+// Config tunes the HTTP surface.
+type Config struct {
+	// MaxBodyBytes bounds every request body; 0 means the 8 MiB default.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's handling (write path included);
+	// 0 means the 30 s default. Applied by Serve, not by the bare handler.
+	RequestTimeout time.Duration
 }
 
-// New wraps db in an HTTP handler.
-func New(db *chronicledb.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+const (
+	defaultMaxBody        = 8 << 20
+	defaultRequestTimeout = 30 * time.Second
+)
+
+// Server serves a DB over HTTP.
+type Server struct {
+	db      *chronicledb.DB
+	mux     *http.ServeMux
+	maxBody int64
+}
+
+// New wraps db in an HTTP handler with default limits.
+func New(db *chronicledb.DB) *Server { return NewWith(db, Config{}) }
+
+// NewWith wraps db in an HTTP handler.
+func NewWith(db *chronicledb.DB, cfg Config) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), maxBody: cfg.MaxBodyBytes}
+	if s.maxBody <= 0 {
+		s.maxBody = defaultMaxBody
+	}
 	s.mux.HandleFunc("POST /exec", s.handleExec)
 	s.mux.HandleFunc("POST /append", s.handleAppend)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -65,15 +92,56 @@ func New(db *chronicledb.DB) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: request bodies are bounded and a
+// handler panic becomes a 500 instead of killing the connection.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		}
+	}()
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// Serve runs s on ln with per-request timeouts until ctx is canceled,
+// then shuts down gracefully: stop accepting, drain in-flight requests
+// (bounded by drainTimeout), and flush+sync the database's WAL so
+// everything acked is durable on SIGTERM, not just on crash-free exit.
+func Serve(ctx context.Context, ln net.Listener, s *Server, requestTimeout, drainTimeout time.Duration) error {
+	if requestTimeout <= 0 {
+		requestTimeout = defaultRequestTimeout
+	}
+	srv := &http.Server{
+		Handler:           http.TimeoutHandler(s, requestTimeout, `{"error":"request timed out"}`),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       requestTimeout,
+		WriteTimeout:      requestTimeout + 5*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	if err := s.db.Flush(); err != nil && shutdownErr == nil {
+		shutdownErr = fmt.Errorf("server: flushing WAL on shutdown: %w", err)
+	}
+	return shutdownErr
 }
 
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if req.Stmt == "" {
@@ -82,16 +150,36 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.db.Exec(req.Stmt)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, execStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(res))
 }
 
+// decodeStatus maps a body-decode failure to its status: an oversized
+// body (http.MaxBytesReader tripped) is 413, anything else 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// execStatus maps an execution failure to its status: a degraded
+// (read-only) database serves 503 so clients and load balancers back off;
+// everything else is the statement's fault, 422.
+func execStatus(err error) int {
+	if errors.Is(err, chronicledb.ErrReadOnly) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var req AppendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if req.Chronicle == "" || len(req.Rows) == 0 {
@@ -118,7 +206,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	// sharded, the shard queue — once.
 	firstSN, lastSN, err := s.db.AppendRows(req.Chronicle, tuples)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, execStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, AppendResponse{FirstSN: firstSN, LastSN: lastSN, Rows: len(req.Rows)})
@@ -162,7 +250,7 @@ func tupleFromJSON(schema *value.Schema, raw []any) (value.Tuple, error) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.db.Stats()
 	lat := s.db.MaintenanceLatency()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"shards":             s.db.Shards(),
 		"appends":            st.Appends,
 		"tuples_appended":    st.TuplesAppended,
@@ -172,10 +260,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"maintenance_p50_ns": int64(lat.P50),
 		"maintenance_p99_ns": int64(lat.P99),
 		"maintenance_max_ns": int64(lat.Max),
-	})
+		"read_only":          false,
+	}
+	if ro, cause := s.db.ReadOnly(); ro {
+		body["read_only"] = true
+		if cause != nil {
+			body["read_only_cause"] = cause.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
+// handleHealth answers 200 while the database accepts writes and 503 once
+// it has degraded to read-only, with the cause — the shape load balancers
+// and operators poll.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if ro, cause := s.db.ReadOnly(); ro {
+		body := map[string]string{"status": "degraded"}
+		if cause != nil {
+			body["error"] = cause.Error()
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -211,10 +318,24 @@ func jsonValue(v value.Value) any {
 	}
 }
 
+// writeJSON encodes into a buffer first: an encode failure is logged and
+// becomes a 500 before any byte of the response has been committed,
+// instead of being silently dropped after a 200 status line.
 func writeJSON(w http.ResponseWriter, code int, body any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		log.Printf("server: encoding response: %v", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"internal error encoding response"}`)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(body)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// Headers are gone; all we can do is record the broken connection.
+		log.Printf("server: writing response: %v", err)
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

@@ -70,8 +70,12 @@ func TestStatsAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st["appends"] != 1 || st["tuples_appended"] != 1 {
+	// JSON numbers decode as float64.
+	if st["appends"] != float64(1) || st["tuples_appended"] != float64(1) {
 		t.Errorf("stats = %v", st)
+	}
+	if st["read_only"] != false {
+		t.Errorf("read_only = %v", st["read_only"])
 	}
 }
 

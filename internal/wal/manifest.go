@@ -13,6 +13,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"chronicledb/internal/fault"
 )
 
 // ManifestName is the manifest file name inside the data directory.
@@ -44,17 +46,27 @@ func NewManifest(n int) Manifest {
 
 // WriteManifest atomically persists the manifest into dir.
 func WriteManifest(dir string, m Manifest) error {
+	return WriteManifestFS(fault.OS, dir, m)
+}
+
+// WriteManifestFS is WriteManifest against an explicit filesystem.
+func WriteManifestFS(fsys fault.FS, dir string, m Manifest) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("wal: manifest: %w", err)
 	}
-	return WriteFileAtomic(filepath.Join(dir, ManifestName), data)
+	return WriteFileAtomicFS(fsys, filepath.Join(dir, ManifestName), data)
 }
 
 // ReadManifest loads the manifest from dir. A missing manifest reports
 // ok=false without error (the directory predates sharding or is fresh).
 func ReadManifest(dir string) (Manifest, bool, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	return ReadManifestFS(fault.OS, dir)
+}
+
+// ReadManifestFS is ReadManifest against an explicit filesystem.
+func ReadManifestFS(fsys fault.FS, dir string) (Manifest, bool, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
 	if os.IsNotExist(err) {
 		return Manifest{}, false, nil
 	}
@@ -77,13 +89,18 @@ func ReadManifest(dir string) (Manifest, bool, error) {
 // durable. A crash at any point leaves either the old complete file or the
 // new complete file — never a truncated mix.
 func WriteFileAtomic(path string, data []byte) error {
+	return WriteFileAtomicFS(fault.OS, path, data)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic against an explicit filesystem.
+func WriteFileAtomicFS(fsys fault.FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("wal: atomic write: %w", err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	cleanup := func() { tmp.Close(); fsys.Remove(tmpName) }
 	if _, err := tmp.Write(data); err != nil {
 		cleanup()
 		return fmt.Errorf("wal: atomic write: %w", err)
@@ -93,27 +110,19 @@ func WriteFileAtomic(path string, data []byte) error {
 		return fmt.Errorf("wal: atomic write: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: atomic write: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("wal: atomic write: %w", err)
 	}
-	return SyncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // SyncDir fsyncs a directory so renames and unlinks inside it are durable.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: sync dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: sync dir: %w", err)
-	}
-	return nil
+	return fault.OS.SyncDir(dir)
 }
 
 // ReplayMerged replays the records of every listed segment in global LSN
@@ -121,9 +130,14 @@ func SyncDir(dir string) error {
 // (it had a single writer), so this is a merge; torn tails are tolerated
 // per segment exactly as in Replay. It reports the total records applied.
 func ReplayMerged(dir string, segments []string, fn func(Record) error) (int, error) {
+	return ReplayMergedFS(fault.OS, dir, segments, fn)
+}
+
+// ReplayMergedFS is ReplayMerged against an explicit filesystem.
+func ReplayMergedFS(fsys fault.FS, dir string, segments []string, fn func(Record) error) (int, error) {
 	var all []Record
 	for _, seg := range segments {
-		_, _, err := Replay(filepath.Join(dir, seg), func(r Record) error {
+		_, _, err := ReplayFS(fsys, filepath.Join(dir, seg), func(r Record) error {
 			all = append(all, r)
 			return nil
 		})

@@ -10,6 +10,13 @@
 // Frame format: u32 little-endian payload length, u32 CRC-32 (IEEE) of the
 // payload, payload. Replay stops cleanly at the first torn or corrupt
 // frame, which is the expected crash shape for an append-only file.
+//
+// All file access goes through fault.FS so the crash-torture harness can
+// substitute a simulated disk; production code uses fault.OS. A Log that
+// sees any write, flush, or sync failure latches a sticky error and fails
+// every subsequent operation fast — after a failed fsync the kernel may
+// have dropped the dirty pages (the "fsyncgate" lesson), so nothing later
+// appended to that file may be trusted as durable.
 package wal
 
 import (
@@ -21,8 +28,13 @@ import (
 	"os"
 	"sync"
 
+	"chronicledb/internal/fault"
 	"chronicledb/internal/value"
 )
+
+// maxFrame caps a frame payload during replay; a length prefix beyond it
+// is treated as log-tail corruption rather than an allocation request.
+const maxFrame = 64 << 20
 
 // RecordKind tags a log record.
 type RecordKind uint8
@@ -64,16 +76,23 @@ type Record struct {
 type Log struct {
 	mu       sync.Mutex
 	path     string
-	f        *os.File
+	f        fault.File
 	w        *bufio.Writer
 	syncEach bool
+	err      error // sticky: first write/flush/sync failure; fails everything after
+	buf      []byte
 }
 
 // Open opens (creating if needed) the log at path for appending. When
 // syncEach is true every record is fsynced — the durable configuration; off,
 // records are buffered and flushed on Flush/Close (faster, test-friendly).
 func Open(path string, syncEach bool) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenFS(fault.OS, path, syncEach)
+}
+
+// OpenFS is Open against an explicit filesystem.
+func OpenFS(fsys fault.FS, path string, syncEach bool) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
@@ -83,18 +102,29 @@ func Open(path string, syncEach bool) (*Log, error) {
 // Path returns the log file path.
 func (l *Log) Path() string { return l.path }
 
-// Append frames and writes one record.
+// Err returns the sticky error, if any write, flush, or sync has failed.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Append frames and writes one record. The frame is encoded completely
+// before any byte reaches the writer, so a failure never leaves a partial
+// frame mid-file; any failure latches the sticky error.
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	payload := encodeRecord(nil, r)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: write: %w", err)
+	if l.err != nil {
+		return fmt.Errorf("wal: log failed: %w", l.err)
 	}
-	if _, err := l.w.Write(payload); err != nil {
+	l.buf = append(l.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	l.buf = encodeRecord(l.buf, r)
+	payload := l.buf[8:]
+	binary.LittleEndian.PutUint32(l.buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(l.buf); err != nil {
+		l.err = err
 		return fmt.Errorf("wal: write: %w", err)
 	}
 	if l.syncEach {
@@ -111,7 +141,11 @@ func (l *Log) Flush() error {
 }
 
 func (l *Log) flushLocked() error {
+	if l.err != nil {
+		return fmt.Errorf("wal: log failed: %w", l.err)
+	}
 	if err := l.w.Flush(); err != nil {
+		l.err = err
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	return nil
@@ -129,6 +163,7 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
+		l.err = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return nil
@@ -145,7 +180,9 @@ func (l *Log) Close() error {
 	return l.f.Close()
 }
 
-// Reset truncates the log to empty (after a successful checkpoint).
+// Reset truncates the log to empty (after a successful checkpoint) and
+// syncs the truncation, so a later crash cannot resurrect pre-checkpoint
+// records with un-checkpointed bytes appended after them.
 func (l *Log) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -153,10 +190,16 @@ func (l *Log) Reset() error {
 		return err
 	}
 	if err := l.f.Truncate(0); err != nil {
+		l.err = err
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.err = err
 		return fmt.Errorf("wal: seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.w.Reset(l.f)
 	return nil
@@ -167,37 +210,69 @@ func (l *Log) Reset() error {
 // how many records were applied and how many trailing bytes were ignored.
 // A missing file replays zero records.
 func Replay(path string, fn func(Record) error) (n int, ignored int64, err error) {
-	data, err := os.ReadFile(path)
+	return ReplayFS(fault.OS, path, fn)
+}
+
+// ReplayFS is Replay against an explicit filesystem. The log is streamed
+// through a buffered reader rather than loaded whole, so replaying a long
+// tail does not double resident memory.
+func ReplayFS(fsys fault.FS, path string, fn func(Record) error) (n int, ignored int64, err error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("wal: read: %w", err)
+		return 0, 0, fmt.Errorf("wal: open: %w", err)
 	}
-	off := 0
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [8]byte
+	var payload []byte
 	for {
-		if len(data)-off < 8 {
-			return n, int64(len(data) - off), nil
+		hn, herr := io.ReadFull(br, hdr[:])
+		if herr == io.EOF {
+			return n, 0, nil
 		}
-		plen := int(binary.LittleEndian.Uint32(data[off:]))
-		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if plen <= 0 || len(data)-off-8 < plen {
-			return n, int64(len(data) - off), nil
+		if herr == io.ErrUnexpectedEOF {
+			return n, int64(hn), nil
 		}
-		payload := data[off+8 : off+8+plen]
+		if herr != nil {
+			return n, 0, fmt.Errorf("wal: read: %w", herr)
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[0:]))
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if plen <= 0 || plen > maxFrame {
+			return n, 8 + drain(br), nil
+		}
+		if cap(payload) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		pn, perr := io.ReadFull(br, payload)
+		if perr == io.EOF || perr == io.ErrUnexpectedEOF {
+			return n, 8 + int64(pn), nil
+		}
+		if perr != nil {
+			return n, 0, fmt.Errorf("wal: read: %w", perr)
+		}
 		if crc32.ChecksumIEEE(payload) != crc {
-			return n, int64(len(data) - off), nil
+			return n, 8 + int64(plen) + drain(br), nil
 		}
 		rec, derr := decodeRecord(payload)
 		if derr != nil {
-			return n, int64(len(data) - off), nil
+			return n, 8 + int64(plen) + drain(br), nil
 		}
 		if err := fn(rec); err != nil {
 			return n, 0, fmt.Errorf("wal: applying record %d: %w", n, err)
 		}
 		n++
-		off += 8 + plen
 	}
+}
+
+// drain counts the unread remainder of a corrupt log tail.
+func drain(br *bufio.Reader) int64 {
+	c, _ := io.Copy(io.Discard, br)
+	return c
 }
 
 func encodeRecord(dst []byte, r Record) []byte {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/engine"
@@ -35,11 +36,28 @@ const ckptMagic = "CDBC"
 // global LSN order, so the layout on disk need not match the kernel being
 // opened (shard counts may change across restarts).
 func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
-	// 1. Catalog: replay DDL.
-	if src, err := os.ReadFile(db.catalogPath); err == nil && len(src) > 0 {
-		stmts, err := sqlparse.Parse(string(src))
+	// 1. Catalog: replay DDL. A power cut can tear the final statement
+	// mid-write; every *acked* statement was fully written and fsynced, so
+	// trimming to the last statement terminator drops only unacked bytes.
+	// A catalog with no terminator at all is corruption, not a torn tail
+	// (the file's dir entry only becomes durable after the first acked
+	// statement), and still fails the parse below.
+	if src, err := db.fs.ReadFile(db.catalogPath); err == nil && len(src) > 0 {
+		text := string(src)
+		if i := strings.LastIndex(text, ";"); i >= 0 {
+			text = text[:i+1]
+		}
+		stmts, err := sqlparse.Parse(text)
 		if err != nil {
 			return fmt.Errorf("chronicledb: corrupt catalog: %w", err)
+		}
+		if len(text) < len(src) {
+			// Repair the torn tail now: the file is opened in append
+			// mode for future DDL, which must land after the last valid
+			// statement, not after the garbage.
+			if err := wal.WriteFileAtomicFS(db.fs, db.catalogPath, []byte(text)); err != nil {
+				return fmt.Errorf("chronicledb: repairing torn catalog: %w", err)
+			}
 		}
 		for _, s := range stmts {
 			if _, err := db.execOne(s, false); err != nil {
@@ -51,23 +69,35 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 	}
 
 	// 2. Checkpoint.
+	var ckptLSN uint64
 	ckptPath := filepath.Join(db.opts.Dir, "checkpoint.bin")
-	if data, err := os.ReadFile(ckptPath); err == nil {
-		if err := db.restoreCheckpoint(data); err != nil {
+	if data, err := db.fs.ReadFile(ckptPath); err == nil {
+		lsn, err := db.restoreCheckpoint(data)
+		if err != nil {
 			return err
 		}
+		ckptLSN = lsn
 	} else if !os.IsNotExist(err) {
 		return fmt.Errorf("chronicledb: checkpoint: %w", err)
 	}
 
 	// 3. WAL tail: every segment on disk, merged by global LSN so
 	// relation updates interleave with appends exactly as they did live
-	// (§2.3 proactive ordering).
+	// (§2.3 proactive ordering). Records at or below the checkpoint LSN
+	// are already inside the checkpoint — a crash between the checkpoint
+	// replace and the WAL truncation leaves them in the log, and applying
+	// them twice would double-count appends and resurrect stale relation
+	// versions. Skipping them also keeps the LSN allocator aligned: replay
+	// re-assigns LSNs starting from the checkpoint LSN, so each surviving
+	// record re-acquires exactly the LSN it carried live.
 	segments := []string{"chronicle.wal"}
 	if hadManifest {
 		segments = append(segments, m.Segments...)
 	}
-	_, err := wal.ReplayMerged(db.opts.Dir, segments, func(r wal.Record) error {
+	_, err := wal.ReplayMergedFS(db.fs, db.opts.Dir, segments, func(r wal.Record) error {
+		if r.LSN != 0 && r.LSN <= ckptLSN {
+			return nil
+		}
 		switch r.Kind {
 		case wal.RecDDL:
 			s, err := sqlparse.ParseOne(r.Stmt)
@@ -111,10 +141,13 @@ func (db *DB) Checkpoint() error {
 	if db.opts.Dir == "" {
 		return fmt.Errorf("chronicledb: checkpoint requires a durable database (Options.Dir)")
 	}
+	if err := db.writeGate(); err != nil {
+		return err
+	}
 	write := func() error {
 		data := db.buildCheckpoint()
 		final := filepath.Join(db.opts.Dir, "checkpoint.bin")
-		if err := wal.WriteFileAtomic(final, data); err != nil {
+		if err := wal.WriteFileAtomicFS(db.fs, final, data); err != nil {
 			return fmt.Errorf("chronicledb: checkpoint: %w", err)
 		}
 		for _, l := range db.logs {
@@ -198,15 +231,17 @@ func (db *DB) buildCheckpoint() []byte {
 	return b
 }
 
-func (db *DB) restoreCheckpoint(data []byte) error {
+// restoreCheckpoint rebuilds state from a checkpoint image and returns
+// the LSN the checkpoint was cut at (the replay skip threshold).
+func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
 	bad := func(what string) error {
 		return fmt.Errorf("chronicledb: corrupt checkpoint (%s)", what)
 	}
 	if len(data) < 13 || string(data[:4]) != ckptMagic {
-		return bad("header")
+		return 0, bad("header")
 	}
 	if data[4] != 1 {
-		return fmt.Errorf("chronicledb: unsupported checkpoint version %d", data[4])
+		return 0, fmt.Errorf("chronicledb: unsupported checkpoint version %d", data[4])
 	}
 	off := 5
 	lsn := binary.LittleEndian.Uint64(data[off:])
@@ -216,17 +251,17 @@ func (db *DB) restoreCheckpoint(data []byte) error {
 	// Groups.
 	nGroups, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return bad("group count")
+		return 0, bad("group count")
 	}
 	off += n
 	for i := uint64(0); i < nGroups; i++ {
 		name, used, err := readName(data[off:])
 		if err != nil {
-			return bad("group name")
+			return 0, bad("group name")
 		}
 		off += used
 		if len(data)-off < 8 {
-			return bad("group sn")
+			return 0, bad("group sn")
 		}
 		lastSN := int64(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
@@ -238,29 +273,29 @@ func (db *DB) restoreCheckpoint(data []byte) error {
 	// Chronicles.
 	nChron, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return bad("chronicle count")
+		return 0, bad("chronicle count")
 	}
 	off += n
 	for i := uint64(0); i < nChron; i++ {
 		name, used, err := readName(data[off:])
 		if err != nil {
-			return bad("chronicle name")
+			return 0, bad("chronicle name")
 		}
 		off += used
 		if len(data)-off < 8 {
-			return bad("chronicle dropped")
+			return 0, bad("chronicle dropped")
 		}
 		dropped := int64(binary.LittleEndian.Uint64(data[off:]))
 		off += 8
 		nRows, n := binary.Uvarint(data[off:])
 		if n <= 0 {
-			return bad("chronicle rows")
+			return 0, bad("chronicle rows")
 		}
 		off += n
 		rows := make([]chronicle.Row, nRows)
 		for j := range rows {
 			if len(data)-off < 24 {
-				return bad("chronicle row header")
+				return 0, bad("chronicle row header")
 			}
 			rows[j].SN = int64(binary.LittleEndian.Uint64(data[off:]))
 			rows[j].Chronon = int64(binary.LittleEndian.Uint64(data[off+8:]))
@@ -268,49 +303,49 @@ func (db *DB) restoreCheckpoint(data []byte) error {
 			off += 24
 			t, used, err := value.DecodeTuple(data[off:])
 			if err != nil {
-				return bad("chronicle row tuple")
+				return 0, bad("chronicle row tuple")
 			}
 			rows[j].Vals = t
 			off += used
 		}
 		c, ok := db.eng.Chronicle(name)
 		if !ok {
-			return fmt.Errorf("chronicledb: checkpoint references unknown chronicle %q", name)
+			return 0, fmt.Errorf("chronicledb: checkpoint references unknown chronicle %q", name)
 		}
 		if err := c.Restore(rows, dropped); err != nil {
-			return err
+			return 0, err
 		}
 	}
 
 	// Relations.
 	nRels, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return bad("relation count")
+		return 0, bad("relation count")
 	}
 	off += n
 	for i := uint64(0); i < nRels; i++ {
 		name, used, err := readName(data[off:])
 		if err != nil {
-			return bad("relation name")
+			return 0, bad("relation name")
 		}
 		off += used
 		nTuples, n := binary.Uvarint(data[off:])
 		if n <= 0 {
-			return bad("relation tuples")
+			return 0, bad("relation tuples")
 		}
 		off += n
 		r, ok := db.eng.Relation(name)
 		if !ok {
-			return fmt.Errorf("chronicledb: checkpoint references unknown relation %q", name)
+			return 0, fmt.Errorf("chronicledb: checkpoint references unknown relation %q", name)
 		}
 		for j := uint64(0); j < nTuples; j++ {
 			t, used, err := value.DecodeTuple(data[off:])
 			if err != nil {
-				return bad("relation tuple")
+				return 0, bad("relation tuple")
 			}
 			off += used
 			if err := r.Upsert(lsn, t); err != nil {
-				return err
+				return 0, err
 			}
 		}
 	}
@@ -318,26 +353,26 @@ func (db *DB) restoreCheckpoint(data []byte) error {
 	// Views.
 	nViews, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return bad("view count")
+		return 0, bad("view count")
 	}
 	off += n
 	for i := uint64(0); i < nViews; i++ {
 		name, used, err := readName(data[off:])
 		if err != nil {
-			return bad("view name")
+			return 0, bad("view name")
 		}
 		off += used
 		snapLen, n := binary.Uvarint(data[off:])
 		if n <= 0 || uint64(len(data)-off-n) < snapLen {
-			return bad("view snapshot")
+			return 0, bad("view snapshot")
 		}
 		off += n
 		v, ok := db.eng.View(name)
 		if !ok {
-			return fmt.Errorf("chronicledb: checkpoint references unknown view %q", name)
+			return 0, fmt.Errorf("chronicledb: checkpoint references unknown view %q", name)
 		}
 		if err := v.RestoreCheckpoint(data[off : off+int(snapLen)]); err != nil {
-			return err
+			return 0, err
 		}
 		off += int(snapLen)
 	}
@@ -345,33 +380,33 @@ func (db *DB) restoreCheckpoint(data []byte) error {
 	// Periodic views.
 	nPViews, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return bad("periodic view count")
+		return 0, bad("periodic view count")
 	}
 	off += n
 	for i := uint64(0); i < nPViews; i++ {
 		name, used, err := readName(data[off:])
 		if err != nil {
-			return bad("periodic view name")
+			return 0, bad("periodic view name")
 		}
 		off += used
 		snapLen, n := binary.Uvarint(data[off:])
 		if n <= 0 || uint64(len(data)-off-n) < snapLen {
-			return bad("periodic view snapshot")
+			return 0, bad("periodic view snapshot")
 		}
 		off += n
 		pv, ok := db.eng.PeriodicView(name)
 		if !ok {
-			return fmt.Errorf("chronicledb: checkpoint references unknown periodic view %q", name)
+			return 0, fmt.Errorf("chronicledb: checkpoint references unknown periodic view %q", name)
 		}
 		if err := pv.RestoreCheckpoint(data[off : off+int(snapLen)]); err != nil {
-			return err
+			return 0, err
 		}
 		off += int(snapLen)
 	}
 	if off != len(data) {
-		return bad("trailing bytes")
+		return 0, bad("trailing bytes")
 	}
-	return nil
+	return lsn, nil
 }
 
 func appendName(dst []byte, s string) []byte {
