@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench experiments fuzz examples torture clean
+.PHONY: all build test race vet check cover bench bench-allocs experiments fuzz examples torture clean
 
 all: check
 
@@ -25,10 +25,18 @@ vet:
 torture:
 	$(GO) test -race -count=1 -run 'TestCrashTorture' -v .
 
+# bench-allocs is the allocation-regression gate: the AllocsPerRun guards
+# pin the hot path's steady-state allocation counts (zero for the micro
+# paths, a small fixed budget end-to-end), and the append benchmarks print
+# the allocs/op trend. -count=1 defeats caching — the guards must run.
+bench-allocs:
+	$(GO) test -count=1 -run 'TestAllocGuards' -v .
+	$(GO) test -run=NONE -bench 'BenchmarkAppendHotPath' -benchmem -benchtime 200x .
+
 # check is the gate for every change: static analysis plus the full suite
 # under the race detector (the sharded kernel is concurrent by design),
-# plus the crash-torture enumeration.
-check: build vet race torture
+# plus the crash-torture enumeration and the allocation-regression guards.
+check: build vet race torture bench-allocs
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,103 @@
+// Allocation-regression guards for the append hot path. The paper's
+// constant-per-append maintenance claim (Theorem 4.2) only shows up at
+// hardware speed if the append→dispatch→delta→maintain path stops
+// allocating once warm, so these guards pin the steady-state allocation
+// counts measured after the zero-allocation pass: the micro paths are
+// exactly zero, the end-to-end engine append is allowed a small fixed
+// budget. `make bench-allocs` (wired into `make check`) fails the build if
+// any of them regress.
+package chronicledb_test
+
+import (
+	"fmt"
+	"testing"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/bench"
+	"chronicledb/internal/chronicle"
+	"chronicledb/internal/keyenc"
+	"chronicledb/internal/value"
+	"chronicledb/internal/view"
+)
+
+// allocGuard asserts the steady-state allocation count of fn.
+func allocGuard(t *testing.T, name string, max float64, fn func()) {
+	t.Helper()
+	got := testing.AllocsPerRun(1000, fn)
+	if got > max {
+		t.Errorf("%s: %.1f allocs/op, budget %.1f — the hot path regressed", name, got, max)
+	} else {
+		t.Logf("%s: %.1f allocs/op (budget %.1f)", name, got, max)
+	}
+}
+
+func TestAllocGuards(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+
+	t.Run("keyenc", func(t *testing.T) {
+		// Key build into a reused buffer: the view store's per-apply path.
+		tup := value.Tuple{value.Str("acct-0007"), value.Int(42)}
+		cols := []int{0}
+		var buf []byte
+		allocGuard(t, "keyenc.AppendCols", 0, func() {
+			buf = keyenc.AppendCols(buf[:0], tup, cols)
+		})
+	})
+
+	t.Run("aggregate-step", func(t *testing.T) {
+		st := aggregate.NewState(aggregate.Sum)
+		v := value.Int(3)
+		allocGuard(t, "sum.Step", 0, func() { st.Step(v) })
+	})
+
+	t.Run("view-apply", func(t *testing.T) {
+		// Warm view, existing group: the per-append maintenance step.
+		w, err := bench.NewTelecom(64, chronicle.RetainNone, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vw := bench.MustView(w.UsageDef("usage"), view.StoreHash)
+		rows := []chronicle.Row{{SN: 1, Vals: value.Tuple{
+			value.Str(bench.Acct(3)), value.Int(7), value.Float(0.1)}}}
+		for i := 0; i < 100; i++ {
+			vw.ApplyRows(rows)
+		}
+		allocGuard(t, "view.ApplyRows", 0, func() { vw.ApplyRows(rows) })
+	})
+
+	t.Run("engine-append", func(t *testing.T) {
+		// The full kernel path with 64 per-account filtered views (the E13
+		// workload): append → WAL-less record → dispatch → delta → maintain.
+		db, err := chronicledb.Open(chronicledb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			stmt := fmt.Sprintf(`CREATE VIEW v%d AS SELECT acct, SUM(minutes) AS m
+				FROM calls WHERE acct = '%s' GROUP BY acct`, i, bench.Acct(i))
+			if _, err := db.Exec(stmt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tuple := chronicledb.Tuple{chronicledb.Str(bench.Acct(7)), chronicledb.Int(3)}
+		for i := 0; i < 200; i++ {
+			if _, err := db.Append("calls", tuple); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Measured steady state is 1 alloc/op (was 11 before the
+		// zero-allocation pass); 2 leaves headroom for runtime changes
+		// while still catching any real regression.
+		allocGuard(t, "db.Append", 2, func() {
+			if _, err := db.Append("calls", tuple); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}

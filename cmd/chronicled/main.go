@@ -39,7 +39,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":7457", "listen address")
 		dir        = flag.String("dir", "", "data directory (empty = in-memory)")
-		sync       = flag.Bool("sync", false, "fsync every WAL record")
+		sync       = flag.Bool("sync", false, "durable WAL: group-commit fsync acks every append")
 		retain     = flag.String("retain", "none", "default chronicle retention: all, none, or a row count")
 		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 disables; durable mode only)")
 		initFile   = flag.String("init", "", "SQL file executed at startup (idempotence is the caller's concern)")

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
@@ -35,8 +37,14 @@ type Options struct {
 	// Dir enables durability: the directory holds catalog.sql, the WAL,
 	// and checkpoints. Empty means a purely in-memory database.
 	Dir string
-	// SyncWAL fsyncs every WAL record (durable but slow). Ignored without Dir.
+	// SyncWAL makes every acknowledged write durable. By default it uses
+	// group commit: concurrent appends queue on the log's commit door and
+	// one fsync acknowledges the whole batch. Ignored without Dir.
 	SyncWAL bool
+	// SyncPerAppend forces the pre-group-commit behavior: one fsync inside
+	// every WAL append. Only meaningful with SyncWAL; kept for the E16
+	// ablation and for callers that want strictly serial durability.
+	SyncPerAppend bool
 	// Shards > 0 runs the sharded execution layer: chronicle groups (and
 	// their views) are hash-partitioned across that many single-writer
 	// shards, each with its own engine and WAL segment; relation updates
@@ -143,6 +151,17 @@ type DB struct {
 	readOnly atomic.Bool
 	roMu     sync.Mutex
 	roCause  error
+
+	// Baselines captured at Open for the SHOW STATS hot-path gauges:
+	// allocations per append and fsyncs per second are both measured
+	// relative to these.
+	openMallocs uint64
+	openAppends int64
+	openTime    time.Time
+
+	// ckptBuf is buildCheckpoint's reusable serialization buffer (guarded
+	// by mu: checkpoints are serialized).
+	ckptBuf []byte
 }
 
 // Open creates or reopens a database. With Options.Dir set, Open replays
@@ -173,6 +192,7 @@ func Open(opts Options) (*DB, error) {
 		db.eng = db.uno
 	}
 	if opts.Dir == "" {
+		db.markOpen()
 		return db, nil
 	}
 	if err := db.fs.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -202,7 +222,19 @@ func Open(opts Options) (*DB, error) {
 		db.Close()
 		return nil, err
 	}
+	db.markOpen()
 	return db, nil
+}
+
+// markOpen captures the hot-path measurement baselines once recovery and
+// layout normalization are done, so SHOW STATS gauges reflect only the
+// serving workload.
+func (db *DB) markOpen() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	db.openMallocs = ms.Mallocs
+	db.openAppends = db.eng.Stats().Appends
+	db.openTime = time.Now()
 }
 
 // openLogs opens the WAL files for the active kernel layout.
@@ -216,8 +248,15 @@ func (db *DB) openLogs() error {
 	} else {
 		paths = append(paths, filepath.Join(db.opts.Dir, "chronicle.wal"))
 	}
+	policy := wal.SyncNone
+	if db.opts.SyncWAL {
+		policy = wal.SyncGroup
+		if db.opts.SyncPerAppend {
+			policy = wal.SyncEach
+		}
+	}
 	for _, p := range paths {
-		log, err := wal.OpenFS(db.fs, p, db.opts.SyncWAL)
+		log, err := wal.OpenPolicyFS(db.fs, p, policy)
 		if err != nil {
 			db.closeLogs()
 			return fmt.Errorf("chronicledb: %w", err)
@@ -270,31 +309,77 @@ func (db *DB) writeGate() error {
 	return ErrReadOnly
 }
 
-// installRecorders wires each kernel mutation source to its WAL log.
+// installRecorders wires each kernel mutation source to its WAL log, and —
+// when the caller asked for durability — each mutation path to its log's
+// group-commit door. Committers are installed only under SyncWAL: without
+// it, acknowledged writes were never durable, so there is nothing to commit.
 func (db *DB) installRecorders() {
 	if db.router != nil {
 		// Each shard's appends go to its own segment; relation updates
 		// (which the router applies itself, under the barrier) go to the
 		// relation segment.
+		relLog := db.logs[len(db.logs)-1]
 		for i := 0; i < db.router.NumShards(); i++ {
 			log := db.logs[i]
 			db.router.Engine(i).SetRecorder(db.recorder(log))
+			if db.opts.SyncWAL {
+				// The shard's writer goroutine commits once per coalesced
+				// batch; direct AppendAt paths commit through the router.
+				db.router.SetShardCommitter(i, db.committer(log))
+			}
 		}
-		db.router.SetRelationRecorder(db.recorder(db.logs[len(db.logs)-1]))
+		db.router.SetRelationRecorder(db.recorder(relLog))
+		if db.opts.SyncWAL {
+			db.router.SetRelationCommitter(db.committer(relLog))
+		}
 		return
 	}
 	db.uno.SetRecorder(db.recorder(db.logs[0]))
+	if db.opts.SyncWAL {
+		db.uno.SetCommitter(db.committer(db.logs[0]))
+	}
 }
 
 // recorder builds the WAL recorder for one log: an append failure aborts
 // the mutation (the engine applies nothing after a recorder error) and
-// latches the read-only degradation.
+// latches the read-only degradation. The record's Parts slice is scratch
+// owned by the closure — safe because each recorder is called only under
+// its engine's (or the router's relation) mutation lock, and the log copies
+// everything into its frame buffer before Append returns.
 func (db *DB) recorder(log *wal.Log) func(engine.Mutation) error {
+	var parts []wal.Part
 	return func(m engine.Mutation) error {
 		if err := db.writeGate(); err != nil {
 			return err
 		}
-		if err := log.Append(toRecord(m)); err != nil {
+		rec := wal.Record{LSN: m.LSN, SN: m.SN, Chronon: m.Chronon, Relation: m.Relation, Tuple: m.Tuple}
+		switch m.Kind {
+		case engine.MutAppend:
+			rec.Kind = wal.RecAppend
+			parts = parts[:0]
+			for _, p := range m.Parts {
+				parts = append(parts, wal.Part{Chronicle: p.Chronicle, Tuples: p.Tuples})
+			}
+			rec.Parts = parts
+		case engine.MutUpsert:
+			rec.Kind = wal.RecUpsert
+		case engine.MutDelete:
+			rec.Kind = wal.RecDelete
+		}
+		if err := log.Append(rec); err != nil {
+			db.failWrites(err)
+			return err
+		}
+		return nil
+	}
+}
+
+// committer builds the commit hook for one log: it opens the group-commit
+// door (fsyncing once for every record appended so far) and latches the
+// read-only degradation on failure, exactly like the recorder.
+func (db *DB) committer(log *wal.Log) func() error {
+	return func() error {
+		if err := log.Commit(); err != nil {
 			db.failWrites(err)
 			return err
 		}
@@ -348,23 +433,6 @@ func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
 		return fmt.Errorf("chronicledb: %w", err)
 	}
 	return nil
-}
-
-// toRecord converts an engine mutation to its WAL record.
-func toRecord(m engine.Mutation) wal.Record {
-	rec := wal.Record{LSN: m.LSN, SN: m.SN, Chronon: m.Chronon, Relation: m.Relation, Tuple: m.Tuple}
-	switch m.Kind {
-	case engine.MutAppend:
-		rec.Kind = wal.RecAppend
-		for _, p := range m.Parts {
-			rec.Parts = append(rec.Parts, wal.Part{Chronicle: p.Chronicle, Tuples: p.Tuples})
-		}
-	case engine.MutUpsert:
-		rec.Kind = wal.RecUpsert
-	case engine.MutDelete:
-		rec.Kind = wal.RecDelete
-	}
-	return rec
 }
 
 // stopKernel stops shard writers (no-op for the single-engine kernel).
@@ -435,6 +503,47 @@ func (db *DB) Stats() engine.Stats { return db.eng.Stats() }
 // MaintenanceLatency returns the per-append view maintenance latency
 // distribution, merged across shards when sharded.
 func (db *DB) MaintenanceLatency() stats.Snapshot { return db.eng.MaintenanceLatency() }
+
+// WALStats aggregates durability counters across every open WAL segment,
+// plus process-level hot-path gauges measured since Open.
+type WALStats struct {
+	Records int64          // WAL records appended since open
+	Fsyncs  int64          // fsync calls since open
+	Batches stats.Snapshot // records acked per fsync (group-commit batch size)
+
+	Appends       int64   // kernel appends since Open
+	AllocsPerOp   float64 // process mallocs per append since Open (all goroutines)
+	FsyncsPerSec  float64 // fsync rate since Open
+	UptimeSeconds float64 // seconds since Open
+}
+
+// WALStats returns the merged durability and hot-path gauges. The
+// allocations-per-append figure is a whole-process measurement (runtime
+// mallocs divided by appends since Open), so it includes query and
+// background work — useful as a trend line, not an exact per-op count;
+// the exact counts are guarded by TestAllocGuards.
+func (db *DB) WALStats() WALStats {
+	var w WALStats
+	var batches stats.Histogram
+	for _, l := range db.logs {
+		m := l.LogMetrics()
+		w.Records += m.Records
+		w.Fsyncs += m.Fsyncs
+		batches.Merge(&m.Batches)
+	}
+	w.Batches = batches.Snapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Appends = db.eng.Stats().Appends - db.openAppends
+	if w.Appends > 0 {
+		w.AllocsPerOp = float64(ms.Mallocs-db.openMallocs) / float64(w.Appends)
+	}
+	w.UptimeSeconds = time.Since(db.openTime).Seconds()
+	if w.UptimeSeconds > 0 {
+		w.FsyncsPerSec = float64(w.Fsyncs) / w.UptimeSeconds
+	}
+	return w
+}
 
 // Chronicle implements sqlparse.Catalog.
 func (db *DB) Chronicle(name string) (*chronicle.Chronicle, bool) {

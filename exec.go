@@ -10,6 +10,7 @@ import (
 	"chronicledb/internal/engine"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/sqlparse"
+	"chronicledb/internal/stats"
 	"chronicledb/internal/value"
 )
 
@@ -387,6 +388,7 @@ func (db *DB) show(what string) (*Result, error) {
 	case "STATS":
 		st := db.eng.Stats()
 		lat := db.eng.MaintenanceLatency()
+		ws := db.WALStats()
 		return &Result{
 			Columns: []string{"stat", "value"},
 			Rows: []Row{
@@ -396,6 +398,11 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("views_maintained"), value.Int(st.ViewsMaintained)},
 				{value.Str("maintenance_ns"), value.Int(st.MaintenanceNs)},
 				{value.Str("maintenance_latency"), value.Str(lat.String())},
+				{value.Str("allocs_per_append"), value.Str(fmt.Sprintf("%.1f", ws.AllocsPerOp))},
+				{value.Str("wal_records"), value.Int(ws.Records)},
+				{value.Str("wal_fsyncs"), value.Int(ws.Fsyncs)},
+				{value.Str("fsyncs_per_sec"), value.Str(fmt.Sprintf("%.1f", ws.FsyncsPerSec))},
+				{value.Str("commit_batch_records"), value.Str(formatBatchSnapshot(ws.Batches))},
 			},
 		}, nil
 	default:
@@ -567,6 +574,17 @@ func refText(c sqlparse.ColRef) string {
 		return c.Table + "." + c.Name
 	}
 	return c.Name
+}
+
+// formatBatchSnapshot renders the group-commit batch-size distribution.
+// The histogram reuses the duration machinery to count records per fsync,
+// so the fields are rendered as plain integers, not durations.
+func formatBatchSnapshot(s stats.Snapshot) string {
+	if s.Count == 0 {
+		return "no commits"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50≤%d p95≤%d max=%d",
+		s.Count, float64(s.Mean), int64(s.Min), int64(s.P50), int64(s.P95), int64(s.Max))
 }
 
 func condText(c sqlparse.Cond) string {

@@ -84,6 +84,42 @@ func Delta(n Node, d BatchDelta) []chronicle.Row {
 	}
 }
 
+// DeltaInto is Delta writing its output, when the operator permits, into
+// scratch's backing array, so a view can reuse one delta buffer across
+// batches. It returns the delta rows plus the buffer the caller should
+// retain for the next batch; the two are distinct because a Scan delta *is*
+// the batch's stored rows — those must never become the reuse buffer, or
+// the next batch would overwrite rows the chronicle retains. The invariant:
+// rows either starts at keep's backing array index 0 (so an enclosing
+// operator may transform it in place, write index ≤ read index) or is
+// entirely foreign and keep is untouched scratch. Operators with
+// batch-local σ/Π output fill the buffer; everything else falls back to
+// Delta and allocates as before.
+func DeltaInto(n Node, d BatchDelta, scratch []chronicle.Row) (rows, keep []chronicle.Row) {
+	switch n := n.(type) {
+	case *Scan:
+		return d[n.C], scratch
+	case *Select:
+		in, buf := DeltaInto(n.In, d, scratch)
+		out := buf[:0]
+		for _, r := range in {
+			if n.P.Eval(r.Vals) {
+				out = append(out, r)
+			}
+		}
+		return out, out
+	case *Project:
+		in, buf := DeltaInto(n.In, d, scratch)
+		out := buf[:0]
+		for _, r := range in {
+			out = append(out, chronicle.Row{SN: r.SN, Chronon: r.Chronon, LSN: r.LSN, Vals: r.Vals.Project(n.Cols)})
+		}
+		return out, out
+	default:
+		return Delta(n, d), scratch
+	}
+}
+
 // relMatches returns the relation tuples joining with row r, honoring the
 // temporal-join semantics via the row's LSN. A key join is a single
 // O(log|R|) lookup; a non-key join scans (the CA-but-not-CA⋈ cost).

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	chronicledb "chronicledb"
+)
+
+// RunE16 — the zero-allocation append hot path. Two sweeps share the
+// table. The batch sweep drives the in-memory append→dispatch→delta→
+// maintain path at increasing batch sizes and reports process allocations
+// per appended row: steady state should sit near zero because every
+// hot-path buffer (WAL frame, key encode, delta slices, view apply) is
+// reused, and what remains amortizes with the batch. The durability sweep
+// compares fsync-per-append against group commit under concurrent
+// appenders: group commit's door lets one fsync acknowledge a batch, so
+// durable throughput rises and the fsync count collapses while the ack
+// guarantee (no append returns before its record is durable) is unchanged.
+func RunE16(cfg Config) (*Table, error) {
+	n := 200_000
+	durableN := 2_000
+	if cfg.Quick {
+		n = 20_000
+		durableN = 400
+	}
+	t := &Table{
+		ID:     "E16",
+		Title:  "append hot path: allocations, batch size, and group commit",
+		Claim:  "per-append maintenance cost is constant and small (Theorem 4.2); the reproduction's hot path must therefore be allocation-free in steady state, and durable throughput must amortize fsyncs over concurrent appends",
+		Header: []string{"mode", "batch", "appends", "appends/sec", "allocs/append", "fsyncs"},
+	}
+
+	for _, batch := range []int{1, 8, 64, 512} {
+		row, err := e16MemRun(n, batch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		for _, mode := range []string{"fsync-each", "group-commit"} {
+			row, err := e16DurableRun(durableN, workers, mode)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(row...)
+		}
+	}
+
+	t.Notes = append(t.Notes,
+		"mem rows: in-memory DB, one indexed SUM view maintained per append; allocs/append is runtime.MemStats mallocs over the run",
+		"durable rows: SyncWAL on a real disk, batch column is the number of concurrent appenders; fsync-each syncs inside every append, group-commit defers to the commit door so one fsync can acknowledge every append recorded while the previous fsync was in flight")
+	return t, nil
+}
+
+// e16MemRun appends n rows in batches of the given size against an
+// in-memory database with one maintained view, and reports throughput and
+// allocations per appended row.
+func e16MemRun(n, batch int) ([]string, error) {
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT);
+		CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct`); err != nil {
+		return nil, err
+	}
+	tuples := make([]chronicledb.Tuple, batch)
+	for i := range tuples {
+		tuples[i] = chronicledb.Tuple{chronicledb.Str(Acct(i % 512)), chronicledb.Int(int64(i % 90))}
+	}
+	// Warm up so pools and view stores reach steady state before measuring.
+	for i := 0; i < 4; i++ {
+		if _, _, err := db.AppendRows("calls", tuples); err != nil {
+			return nil, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	appended := 0
+	for appended < n {
+		if _, _, err := db.AppendRows("calls", tuples); err != nil {
+			return nil, err
+		}
+		appended += batch
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(appended)
+	rate := float64(appended) / elapsed.Seconds()
+	return []string{
+		"mem", fmtCount(batch), fmtCount(appended),
+		fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.2f", allocs), "0",
+	}, nil
+}
+
+// e16DurableRun appends n rows from the given number of concurrent
+// goroutines against a durable database and reports sustained durable
+// throughput and how many fsyncs it took. mode selects fsync-per-append
+// vs group commit.
+func e16DurableRun(n, workers int, mode string) ([]string, error) {
+	dir, err := os.MkdirTemp("", "chronbench-e16-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := chronicledb.Open(chronicledb.Options{
+		Dir:           dir,
+		SyncWAL:       true,
+		SyncPerAppend: mode == "fsync-each",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT);
+		CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct`); err != nil {
+		return nil, err
+	}
+	fsyncs0 := db.WALStats().Fsyncs
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if _, err := db.Append("calls", chronicledb.Tuple{
+					chronicledb.Str(Acct(i % 512)), chronicledb.Int(int64(i % 90)),
+				}); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	fsyncs := db.WALStats().Fsyncs - fsyncs0
+	rate := float64(n) / elapsed.Seconds()
+	return []string{
+		mode, fmtCount(workers), fmtCount(n),
+		fmt.Sprintf("%.0f", rate), "-", fmt.Sprintf("%d", fsyncs),
+	}, nil
+}

@@ -103,6 +103,7 @@ func All() []Experiment {
 		{"E13", "end-to-end maintenance latency distribution", RunE13},
 		{"E14", "shard scaling: concurrent appends vs shard count", RunE14},
 		{"E15", "recovery time vs WAL tail length", RunE15},
+		{"E16", "append hot path: allocations and group commit", RunE16},
 	}
 }
 

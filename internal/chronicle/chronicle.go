@@ -92,6 +92,14 @@ func (c *Chronicle) SetRetainSpan(span int64) error {
 // Append returns the stored rows (also when retention immediately discards
 // them) so callers can feed them to view maintenance.
 func (c *Chronicle) Append(sn, chronon int64, lsn uint64, tuples []value.Tuple) ([]Row, error) {
+	return c.AppendInto(sn, chronon, lsn, tuples, nil)
+}
+
+// AppendInto is Append accumulating the stored rows into buf's backing
+// array, so a caller driving the hot path can reuse one row buffer across
+// appends. The chronicle copies what retention keeps, so buf never aliases
+// retained storage; the returned rows are valid until buf's next reuse.
+func (c *Chronicle) AppendInto(sn, chronon int64, lsn uint64, tuples []value.Tuple, buf []Row) ([]Row, error) {
 	if len(tuples) == 0 {
 		return nil, fmt.Errorf("chronicle %s: empty append", c.name)
 	}
@@ -104,9 +112,9 @@ func (c *Chronicle) Append(sn, chronon int64, lsn uint64, tuples []value.Tuple) 
 			return nil, fmt.Errorf("chronicle %s: tuple %d: %w", c.name, i, err)
 		}
 	}
-	rows := make([]Row, len(tuples))
-	for i, t := range tuples {
-		rows[i] = Row{SN: sn, Chronon: chronon, LSN: lsn, Vals: t}
+	rows := buf[:0]
+	for _, t := range tuples {
+		rows = append(rows, Row{SN: sn, Chronon: chronon, LSN: lsn, Vals: t})
 	}
 	c.group.lastSN = sn
 	c.lastSN = sn
@@ -279,27 +287,38 @@ type BatchPart struct {
 // simultaneously". All parts must belong to this group. On any validation
 // error nothing is stored.
 func (g *Group) AppendBatch(sn, chronon int64, lsn uint64, parts []BatchPart) (map[*Chronicle][]Row, error) {
+	out := make(map[*Chronicle][]Row, len(parts))
+	if err := g.AppendBatchInto(sn, chronon, lsn, parts, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendBatchInto is AppendBatch filling a caller-supplied delta map, so
+// the engine can reuse one map across batches. The stored rows slice is
+// placed in the map directly (not copied again) — the chronicle's retention
+// copy is the only copy between validation and view maintenance.
+func (g *Group) AppendBatchInto(sn, chronon int64, lsn uint64, parts []BatchPart, out map[*Chronicle][]Row) error {
 	if len(parts) == 0 {
-		return nil, fmt.Errorf("group %s: empty batch", g.name)
+		return fmt.Errorf("group %s: empty batch", g.name)
 	}
 	if sn <= g.lastSN {
-		return nil, fmt.Errorf("group %s: sequence number %d not greater than group maximum %d",
+		return fmt.Errorf("group %s: sequence number %d not greater than group maximum %d",
 			g.name, sn, g.lastSN)
 	}
 	for _, p := range parts {
 		if p.C.group != g {
-			return nil, fmt.Errorf("group %s: chronicle %s belongs to group %s", g.name, p.C.name, p.C.group.name)
+			return fmt.Errorf("group %s: chronicle %s belongs to group %s", g.name, p.C.name, p.C.group.name)
 		}
 		if len(p.Tuples) == 0 {
-			return nil, fmt.Errorf("group %s: empty part for chronicle %s", g.name, p.C.name)
+			return fmt.Errorf("group %s: empty part for chronicle %s", g.name, p.C.name)
 		}
 		for i, t := range p.Tuples {
 			if err := p.C.schema.Validate(t); err != nil {
-				return nil, fmt.Errorf("chronicle %s: tuple %d: %w", p.C.name, i, err)
+				return fmt.Errorf("chronicle %s: tuple %d: %w", p.C.name, i, err)
 			}
 		}
 	}
-	out := make(map[*Chronicle][]Row, len(parts))
 	for _, p := range parts {
 		rows := make([]Row, len(p.Tuples))
 		for i, t := range p.Tuples {
@@ -307,10 +326,14 @@ func (g *Group) AppendBatch(sn, chronon int64, lsn uint64, parts []BatchPart) (m
 		}
 		p.C.store(rows)
 		p.C.lastSN = sn
-		out[p.C] = append(out[p.C], rows...)
+		if existing, ok := out[p.C]; ok {
+			out[p.C] = append(existing, rows...)
+		} else {
+			out[p.C] = rows
+		}
 	}
 	g.lastSN = sn
-	return out, nil
+	return nil
 }
 
 // RestoreLastSN force-sets the group's high-water mark. It exists solely

@@ -55,6 +55,13 @@ type Dispatcher struct {
 	// Probes and Scanned instrument E7: how many targets were examined.
 	Probes  int64
 	Scanned int64
+
+	// Affected scratch, reused across calls: the engine serializes appends,
+	// so at most one Affected runs at a time. The returned slice is valid
+	// only until the next call.
+	outScratch  []*Target
+	seenScratch map[*Target]bool
+	keyScratch  []byte
 }
 
 // New creates a dispatcher. indexed selects whether equality filters are
@@ -66,6 +73,7 @@ func New(indexed bool) *Dispatcher {
 		eqIndex:     make(map[*chronicle.Chronicle]map[int]map[string][]*Target),
 		unindexed:   make(map[*chronicle.Chronicle][]*Target),
 		ids:         make(map[string]bool),
+		seenScratch: make(map[*Target]bool),
 	}
 }
 
@@ -149,10 +157,12 @@ func (d *Dispatcher) Unregister(id string) bool {
 // Affected returns the targets that an append of rows into chronicle c at
 // the given chronon may affect, without duplicates. It applies, in order:
 // dependency filtering (which chronicle), active-period filtering, and
-// selection-predicate filtering.
+// selection-predicate filtering. The returned slice is the dispatcher's
+// reusable scratch: it is valid only until the next Affected call.
 func (d *Dispatcher) Affected(c *chronicle.Chronicle, rows []chronicle.Row, chronon int64) []*Target {
-	var out []*Target
-	seen := map[*Target]bool{}
+	out := d.outScratch[:0]
+	seen := d.seenScratch
+	clear(seen)
 	emit := func(t *Target) {
 		if seen[t] {
 			return
@@ -172,7 +182,10 @@ func (d *Dispatcher) Affected(c *chronicle.Chronicle, rows []chronicle.Row, chro
 					if col >= len(r.Vals) {
 						continue
 					}
-					for _, t := range byConst[value.Tuple{r.Vals[col]}.FullKey()] {
+					// The probe key is built in reusable scratch; the
+					// map[string] lookup does not copy the bytes.
+					d.keyScratch = value.AppendKey(d.keyScratch[:0], r.Vals[col])
+					for _, t := range byConst[string(d.keyScratch)] {
 						emit(t)
 					}
 				}
@@ -184,6 +197,7 @@ func (d *Dispatcher) Affected(c *chronicle.Chronicle, rows []chronicle.Row, chro
 				emit(t)
 			}
 		}
+		d.outScratch = out
 		return out
 	}
 
@@ -193,6 +207,7 @@ func (d *Dispatcher) Affected(c *chronicle.Chronicle, rows []chronicle.Row, chro
 			emit(t)
 		}
 	}
+	d.outScratch = out
 	return out
 }
 

@@ -71,9 +71,29 @@ type Engine struct {
 	// applied; the WAL layer hooks in here. Returning an error aborts the
 	// mutation.
 	onRecord func(Mutation) error
+	// onCommit, when set, runs after every successful top-level mutation —
+	// the WAL group-commit hook. A commit error means the mutation was
+	// applied in memory but is not durably acknowledged; the caller latches
+	// read-only on it.
+	onCommit func() error
 
 	stats    Stats
 	maintLat stats.Histogram // per-append view-maintenance latency
+
+	// scratch is hot-path memory reused across mutations under e.mu. It
+	// never escapes a mutation: recorders encode synchronously, the
+	// chronicle copies retained rows, and views copy what they keep.
+	scratch appendScratch
+}
+
+// appendScratch backs the allocation-free append path.
+type appendScratch struct {
+	tuple  []value.Tuple                         // AppendEach's one-tuple batch
+	parts  []MutationPart                        // single-chronicle recorder parts
+	rows   []chronicle.Row                       // stored-row accumulator
+	batch  []chronicle.BatchPart                 // resolved batch parts
+	deltas map[*chronicle.Chronicle][]chronicle.Row // maintain input
+	seen   map[string]bool                       // maintain dedup
 }
 
 // Mutation describes one durable engine mutation, in replayable form.
@@ -117,6 +137,10 @@ func New(cfg Config) *Engine {
 		periodics:  make(map[string]*calendar.PeriodicView),
 		disp:       dispatch.New(cfg.DispatchIndexed),
 		names:      make(map[string]string),
+		scratch: appendScratch{
+			deltas: make(map[*chronicle.Chronicle][]chronicle.Row),
+			seen:   make(map[string]bool),
+		},
 	}
 }
 
@@ -125,6 +149,31 @@ func (e *Engine) SetRecorder(fn func(Mutation) error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.onRecord = fn
+}
+
+// SetCommitter installs the post-mutation durability hook (the WAL
+// group-commit door). It runs once per top-level mutation — so AppendEach's
+// whole bulk run is acknowledged by a single commit.
+func (e *Engine) SetCommitter(fn func() error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onCommit = fn
+}
+
+// commitWith invokes a durability hook captured under e.mu. It MUST be
+// called after releasing the lock: the whole point of the group-commit
+// door is that the fsync happens while the next mutation is already
+// recording, so concurrent callers queue on the door and one fsync
+// acknowledges all of them. Holding e.mu across the fsync would serialize
+// commits back to one fsync per mutation.
+func (e *Engine) commitWith(fn func() error) error {
+	if fn == nil {
+		return nil
+	}
+	if err := fn(); err != nil {
+		return fmt.Errorf("engine: committing: %w", err)
+	}
+	return nil
 }
 
 // SetLSNSource makes the engine draw LSNs from an external allocator
@@ -322,16 +371,32 @@ func (e *Engine) DropView(name string) error {
 // per-transaction pipeline whose cost Section 3 is about.
 func (e *Engine) Append(chronicleName string, tuples []value.Tuple) (sn int64, err error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.appendLocked(chronicleName, tuples, nil, nil)
+	sn, err = e.appendLocked(chronicleName, tuples, nil, nil)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := e.commitWith(commit); err != nil {
+		return 0, err
+	}
+	return sn, nil
 }
 
 // AppendAt is Append with caller-supplied sequence number and chronon; the
 // WAL layer uses it for replay, tests for deterministic time.
 func (e *Engine) AppendAt(chronicleName string, sn, chronon int64, tuples []value.Tuple) (int64, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.appendLocked(chronicleName, tuples, &sn, &chronon)
+	out, err := e.appendLocked(chronicleName, tuples, &sn, &chronon)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := e.commitWith(commit); err != nil {
+		return 0, err
+	}
+	return out, nil
 }
 
 func (e *Engine) appendLocked(chronicleName string, tuples []value.Tuple, snOverride, chOverride *int64) (int64, error) {
@@ -356,17 +421,20 @@ func (e *Engine) appendLocked(chronicleName string, tuples []value.Tuple, snOver
 	}
 	lsn := e.nextLSN()
 	if e.onRecord != nil {
-		m := Mutation{Kind: MutAppend, LSN: lsn, SN: sn, Chronon: chronon,
-			Parts: []MutationPart{{Chronicle: chronicleName, Tuples: tuples}}}
+		e.scratch.parts = append(e.scratch.parts[:0], MutationPart{Chronicle: chronicleName, Tuples: tuples})
+		m := Mutation{Kind: MutAppend, LSN: lsn, SN: sn, Chronon: chronon, Parts: e.scratch.parts}
 		if err := e.onRecord(m); err != nil {
 			return 0, fmt.Errorf("engine: recording append: %w", err)
 		}
 	}
-	rows, err := c.Append(sn, chronon, lsn, tuples)
+	rows, err := c.AppendInto(sn, chronon, lsn, tuples, e.scratch.rows[:0])
 	if err != nil {
 		return 0, err
 	}
-	e.maintain(map[*chronicle.Chronicle][]chronicle.Row{c: rows}, chronon)
+	e.scratch.rows = rows
+	clear(e.scratch.deltas)
+	e.scratch.deltas[c] = rows
+	e.maintain(e.scratch.deltas, chronon)
 	e.stats.Appends++
 	e.stats.TuplesAppended += int64(len(tuples))
 	return sn, nil
@@ -376,24 +444,40 @@ func (e *Engine) appendLocked(chronicleName string, tuples []value.Tuple, snOver
 // simultaneously, sharing a single sequence number.
 func (e *Engine) AppendBatch(parts []MutationPart) (int64, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.appendBatchLocked(parts, nil, nil)
+	sn, err := e.appendBatchLocked(parts, nil, nil)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := e.commitWith(commit); err != nil {
+		return 0, err
+	}
+	return sn, nil
 }
 
 // AppendBatchAt is AppendBatch with caller-supplied SN and chronon.
 func (e *Engine) AppendBatchAt(parts []MutationPart, sn, chronon int64) (int64, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.appendBatchLocked(parts, &sn, &chronon)
+	out, err := e.appendBatchLocked(parts, &sn, &chronon)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := e.commitWith(commit); err != nil {
+		return 0, err
+	}
+	return out, nil
 }
 
 func (e *Engine) appendBatchLocked(parts []MutationPart, snOverride, chOverride *int64) (int64, error) {
 	if len(parts) == 0 {
 		return 0, fmt.Errorf("engine: empty batch")
 	}
-	resolved := make([]chronicle.BatchPart, len(parts))
+	resolved := e.scratch.batch[:0]
 	var g *chronicle.Group
-	for i, p := range parts {
+	for _, p := range parts {
 		c, ok := e.chronicles[p.Chronicle]
 		if !ok {
 			return 0, fmt.Errorf("engine: unknown chronicle %q", p.Chronicle)
@@ -408,8 +492,9 @@ func (e *Engine) appendBatchLocked(parts []MutationPart, snOverride, chOverride 
 			}
 			p.Tuples[j] = coerced
 		}
-		resolved[i] = chronicle.BatchPart{C: c, Tuples: p.Tuples}
+		resolved = append(resolved, chronicle.BatchPart{C: c, Tuples: p.Tuples})
 	}
+	e.scratch.batch = resolved
 	sn := g.NextSN()
 	if snOverride != nil {
 		sn = *snOverride
@@ -424,11 +509,11 @@ func (e *Engine) appendBatchLocked(parts []MutationPart, snOverride, chOverride 
 			return 0, fmt.Errorf("engine: recording append: %w", err)
 		}
 	}
-	deltas, err := g.AppendBatch(sn, chronon, lsn, resolved)
-	if err != nil {
+	clear(e.scratch.deltas)
+	if err := g.AppendBatchInto(sn, chronon, lsn, resolved, e.scratch.deltas); err != nil {
 		return 0, err
 	}
-	e.maintain(deltas, chronon)
+	e.maintain(e.scratch.deltas, chronon)
 	e.stats.Appends++
 	for _, p := range parts {
 		e.stats.TuplesAppended += int64(len(p.Tuples))
@@ -446,16 +531,30 @@ func (e *Engine) AppendEach(chronicleName string, tuples []value.Tuple) (first, 
 		return 0, 0, fmt.Errorf("engine: empty append")
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	var applyErr error
 	for i, t := range tuples {
-		sn, err := e.appendLocked(chronicleName, []value.Tuple{t}, nil, nil)
+		e.scratch.tuple = append(e.scratch.tuple[:0], t)
+		sn, err := e.appendLocked(chronicleName, e.scratch.tuple, nil, nil)
 		if err != nil {
-			return first, last, fmt.Errorf("engine: tuple %d: %w", i, err)
+			// Earlier tuples remain applied (matching a loop of Append
+			// calls); still commit below so their records are durably
+			// acknowledged too.
+			applyErr = fmt.Errorf("engine: tuple %d: %w", i, err)
+			break
 		}
 		if i == 0 {
 			first = sn
 		}
 		last = sn
+	}
+	commit := e.onCommit
+	e.mu.Unlock()
+	cerr := e.commitWith(commit)
+	if applyErr != nil {
+		return first, last, applyErr
+	}
+	if cerr != nil {
+		return first, last, cerr
 	}
 	return first, last, nil
 }
@@ -465,7 +564,8 @@ func (e *Engine) AppendEach(chronicleName string, tuples []value.Tuple) (first, 
 func (e *Engine) maintain(deltas map[*chronicle.Chronicle][]chronicle.Row, chronon int64) {
 	start := time.Now()
 	batch := algebra.BatchDelta(deltas)
-	seen := map[string]bool{}
+	seen := e.scratch.seen
+	clear(seen)
 	for c, rows := range deltas {
 		for _, t := range e.disp.Affected(c, rows, chronon) {
 			if seen[t.ID] {
@@ -508,7 +608,16 @@ func (e *Engine) MaintenanceHistogram() stats.Histogram {
 // Upsert applies a proactive relation update.
 func (e *Engine) Upsert(relationName string, t value.Tuple) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	err := e.upsertLocked(relationName, t)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.commitWith(commit)
+}
+
+func (e *Engine) upsertLocked(relationName string, t value.Tuple) error {
 	r, ok := e.relations[relationName]
 	if !ok {
 		return fmt.Errorf("engine: unknown relation %q", relationName)
@@ -534,7 +643,16 @@ func (e *Engine) Upsert(relationName string, t value.Tuple) error {
 // DeleteKey applies a proactive relation delete by key values.
 func (e *Engine) DeleteKey(relationName string, keyVals value.Tuple) (bool, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	deleted, err := e.deleteKeyLocked(relationName, keyVals)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return deleted, e.commitWith(commit)
+}
+
+func (e *Engine) deleteKeyLocked(relationName string, keyVals value.Tuple) (bool, error) {
 	r, ok := e.relations[relationName]
 	if !ok {
 		return false, fmt.Errorf("engine: unknown relation %q", relationName)

@@ -25,9 +25,26 @@ package keyenc
 import (
 	"encoding/binary"
 	"math"
+	"sync"
 
 	"chronicledb/internal/value"
 )
+
+// bufs pools key-encode scratch for callers that cannot keep their own
+// grown-once buffer — the concurrent read paths (view lookups and range
+// scans run under a shared read lock, so a per-view buffer would race).
+var bufs = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// GetBuf returns a pooled scratch buffer of zero length. Pass it back with
+// PutBuf when the encoded key is no longer referenced.
+func GetBuf() *[]byte {
+	b := bufs.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a scratch buffer (grown capacity and all) to the pool.
+func PutBuf(b *[]byte) { bufs.Put(b) }
 
 // Kind tags, ordered to match value.Compare's cross-kind ordering.
 const (
@@ -84,14 +101,19 @@ func AppendTuple(dst []byte, t value.Tuple) []byte {
 	return dst
 }
 
-// Key renders the values of t at the given columns into a string usable as
-// an ordered map key.
-func Key(t value.Tuple, cols []int) string {
-	var dst []byte
+// AppendCols appends the encodings of t's values at the given columns —
+// the allocation-free form of Key for callers holding a reusable buffer.
+func AppendCols(dst []byte, t value.Tuple, cols []int) []byte {
 	for _, c := range cols {
 		dst = AppendValue(dst, t[c])
 	}
-	return string(dst)
+	return dst
+}
+
+// Key renders the values of t at the given columns into a string usable as
+// an ordered map key.
+func Key(t value.Tuple, cols []int) string {
+	return string(AppendCols(nil, t, cols))
 }
 
 // TupleKey renders the whole tuple.

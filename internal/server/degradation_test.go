@@ -16,11 +16,15 @@ import (
 
 // degradedServer builds a durable DB on a simulated disk, seeds a
 // chronicle, then injects a sync failure so the next append degrades the
-// database to read-only.
+// database to read-only. It uses SyncPerAppend (the fsync happens inside
+// the WAL append, before the mutation reaches memory) so the failed append
+// is both un-acked and invisible; under the default group commit the fsync
+// is deferred, so a failed batch stays visible in memory until the restart
+// reconverges to the durable prefix.
 func degradedServer(t *testing.T) (*httptest.Server, *Client, *fault.Disk) {
 	t.Helper()
 	disk := fault.NewDisk()
-	db, err := chronicledb.Open(chronicledb.Options{Dir: "/data", SyncWAL: true, FS: disk})
+	db, err := chronicledb.Open(chronicledb.Options{Dir: "/data", SyncWAL: true, SyncPerAppend: true, FS: disk})
 	if err != nil {
 		t.Fatal(err)
 	}

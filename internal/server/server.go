@@ -15,6 +15,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"time"
 
@@ -89,6 +90,13 @@ func NewWith(db *chronicledb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("POST /append", s.handleAppend)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Live profiling of the serving process: allocation and CPU profiles of
+	// the append hot path without stopping the server.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -250,6 +258,7 @@ func tupleFromJSON(schema *value.Schema, raw []any) (value.Tuple, error) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.db.Stats()
 	lat := s.db.MaintenanceLatency()
+	ws := s.db.WALStats()
 	body := map[string]any{
 		"shards":             s.db.Shards(),
 		"appends":            st.Appends,
@@ -261,6 +270,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"maintenance_p99_ns": int64(lat.P99),
 		"maintenance_max_ns": int64(lat.Max),
 		"read_only":          false,
+		// Hot-path durability gauges: the commit_batch_* fields count
+		// records acked per fsync (group commit), not durations.
+		"allocs_per_append":  ws.AllocsPerOp,
+		"wal_records":        ws.Records,
+		"wal_fsyncs":         ws.Fsyncs,
+		"fsyncs_per_sec":     ws.FsyncsPerSec,
+		"commit_batch_count": ws.Batches.Count,
+		"commit_batch_mean":  float64(ws.Batches.Mean),
+		"commit_batch_p95":   int64(ws.Batches.P95),
+		"commit_batch_max":   int64(ws.Batches.Max),
 	}
 	if ro, cause := s.db.ReadOnly(); ro {
 		body["read_only"] = true

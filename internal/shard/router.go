@@ -44,9 +44,10 @@ type Router struct {
 	// the read side per batch; relation updates, checkpoints, and other
 	// quiescing operations take the write side.
 	relGate sync.RWMutex
-	// relMu serializes relation updates (and guards relRecorder).
+	// relMu serializes relation updates (and guards relRecorder/relCommit).
 	relMu       sync.Mutex
 	relRecorder func(engine.Mutation) error
+	relCommit   func() error
 	relUpdates  atomic.Int64
 
 	// mu guards the routing catalog.
@@ -136,6 +137,21 @@ func (r *Router) SetRelationRecorder(fn func(engine.Mutation) error) {
 	r.relMu.Lock()
 	defer r.relMu.Unlock()
 	r.relRecorder = fn
+}
+
+// SetRelationCommitter installs the durability hook run after each
+// router-level relation update (the relation segment's group-commit door).
+func (r *Router) SetRelationCommitter(fn func() error) {
+	r.relMu.Lock()
+	defer r.relMu.Unlock()
+	r.relCommit = fn
+}
+
+// SetShardCommitter installs shard i's durability hook: the writer
+// goroutine runs it once per coalesced batch, and the direct (replay-style)
+// append paths run it per mutation.
+func (r *Router) SetShardCommitter(i int, fn func() error) {
+	r.shards[i].commit = fn
 }
 
 // --- catalog ------------------------------------------------------------
@@ -366,7 +382,16 @@ func (r *Router) AppendAt(chronicleName string, sn, chronon int64, tuples []valu
 	}
 	r.relGate.RLock()
 	defer r.relGate.RUnlock()
-	return s.eng.AppendAt(chronicleName, sn, chronon, tuples)
+	out, err := s.eng.AppendAt(chronicleName, sn, chronon, tuples)
+	if err != nil {
+		return 0, err
+	}
+	if s.commit != nil {
+		if err := s.commit(); err != nil {
+			return 0, err
+		}
+	}
+	return out, nil
 }
 
 // AppendBatchAt is AppendBatch with caller-supplied SN and chronon,
@@ -381,7 +406,16 @@ func (r *Router) AppendBatchAt(parts []engine.MutationPart, sn, chronon int64) (
 	}
 	r.relGate.RLock()
 	defer r.relGate.RUnlock()
-	return s.eng.AppendBatchAt(parts, sn, chronon)
+	out, err := s.eng.AppendBatchAt(parts, sn, chronon)
+	if err != nil {
+		return 0, err
+	}
+	if s.commit != nil {
+		if err := s.commit(); err != nil {
+			return 0, err
+		}
+	}
+	return out, nil
 }
 
 // --- relation updates (epoch barrier) -----------------------------------
@@ -426,6 +460,9 @@ func (r *Router) Upsert(relationName string, t value.Tuple) error {
 		return err
 	}
 	r.relUpdates.Add(1)
+	if r.relCommit != nil {
+		return r.relCommit()
+	}
 	return nil
 }
 
@@ -449,6 +486,9 @@ func (r *Router) DeleteKey(relationName string, keyVals value.Tuple) (bool, erro
 	deleted := rel.Delete(lsn, keyVals)
 	if deleted {
 		r.relUpdates.Add(1)
+	}
+	if r.relCommit != nil {
+		return deleted, r.relCommit()
 	}
 	return deleted, nil
 }

@@ -57,6 +57,10 @@ type shardState struct {
 	id   int
 	eng  *engine.Engine
 	reqs chan *appendReq
+	// commit, when set, makes the drained batch durable (the shard WAL
+	// segment's group-commit door). One fsync acknowledges every request
+	// the writer coalesced.
+	commit func() error
 }
 
 // run is the shard's writer goroutine. It is the only goroutine that
@@ -83,6 +87,20 @@ func (s *shardState) run(gate *sync.RWMutex, wg *sync.WaitGroup) {
 		gate.RLock()
 		for _, q := range batch {
 			q.apply(s.eng)
+		}
+		// Group commit: one fsync covers the whole coalesced batch. No
+		// request is acknowledged (done closed) until it is durable; a
+		// commit failure un-acks every request the fsync would have covered.
+		if s.commit != nil {
+			if cerr := s.commit(); cerr != nil {
+				for _, q := range batch {
+					if q.err == nil {
+						q.err = cerr
+					}
+				}
+			}
+		}
+		for _, q := range batch {
 			close(q.done)
 		}
 		gate.RUnlock()

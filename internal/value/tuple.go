@@ -59,28 +59,34 @@ func (t Tuple) Project(idx []int) Tuple {
 // string usable as a Go map key. Encodings are prefixed with the value kind
 // and length-delimited so distinct tuples cannot collide.
 func (t Tuple) Key(cols []int) string {
-	var b strings.Builder
+	var dst []byte
 	for _, c := range cols {
-		appendKey(&b, t[c])
+		dst = AppendKey(dst, t[c])
 	}
-	return b.String()
+	return string(dst)
 }
 
 // FullKey is Key over every column.
 func (t Tuple) FullKey() string {
-	var b strings.Builder
+	var dst []byte
 	for _, v := range t {
-		appendKey(&b, v)
+		dst = AppendKey(dst, v)
 	}
-	return b.String()
+	return string(dst)
 }
 
-func appendKey(b *strings.Builder, v Value) {
+// AppendKey appends v's canonical map-key encoding — the byte sequence
+// Key and FullKey are built from — to dst. Callers holding a reusable
+// buffer get a probe key without allocating (m[string(dst)] lookups do not
+// copy the bytes).
+func AppendKey(dst []byte, v Value) []byte {
 	// Numeric values are canonicalized through their binary encoding so that
 	// Int(2) and Float(2.0) — which Compare equal — also key equal.
-	enc := AppendValue(nil, canonicalize(v))
-	b.WriteByte(byte(len(enc)))
-	b.Write(enc)
+	mark := len(dst)
+	dst = append(dst, 0)
+	dst = AppendValue(dst, canonicalize(v))
+	dst[mark] = byte(len(dst) - mark - 1)
+	return dst
 }
 
 // canonicalize folds float values holding exact integers into KindInt.

@@ -34,7 +34,7 @@ func (v *View) Checkpoint() []byte {
 	b = append(b, byte(v.def.Mode))
 	b = binary.AppendUvarint(b, uint64(len(v.def.Aggs)))
 	b = binary.AppendUvarint(b, uint64(v.store.len()))
-	v.store.ascend(func(_ string, e *entry) bool {
+	v.store.ascend(func(_ []byte, e *entry) bool {
 		b = value.AppendTuple(b, e.vals)
 		b = binary.AppendUvarint(b, uint64(e.count))
 		for i, st := range e.states {
@@ -83,6 +83,7 @@ func (v *View) RestoreCheckpoint(data []byte) error {
 	off += n
 
 	fresh := newStore(storeKindOf(v.store))
+	var keyBuf []byte
 	for i := uint64(0); i < count; i++ {
 		vals, used, err := value.DecodeTuple(data[off:])
 		if err != nil {
@@ -106,7 +107,8 @@ func (v *View) RestoreCheckpoint(data []byte) error {
 				off += used
 			}
 		}
-		fresh.set(keyenc.TupleKey(e.vals), e)
+		keyBuf = keyenc.AppendTuple(keyBuf[:0], e.vals)
+		fresh.set(keyBuf, e)
 	}
 	if off != len(data) {
 		return fmt.Errorf("view %s: %d trailing checkpoint bytes", v.def.Name, len(data)-off)

@@ -1,6 +1,7 @@
 package view
 
 import (
+	"bytes"
 	"sort"
 
 	"chronicledb/internal/aggregate"
@@ -39,19 +40,21 @@ func (k StoreKind) String() string {
 	return "btree"
 }
 
-// store is the minimal interface view maintenance needs.
+// store is the minimal interface view maintenance needs. Keys are encoded
+// key bytes owned by the caller: get probes without copying (the hot path
+// reuses one buffer per view), set copies the key before retaining it.
 type store interface {
-	get(key string) (*entry, bool)
-	set(key string, e *entry)
+	get(key []byte) (*entry, bool)
+	set(key []byte, e *entry)
 	len() int
 	// ascend visits entries; the B-tree store visits in key order, the hash
 	// store sorts keys on demand (acceptable: scans are query-side).
-	ascend(fn func(key string, e *entry) bool)
+	ascend(fn func(key []byte, e *entry) bool)
 }
 
 func newStore(kind StoreKind) store {
 	if kind == StoreBTree {
-		return &treeStore{t: btree.New[string, *entry](func(a, b string) bool { return a < b })}
+		return &treeStore{t: btree.New[[]byte, *entry](func(a, b []byte) bool { return bytes.Compare(a, b) < 0 })}
 	}
 	return &hashStore{m: make(map[string]*entry)}
 }
@@ -60,31 +63,37 @@ type hashStore struct {
 	m map[string]*entry
 }
 
-func (h *hashStore) get(key string) (*entry, bool) { e, ok := h.m[key]; return e, ok }
-func (h *hashStore) set(key string, e *entry)      { h.m[key] = e }
+// get probes with m[string(key)], which the compiler lowers to a lookup
+// without materializing the string — the zero-allocation hot path.
+func (h *hashStore) get(key []byte) (*entry, bool) { e, ok := h.m[string(key)]; return e, ok }
+func (h *hashStore) set(key []byte, e *entry)      { h.m[string(key)] = e }
 func (h *hashStore) len() int                      { return len(h.m) }
 
-func (h *hashStore) ascend(fn func(string, *entry) bool) {
+func (h *hashStore) ascend(fn func([]byte, *entry) bool) {
 	keys := make([]string, 0, len(h.m))
 	for k := range h.m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		if !fn(k, h.m[k]) {
+		if !fn([]byte(k), h.m[k]) {
 			return
 		}
 	}
 }
 
 type treeStore struct {
-	t *btree.Tree[string, *entry]
+	t *btree.Tree[[]byte, *entry]
 }
 
-func (t *treeStore) get(key string) (*entry, bool) { return t.t.Get(key) }
-func (t *treeStore) set(key string, e *entry)      { t.t.Set(key, e) }
-func (t *treeStore) len() int                      { return t.t.Len() }
+func (t *treeStore) get(key []byte) (*entry, bool) { return t.t.Get(key) }
 
-func (t *treeStore) ascend(fn func(string, *entry) bool) {
+func (t *treeStore) set(key []byte, e *entry) {
+	t.t.Set(append([]byte(nil), key...), e)
+}
+
+func (t *treeStore) len() int { return t.t.Len() }
+
+func (t *treeStore) ascend(fn func([]byte, *entry) bool) {
 	t.t.Ascend(fn)
 }

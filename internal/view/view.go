@@ -16,6 +16,7 @@
 package view
 
 import (
+	"bytes"
 	"fmt"
 
 	"chronicledb/internal/aggregate"
@@ -73,6 +74,14 @@ type View struct {
 	store  store
 	info   algebra.Info
 	stats  Stats
+
+	// Hot-path scratch, reused across maintenance batches. keyBuf holds the
+	// encoded group key being probed (the store copies it only on insert);
+	// deltaBuf backs the expression delta for batch-local operators. Both
+	// belong to the maintenance path, which the engine serializes; the
+	// concurrent read paths (Lookup, ScanRange) use pooled buffers instead.
+	keyBuf   []byte
+	deltaBuf []chronicle.Row
 }
 
 // New validates a definition and materializes an empty view. The result is
@@ -166,7 +175,9 @@ func (v *View) Len() int { return v.store.len() }
 // operation whose complexity defines the chronicle system's complexity
 // (Section 3).
 func (v *View) Apply(d algebra.BatchDelta) {
-	v.ApplyRows(algebra.Delta(v.def.Expr, d))
+	rows, keep := algebra.DeltaInto(v.def.Expr, d, v.deltaBuf[:0])
+	v.deltaBuf = keep
+	v.ApplyRows(rows)
 }
 
 // ApplyRows folds precomputed expression delta rows into the view. The
@@ -177,26 +188,27 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 	switch v.def.Mode {
 	case SummarizeProject:
 		for _, r := range rows {
-			t := r.Vals.Project(v.def.Cols)
-			key := keyenc.TupleKey(t)
-			e, ok := v.store.get(key)
+			// Encode the key straight from the source columns; the projected
+			// tuple is only materialized when the entry does not exist yet.
+			v.keyBuf = keyenc.AppendCols(v.keyBuf[:0], r.Vals, v.def.Cols)
+			e, ok := v.store.get(v.keyBuf)
 			if !ok {
-				e = &entry{vals: t}
-				v.store.set(key, e)
+				e = &entry{vals: r.Vals.Project(v.def.Cols)}
+				v.store.set(v.keyBuf, e)
 			}
 			e.count++
 			v.stats.Touched++
 		}
 	case SummarizeGroupBy:
 		for _, r := range rows {
-			key := keyenc.Key(r.Vals, v.def.GroupCols)
-			e, ok := v.store.get(key)
+			v.keyBuf = keyenc.AppendCols(v.keyBuf[:0], r.Vals, v.def.GroupCols)
+			e, ok := v.store.get(v.keyBuf)
 			if !ok {
 				e = &entry{
 					vals:   r.Vals.Project(v.def.GroupCols),
 					states: aggregate.NewStates(v.def.Aggs),
 				}
-				v.store.set(key, e)
+				v.store.set(v.keyBuf, e)
 			}
 			aggregate.Apply(e.states, v.def.Aggs, r.Vals)
 			e.count++
@@ -210,7 +222,12 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 // projection views it is the full projected tuple. This is the paper's
 // summary query: answered from the view, never from the chronicle.
 func (v *View) Lookup(key value.Tuple) (value.Tuple, bool) {
-	e, ok := v.store.get(keyenc.TupleKey(key))
+	// Lookups run concurrently under the engine's read lock, so the probe
+	// key is built in a pooled buffer, not the view's maintenance scratch.
+	buf := keyenc.GetBuf()
+	*buf = keyenc.AppendTuple(*buf, key)
+	e, ok := v.store.get(*buf)
+	keyenc.PutBuf(buf)
 	if !ok || e.count == 0 {
 		return nil, false
 	}
@@ -223,9 +240,14 @@ func (v *View) Lookup(key value.Tuple) (value.Tuple, bool) {
 // an index range scan (the ordered store keys on an order-preserving
 // encoding); the hash store degrades to a filtered full scan.
 func (v *View) ScanRange(lo, hi value.Tuple, fn func(value.Tuple) bool) {
-	loKey, hiKey := keyenc.TupleKey(lo), keyenc.TupleKey(hi)
+	loBuf, hiBuf := keyenc.GetBuf(), keyenc.GetBuf()
+	defer keyenc.PutBuf(loBuf)
+	defer keyenc.PutBuf(hiBuf)
+	loKey := keyenc.AppendTuple(*loBuf, lo)
+	hiKey := keyenc.AppendTuple(*hiBuf, hi)
+	*loBuf, *hiBuf = loKey, hiKey
 	if ts, ok := v.store.(*treeStore); ok {
-		ts.t.AscendRange(loKey, hiKey, func(_ string, e *entry) bool {
+		ts.t.AscendRange(loKey, hiKey, func(_ []byte, e *entry) bool {
 			if e.count == 0 {
 				return true
 			}
@@ -233,8 +255,8 @@ func (v *View) ScanRange(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 		})
 		return
 	}
-	v.store.ascend(func(k string, e *entry) bool {
-		if e.count == 0 || k < loKey || k >= hiKey {
+	v.store.ascend(func(k []byte, e *entry) bool {
+		if e.count == 0 || bytes.Compare(k, loKey) < 0 || bytes.Compare(k, hiKey) >= 0 {
 			return true
 		}
 		return fn(v.rowOf(e))
@@ -245,7 +267,7 @@ func (v *View) ScanRange(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 // yields group-key order; the hash store yields an arbitrary but complete
 // order.
 func (v *View) Scan(fn func(value.Tuple) bool) {
-	v.store.ascend(func(_ string, e *entry) bool {
+	v.store.ascend(func(_ []byte, e *entry) bool {
 		if e.count == 0 {
 			return true
 		}

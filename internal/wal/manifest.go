@@ -8,14 +8,20 @@
 package wal
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"chronicledb/internal/fault"
 )
+
+// manifestBufs pools the JSON encode buffer for manifest writes, so the
+// rewrite-on-checkpoint path reuses its scratch like the WAL frame buffer.
+var manifestBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // ManifestName is the manifest file name inside the data directory.
 const ManifestName = "wal.manifest"
@@ -51,11 +57,13 @@ func WriteManifest(dir string, m Manifest) error {
 
 // WriteManifestFS is WriteManifest against an explicit filesystem.
 func WriteManifestFS(fsys fault.FS, dir string, m Manifest) error {
-	data, err := json.Marshal(m)
-	if err != nil {
+	buf := manifestBufs.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); manifestBufs.Put(buf) }()
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(m); err != nil {
 		return fmt.Errorf("wal: manifest: %w", err)
 	}
-	return WriteFileAtomicFS(fsys, filepath.Join(dir, ManifestName), data)
+	return WriteFileAtomicFS(fsys, filepath.Join(dir, ManifestName), buf.Bytes())
 }
 
 // ReadManifest loads the manifest from dir. A missing manifest reports

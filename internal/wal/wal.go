@@ -27,8 +27,11 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"chronicledb/internal/fault"
+	"chronicledb/internal/stats"
 	"chronicledb/internal/value"
 )
 
@@ -70,17 +73,60 @@ type Record struct {
 	Tuple    value.Tuple
 }
 
+// SyncPolicy selects when a Log makes appended records durable.
+type SyncPolicy uint8
+
+// The sync policies.
+const (
+	// SyncNone buffers records and flushes on Flush/Close; the caller has
+	// opted out of per-record durability (tests, bulk loads).
+	SyncNone SyncPolicy = iota
+	// SyncEach fsyncs inside every Append — one fsync per record, the
+	// legacy durable configuration (E16's baseline curve).
+	SyncEach
+	// SyncGroup writes each record through to the OS inside Append (so a
+	// write failure still aborts the mutation before it is applied) but
+	// defers the fsync to Commit, the group-commit door: one fsync acks
+	// every record appended since the previous fsync.
+	SyncGroup
+)
+
 // Log is an append-only record log. It is safe for concurrent use: each
-// shard has a single writer goroutine, but checkpointing (Reset) and
-// flushing may come from other goroutines.
+// shard has a single writer goroutine, but checkpointing (Reset), flushing,
+// and group commits may come from other goroutines.
 type Log struct {
-	mu       sync.Mutex
-	path     string
-	f        fault.File
-	w        *bufio.Writer
-	syncEach bool
-	err      error // sticky: first write/flush/sync failure; fails everything after
-	buf      []byte
+	mu     sync.Mutex
+	path   string
+	f      fault.File
+	w      *bufio.Writer
+	policy SyncPolicy
+	err    error // sticky: first write/flush/sync failure; fails everything after
+	buf    []byte
+	seq    uint64 // records appended since open (under mu)
+
+	// Group-commit door. synced is the record count covered by a completed
+	// fsync; it only grows, so a committer whose target is already covered
+	// returns without touching the file. syncMu serializes fsyncs in
+	// SyncGroup mode: callers queue on it, and each queued caller re-checks
+	// synced after the door opens — the previous holder's fsync usually
+	// covered its records too, and the whole batch was acked by one fsync.
+	syncMu sync.Mutex
+	synced atomic.Uint64
+
+	// Durability counters for SHOW STATS / E16. batchHist counts records
+	// acked per fsync; it is guarded by syncMu in SyncGroup mode and by mu
+	// otherwise (a Log never mixes policies), and Metrics takes both.
+	fsyncs    atomic.Int64
+	batchHist stats.Histogram
+}
+
+// Metrics is a snapshot of a Log's durability counters. Batches is a value
+// copy of the group-commit batch-size histogram so callers can Merge
+// metrics across segments before rendering a Snapshot.
+type Metrics struct {
+	Records int64           // records appended since open
+	Fsyncs  int64           // fsync calls since open
+	Batches stats.Histogram // records acked per fsync (group-commit batch size)
 }
 
 // Open opens (creating if needed) the log at path for appending. When
@@ -92,11 +138,20 @@ func Open(path string, syncEach bool) (*Log, error) {
 
 // OpenFS is Open against an explicit filesystem.
 func OpenFS(fsys fault.FS, path string, syncEach bool) (*Log, error) {
+	policy := SyncNone
+	if syncEach {
+		policy = SyncEach
+	}
+	return OpenPolicyFS(fsys, path, policy)
+}
+
+// OpenPolicyFS opens the log with an explicit sync policy.
+func OpenPolicyFS(fsys fault.FS, path string, policy SyncPolicy) (*Log, error) {
 	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16), syncEach: syncEach}, nil
+	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16), policy: policy}, nil
 }
 
 // Path returns the log file path.
@@ -109,9 +164,12 @@ func (l *Log) Err() error {
 	return l.err
 }
 
-// Append frames and writes one record. The frame is encoded completely
-// before any byte reaches the writer, so a failure never leaves a partial
-// frame mid-file; any failure latches the sticky error.
+// Append frames and writes one record. The frame is encoded completely —
+// into the Log's grown-once scratch buffer — before any byte reaches the
+// writer, so a failure never leaves a partial frame mid-file; any failure
+// latches the sticky error. In SyncGroup mode the frame is written through
+// to the OS here (a full disk or write error must abort the mutation before
+// it is applied to memory) and only the fsync waits for Commit.
 func (l *Log) Append(r Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -127,9 +185,72 @@ func (l *Log) Append(r Record) error {
 		l.err = err
 		return fmt.Errorf("wal: write: %w", err)
 	}
-	if l.syncEach {
+	l.seq++
+	switch l.policy {
+	case SyncEach:
 		return l.syncLocked()
+	case SyncGroup:
+		return l.flushLocked()
 	}
+	return nil
+}
+
+// Commit makes every record appended so far durable — the group-commit
+// door. The caller's records are already in the OS (Append writes through
+// in SyncGroup mode), so all Commit adds is the fsync, and concurrent
+// committers share one: whoever holds the door fsyncs on behalf of every
+// record appended up to that moment, and queued committers whose records
+// that fsync covered return without syncing again. In SyncEach mode records
+// are durable the moment Append returns and Commit only reports the sticky
+// error; in SyncNone mode it degrades to Flush (the caller opted out of
+// durability).
+func (l *Log) Commit() error {
+	if l.policy != SyncGroup {
+		if l.policy == SyncNone {
+			return l.Flush()
+		}
+		return l.Err()
+	}
+	l.mu.Lock()
+	target := l.seq
+	err := l.err
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: log failed: %w", err)
+	}
+	if l.synced.Load() >= target {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced.Load() >= target {
+		return nil // the previous door holder's fsync covered our records
+	}
+	l.mu.Lock()
+	covered := l.seq
+	err = l.err
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: log failed: %w", err)
+	}
+	if serr := l.f.Sync(); serr != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = serr
+		}
+		l.mu.Unlock()
+		return fmt.Errorf("wal: sync: %w", serr)
+	}
+	// synced only moves forward: covered was read before the fsync, so a
+	// concurrent Reset (which syncs the truncation and stores the current
+	// seq itself) can at worst leave synced understated, costing one extra
+	// fsync — never overstated.
+	prev := l.synced.Load()
+	if covered > prev {
+		l.synced.Store(covered)
+		l.batchHist.Observe(time.Duration(covered - prev))
+	}
+	l.fsyncs.Add(1)
 	return nil
 }
 
@@ -151,8 +272,12 @@ func (l *Log) flushLocked() error {
 	return nil
 }
 
-// Sync flushes and fsyncs.
+// Sync flushes and fsyncs. In SyncGroup mode it goes through the commit
+// door so its fsync coalesces with (and is accounted like) group commits.
 func (l *Log) Sync() error {
+	if l.policy == SyncGroup {
+		return l.Commit()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.syncLocked()
@@ -166,6 +291,11 @@ func (l *Log) syncLocked() error {
 		l.err = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	if prev := l.synced.Load(); l.seq > prev {
+		l.synced.Store(l.seq)
+		l.batchHist.Observe(time.Duration(l.seq - prev))
+	}
+	l.fsyncs.Add(1)
 	return nil
 }
 
@@ -201,8 +331,25 @@ func (l *Log) Reset() error {
 		l.err = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.fsyncs.Add(1)
+	if l.seq > l.synced.Load() {
+		l.synced.Store(l.seq) // the truncation sync covers everything appended
+	}
 	l.w.Reset(l.f)
 	return nil
+}
+
+// LogMetrics returns the Log's durability counters.
+func (l *Log) LogMetrics() Metrics {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Metrics{
+		Records: int64(l.seq),
+		Fsyncs:  l.fsyncs.Load(),
+		Batches: l.batchHist,
+	}
 }
 
 // Replay reads records from path in order, calling fn for each. It stops

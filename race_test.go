@@ -1,0 +1,8 @@
+//go:build race
+
+package chronicledb_test
+
+// raceEnabled reports whether the race detector is on. The AllocsPerRun
+// guards are skipped under -race: instrumentation adds allocations the
+// production build does not have.
+const raceEnabled = true

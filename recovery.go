@@ -163,8 +163,11 @@ func (db *DB) Checkpoint() error {
 	return write()
 }
 
+// buildCheckpoint serializes the full database state into db.ckptBuf,
+// which it reuses across checkpoints (callers hold db.mu, and the image is
+// fully consumed — written to disk — before the next checkpoint starts).
 func (db *DB) buildCheckpoint() []byte {
-	var b []byte
+	b := db.ckptBuf[:0]
 	b = append(b, ckptMagic...)
 	b = append(b, 1) // version
 	b = binary.LittleEndian.AppendUint64(b, db.eng.LSN())
@@ -228,6 +231,7 @@ func (db *DB) buildCheckpoint() []byte {
 		b = binary.AppendUvarint(b, uint64(len(snap)))
 		b = append(b, snap...)
 	}
+	db.ckptBuf = b
 	return b
 }
 
