@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-allocs experiments fuzz examples torture clean
+.PHONY: all build test race vet check cover bench bench-allocs bench-reads experiments fuzz examples torture clean
 
 all: check
 
@@ -33,10 +33,19 @@ bench-allocs:
 	$(GO) test -count=1 -run 'TestAllocGuards' -v .
 	$(GO) test -run=NONE -bench 'BenchmarkAppendHotPath' -benchmem -benchtime 200x .
 
+# bench-reads is the read-path regression gate: the alloc guards pin the
+# lock-free lookup and latest-N allocation counts, and the read hot-path
+# benchmarks print ns/op for the snapshot traversal. -count=1 defeats
+# caching — the guards must run.
+bench-reads:
+	$(GO) test -count=1 -run 'TestReadAllocGuards' -v .
+	$(GO) test -run=NONE -bench 'BenchmarkReadHotPath' -benchmem -benchtime 200x .
+
 # check is the gate for every change: static analysis plus the full suite
 # under the race detector (the sharded kernel is concurrent by design),
-# plus the crash-torture enumeration and the allocation-regression guards.
-check: build vet race torture bench-allocs
+# plus the crash-torture enumeration and the allocation-regression guards
+# for both the append and read hot paths.
+check: build vet race torture bench-allocs bench-reads
 
 cover:
 	$(GO) test -cover ./...

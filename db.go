@@ -59,6 +59,10 @@ type Options struct {
 	RelationHistory bool
 	// NoDispatchIndex disables the Section 5.2 predicate index (ablation).
 	NoDispatchIndex bool
+	// LockedReads restores the engine-wide read lock on every summary
+	// query (the pre-snapshot behavior), so reads serialize against
+	// appends. Ablation baseline for E17; leave false in production.
+	LockedReads bool
 	// Clock supplies chronons for appends; nil uses wall-clock nanoseconds.
 	Clock func() int64
 	// FS overrides the filesystem used for all durable state. Nil means
@@ -125,6 +129,11 @@ type Kernel interface {
 	ViewLookup(name string, key value.Tuple) (value.Tuple, bool, error)
 	ViewRows(name string) ([]value.Tuple, error)
 	ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error)
+	ViewScanFunc(name string, fn func(value.Tuple) bool) error
+	ViewScanRangeFunc(name string, lo, hi value.Tuple, fn func(value.Tuple) bool) error
+	ViewScanDescFunc(name string, fn func(value.Tuple) bool) error
+	ReadStats() engine.ReadStats
+	OldestSnapshotUnixNano() int64
 	PeriodicView(name string) (*calendar.PeriodicView, bool)
 	PeriodicViewNames() []string
 }
@@ -178,6 +187,7 @@ func Open(opts Options) (*DB, error) {
 		DefaultRetention: opts.DefaultRetention,
 		RelationHistory:  opts.RelationHistory,
 		DispatchIndexed:  !opts.NoDispatchIndex,
+		LockedReads:      opts.LockedReads,
 		Clock:            opts.Clock,
 	}
 	if opts.Shards > 0 {
@@ -586,15 +596,68 @@ func (db *DB) Upsert(relationName string, t value.Tuple) error {
 }
 
 // Lookup answers a summary query from a persistent view by group key. The
-// read is serialized against appends, so it reflects every append that has
-// returned — the "balance check before the next ATM withdrawal" guarantee.
+// read runs lock-free against the view's latest published snapshot, which
+// includes every append that has returned — the "balance check before the
+// next ATM withdrawal" guarantee — without serializing against appends in
+// flight. The returned row is caller-owned.
 func (db *DB) Lookup(viewName string, key ...value.Value) (Row, bool, error) {
 	return db.eng.ViewLookup(viewName, value.Tuple(key))
 }
 
 // LookupRange returns the view rows whose group key is ≥ lo and < hi under
 // tuple comparison (lo and hi may be key prefixes), in ascending key order.
-// With a BTREE store this is an index range scan.
+// With a BTREE store this is a lock-free index range scan over the view's
+// latest snapshot. The rows are caller-owned.
 func (db *DB) LookupRange(viewName string, lo, hi Tuple) ([]Row, error) {
 	return db.eng.ViewScanRange(viewName, lo, hi)
+}
+
+// ScanView streams a view's rows in ascending group-key order until fn
+// returns false, without materializing the result. Rows passed to fn are
+// caller-owned.
+func (db *DB) ScanView(viewName string, fn func(Row) bool) error {
+	return db.eng.ViewScanFunc(viewName, fn)
+}
+
+// ScanViewDesc streams a view's rows in descending group-key order until
+// fn returns false — walk from the top, stop early. Rows passed to fn are
+// caller-owned.
+func (db *DB) ScanViewDesc(viewName string, fn func(Row) bool) error {
+	return db.eng.ViewScanDescFunc(viewName, fn)
+}
+
+// LatestViewRows returns the view's last n rows by group key, highest key
+// first — the "latest N groups" query, answered by a descending snapshot
+// walk that stops after n rows instead of materializing the view.
+func (db *DB) LatestViewRows(viewName string, n int) ([]Row, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var out []Row
+	err := db.eng.ViewScanDescFunc(viewName, func(t Row) bool {
+		out = append(out, t)
+		return len(out) < n
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadStats re-exports the read-path counters and latency distribution.
+type ReadStats = engine.ReadStats
+
+// ReadStats reports read traffic: lookup and scan counts plus the
+// end-to-end read latency distribution, merged across shards when sharded.
+func (db *DB) ReadStats() ReadStats { return db.eng.ReadStats() }
+
+// SnapshotAge reports how long ago the oldest live view snapshot was
+// published — the staleness bound of the lock-free read path. Zero means
+// no view currently publishes a snapshot (no views, or all hash-stored).
+func (db *DB) SnapshotAge() time.Duration {
+	at := db.eng.OldestSnapshotUnixNano()
+	if at == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - at)
 }

@@ -12,6 +12,7 @@ import (
 	"chronicledb/internal/sqlparse"
 	"chronicledb/internal/stats"
 	"chronicledb/internal/value"
+	"chronicledb/internal/view"
 )
 
 // Exec parses and executes one or more semicolon-separated statements,
@@ -223,11 +224,7 @@ func (db *DB) appendCatalog(stmt string) error {
 // query answers SELECT * FROM <view|relation|chronicle>.
 func (db *DB) query(q *sqlparse.Query) (*Result, error) {
 	if v, ok := db.eng.View(q.From); ok {
-		rows, err := db.eng.ViewRows(q.From)
-		if err != nil {
-			return nil, err
-		}
-		return filterRows(v.Schema().Names(), rows, q)
+		return db.queryView(v, q)
 	}
 	if r, ok := db.eng.Relation(q.From); ok {
 		rows, err := db.eng.RelationRows(q.From)
@@ -256,24 +253,77 @@ func (db *DB) query(q *sqlparse.Query) (*Result, error) {
 	return nil, fmt.Errorf("chronicledb: unknown view, relation, or chronicle %q", q.From)
 }
 
+// queryView answers a SELECT over a persistent view by streaming off the
+// view's snapshot instead of materializing it first. Three shapes stream
+// with early stop at LIMIT:
+//
+//   - no ORDER BY: snapshot iteration order (ascending group key);
+//   - ORDER BY the leading group-key column ASC: the snapshot's B-tree
+//     already yields rows in composite-key order, and sorting by a prefix
+//     of that key preserves it;
+//   - ORDER BY the leading group-key column DESC LIMIT n: the "latest n
+//     groups" query — a descending snapshot walk stops after n matches
+//     without touching the rest of the view.
+//
+// Any other ORDER BY column falls back to materialize-and-sort.
+func (db *DB) queryView(v *view.View, q *sqlparse.Query) (*Result, error) {
+	names := v.Schema().Names()
+	preds, err := sqlparse.LowerWhere(names, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	orderCol, err := resolveOrder(names, q)
+	if err != nil {
+		return nil, err
+	}
+	if q.OrderBy == nil || orderCol == 0 {
+		var out []Row
+		collect := func(t value.Tuple) bool {
+			if !matchesAll(preds, t) {
+				return true
+			}
+			out = append(out, t)
+			return q.Limit <= 0 || len(out) < q.Limit
+		}
+		if q.OrderBy != nil && q.OrderDesc {
+			err = db.eng.ViewScanDescFunc(q.From, collect)
+		} else {
+			err = db.eng.ViewScanFunc(q.From, collect)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: names, Rows: out}, nil
+	}
+	rows, err := db.eng.ViewRows(q.From)
+	if err != nil {
+		return nil, err
+	}
+	return filterRows(names, rows, q)
+}
+
+// resolveOrder maps ORDER BY onto a column index (-1 without ORDER BY),
+// erroring on unknown columns even when results would be empty.
+func resolveOrder(names []string, q *sqlparse.Query) (int, error) {
+	if q.OrderBy == nil {
+		return -1, nil
+	}
+	for i, n := range names {
+		if n == q.OrderBy.Name {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("chronicledb: unknown ORDER BY column %q", q.OrderBy.Name)
+}
+
 func filterRows(names []string, rows []Row, q *sqlparse.Query) (*Result, error) {
 	preds, err := sqlparse.LowerWhere(names, q.Where)
 	if err != nil {
 		return nil, err
 	}
-	// Resolve ORDER BY before filtering so an unknown column errors even on
-	// empty results.
-	orderCol := -1
-	if q.OrderBy != nil {
-		for i, n := range names {
-			if n == q.OrderBy.Name {
-				orderCol = i
-				break
-			}
-		}
-		if orderCol < 0 {
-			return nil, fmt.Errorf("chronicledb: unknown ORDER BY column %q", q.OrderBy.Name)
-		}
+	orderCol, err := resolveOrder(names, q)
+	if err != nil {
+		return nil, err
 	}
 	out := rows[:0:0]
 	for _, r := range rows {
@@ -389,6 +439,11 @@ func (db *DB) show(what string) (*Result, error) {
 		st := db.eng.Stats()
 		lat := db.eng.MaintenanceLatency()
 		ws := db.WALStats()
+		rs := db.ReadStats()
+		snapAge := "no snapshots"
+		if age := db.SnapshotAge(); age > 0 {
+			snapAge = fmt.Sprintf("%.1fms", float64(age)/1e6)
+		}
 		return &Result{
 			Columns: []string{"stat", "value"},
 			Rows: []Row{
@@ -398,6 +453,10 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("views_maintained"), value.Int(st.ViewsMaintained)},
 				{value.Str("maintenance_ns"), value.Int(st.MaintenanceNs)},
 				{value.Str("maintenance_latency"), value.Str(lat.String())},
+				{value.Str("read_lookups"), value.Int(rs.Lookups)},
+				{value.Str("read_scans"), value.Int(rs.Scans)},
+				{value.Str("read_latency"), value.Str(rs.Latency.String())},
+				{value.Str("snapshot_age"), value.Str(snapAge)},
 				{value.Str("allocs_per_append"), value.Str(fmt.Sprintf("%.1f", ws.AllocsPerOp))},
 				{value.Str("wal_records"), value.Int(ws.Records)},
 				{value.Str("wal_fsyncs"), value.Int(ws.Fsyncs)},

@@ -1,7 +1,7 @@
 // Package bench is the experiment harness: it regenerates, as measured
 // tables, every claim of the chronicle paper with quantitative content.
 // The paper (a theory extended abstract) has no tables or figures of its
-// own, so the experiment list in DESIGN.md — E1..E14 — plays that role:
+// own, so the experiment list in DESIGN.md — E1..E17 — plays that role:
 // each experiment's expected *shape* (who wins, what the scaling exponent
 // is, where the crossover falls) comes straight from a theorem or a
 // Section-5 design argument, and EXPERIMENTS.md records claim vs measured.
@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"E14", "shard scaling: concurrent appends vs shard count", RunE14},
 		{"E15", "recovery time vs WAL tail length", RunE15},
 		{"E16", "append hot path: allocations and group commit", RunE16},
+		{"E17", "read path: snapshot reads vs locked reads", RunE17},
 	}
 }
 

@@ -5,6 +5,12 @@
 // ups" (Section 3) and Theorem 4.4 bounds view maintenance by
 // O(t·log|V|); this tree is the ordered index behind relation key lookups,
 // view group stores, and range scans that realize those bounds.
+//
+// Trees support cheap copy-on-write clones: Clone shares every node with
+// the original in O(1), and subsequent mutations on either tree copy only
+// the root-to-leaf path they touch. A clone that is never mutated again is
+// an immutable snapshot that concurrent readers may traverse without any
+// synchronization while the original keeps absorbing writes.
 package btree
 
 // degree is the minimum number of children of an internal node. Nodes hold
@@ -17,12 +23,19 @@ const (
 	minItems = degree - 1
 )
 
+// copyTag is an ownership token. Every node records the tag of the tree
+// that created it; a tree may mutate a node in place only when the tags
+// match. Clone hands both trees fresh tags, so all shared nodes become
+// frozen and the first writer to reach one copies it.
+type copyTag struct{ _ byte }
+
 // Tree is a B-tree mapping keys of type K to values of type V. The zero
 // value is not usable; construct trees with New.
 type Tree[K, V any] struct {
 	less func(a, b K) bool
 	root *node[K, V]
 	size int
+	cow  *copyTag
 }
 
 type item[K, V any] struct {
@@ -33,11 +46,48 @@ type item[K, V any] struct {
 type node[K, V any] struct {
 	items    []item[K, V]
 	children []*node[K, V] // nil for leaves
+	cow      *copyTag      // owner tag; mutable only by the tree holding it
 }
 
 // New returns an empty tree ordered by less.
 func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
-	return &Tree[K, V]{less: less}
+	return &Tree[K, V]{less: less, cow: new(copyTag)}
+}
+
+// Clone returns a copy of the tree sharing all nodes with the receiver.
+// The clone costs O(1); afterwards each tree copies any shared node before
+// mutating it (path copying), so the two diverge without ever observing
+// each other's writes. A clone that is not mutated further is safe for
+// concurrent lock-free reads even while the original continues to change.
+func (t *Tree[K, V]) Clone() *Tree[K, V] {
+	c := *t
+	// Fresh tags on both sides orphan every existing node: neither tree
+	// owns them any more, so the first mutation on either side copies.
+	t.cow = new(copyTag)
+	c.cow = new(copyTag)
+	return &c
+}
+
+// mutable returns a node the tree may modify in place, copying n's items
+// and child pointers into a fresh node when n is shared with a clone.
+func (t *Tree[K, V]) mutable(n *node[K, V]) *node[K, V] {
+	if n.cow == t.cow {
+		return n
+	}
+	m := &node[K, V]{cow: t.cow}
+	m.items = append(make([]item[K, V], 0, len(n.items)), n.items...)
+	if n.children != nil {
+		m.children = append(make([]*node[K, V], 0, len(n.children)), n.children...)
+	}
+	return m
+}
+
+// mutableChild makes n.children[i] mutable and re-links it. n itself must
+// already be mutable.
+func (t *Tree[K, V]) mutableChild(n *node[K, V], i int) *node[K, V] {
+	c := t.mutable(n.children[i])
+	n.children[i] = c
+	return c
 }
 
 // Len returns the number of entries in the tree.
@@ -64,13 +114,14 @@ func (t *Tree[K, V]) Get(key K) (V, bool) {
 // whether the key was already present.
 func (t *Tree[K, V]) Set(key K, val V) (replaced bool) {
 	if t.root == nil {
-		t.root = &node[K, V]{items: []item[K, V]{{key, val}}}
+		t.root = &node[K, V]{items: []item[K, V]{{key, val}}, cow: t.cow}
 		t.size = 1
 		return false
 	}
+	t.root = t.mutable(t.root)
 	if len(t.root.items) >= maxItems {
 		old := t.root
-		t.root = &node[K, V]{children: []*node[K, V]{old}}
+		t.root = &node[K, V]{children: []*node[K, V]{old}, cow: t.cow}
 		t.splitChild(t.root, 0)
 	}
 	replaced = t.insertNonFull(t.root, key, val)
@@ -85,6 +136,7 @@ func (t *Tree[K, V]) Delete(key K) bool {
 	if t.root == nil {
 		return false
 	}
+	t.root = t.mutable(t.root)
 	deleted := t.delete(t.root, key)
 	if len(t.root.items) == 0 && t.root.children != nil {
 		t.root = t.root.children[0]
@@ -210,6 +262,94 @@ func (t *Tree[K, V]) ascendGE(n *node[K, V], lo K, fn func(K, V) bool) bool {
 	return true
 }
 
+// AscendLessThan visits entries with key < hi in ascending order until fn
+// returns false.
+func (t *Tree[K, V]) AscendLessThan(hi K, fn func(key K, val V) bool) {
+	t.ascendLT(t.root, hi, fn)
+}
+
+func (t *Tree[K, V]) ascendLT(n *node[K, V], hi K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, it := range n.items {
+		if !t.less(it.key, hi) {
+			if n.children != nil {
+				return t.ascendLT(n.children[i], hi, fn)
+			}
+			return true
+		}
+		if n.children != nil && !t.ascendLT(n.children[i], hi, fn) {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if n.children != nil {
+		return t.ascendLT(n.children[len(n.children)-1], hi, fn)
+	}
+	return true
+}
+
+// Descend visits every entry in descending key order until fn returns
+// false.
+func (t *Tree[K, V]) Descend(fn func(key K, val V) bool) {
+	t.descend(t.root, fn)
+}
+
+func (t *Tree[K, V]) descend(n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.children != nil && !t.descend(n.children[len(n.children)-1], fn) {
+		return false
+	}
+	for i := len(n.items) - 1; i >= 0; i-- {
+		it := n.items[i]
+		if !fn(it.key, it.val) {
+			return false
+		}
+		if n.children != nil && !t.descend(n.children[i], fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// DescendRange visits entries with lo <= key < hi in descending key order
+// until fn returns false — the same half-open window as AscendRange,
+// walked newest-first.
+func (t *Tree[K, V]) DescendRange(lo, hi K, fn func(key K, val V) bool) {
+	t.descendRange(t.root, lo, hi, fn)
+}
+
+func (t *Tree[K, V]) descendRange(n *node[K, V], lo, hi K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	// end is the first index with key >= hi: items[end-1] and below may be
+	// in range, and children[end] can still hold keys below hi.
+	end, _ := t.search(n, hi)
+	if n.children != nil && !t.descendRange(n.children[end], lo, hi, fn) {
+		return false
+	}
+	for i := end - 1; i >= 0; i-- {
+		it := n.items[i]
+		if t.less(it.key, lo) {
+			// it.key and everything left of it is below the window.
+			return true
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+		if n.children != nil && !t.descendRange(n.children[i], lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
 // search returns the index of the first item >= key in n, and whether that
 // item equals key.
 func (t *Tree[K, V]) search(n *node[K, V], key K) (int, bool) {
@@ -228,12 +368,17 @@ func (t *Tree[K, V]) search(n *node[K, V], key K) (int, bool) {
 	return lo, false
 }
 
+// splitChild splits the full child at index i of parent. parent must be
+// mutable; the child is made mutable here before its items move.
 func (t *Tree[K, V]) splitChild(parent *node[K, V], i int) {
-	child := parent.children[i]
+	child := t.mutableChild(parent, i)
 	mid := len(child.items) / 2
 	midItem := child.items[mid]
 
-	right := &node[K, V]{items: append([]item[K, V](nil), child.items[mid+1:]...)}
+	right := &node[K, V]{
+		items: append([]item[K, V](nil), child.items[mid+1:]...),
+		cow:   t.cow,
+	}
 	if child.children != nil {
 		right.children = append([]*node[K, V](nil), child.children[mid+1:]...)
 		child.children = child.children[: mid+1 : mid+1]
@@ -249,6 +394,9 @@ func (t *Tree[K, V]) splitChild(parent *node[K, V], i int) {
 	parent.children[i+1] = right
 }
 
+// insertNonFull inserts into the subtree rooted at n, which must be
+// mutable and not full; every child it descends into is made mutable
+// first, so the whole root-to-leaf path is owned by this tree.
 func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) (replaced bool) {
 	for {
 		i, eq := t.search(n, key)
@@ -271,10 +419,11 @@ func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) (replaced bool) 
 				return true
 			}
 		}
-		n = n.children[i]
+		n = t.mutableChild(n, i)
 	}
 }
 
+// delete removes key from the subtree rooted at n, which must be mutable.
 func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
 	i, eq := t.search(n, key)
 	if n.children == nil {
@@ -286,13 +435,13 @@ func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
 	}
 	if eq {
 		// Replace with predecessor from the left subtree, then delete it.
-		child := n.children[i]
+		child := t.mutableChild(n, i)
 		if len(child.items) > minItems {
 			pred := t.maxItem(child)
 			n.items[i] = pred
 			return t.delete(child, pred.key)
 		}
-		rchild := n.children[i+1]
+		rchild := t.mutableChild(n, i+1)
 		if len(rchild.items) > minItems {
 			succ := t.minItem(rchild)
 			n.items[i] = succ
@@ -301,7 +450,7 @@ func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
 		t.mergeChildren(n, i)
 		return t.delete(n.children[i], key)
 	}
-	child := n.children[i]
+	child := t.mutableChild(n, i)
 	if len(child.items) <= minItems {
 		i = t.rebalance(n, i)
 		child = n.children[i]
@@ -324,11 +473,13 @@ func (t *Tree[K, V]) minItem(n *node[K, V]) item[K, V] {
 }
 
 // rebalance ensures n.children[i] has more than minItems items, borrowing
-// from a sibling or merging. It returns the (possibly shifted) child index.
+// from a sibling or merging. n and n.children[i] must be mutable. It
+// returns the (possibly shifted) child index; the child at that index is
+// mutable on return.
 func (t *Tree[K, V]) rebalance(n *node[K, V], i int) int {
 	if i > 0 && len(n.children[i-1].items) > minItems {
 		// Rotate right: move separator down, left sibling's max up.
-		child, left := n.children[i], n.children[i-1]
+		child, left := n.children[i], t.mutableChild(n, i-1)
 		child.items = append(child.items, item[K, V]{})
 		copy(child.items[1:], child.items)
 		child.items[0] = n.items[i-1]
@@ -345,7 +496,7 @@ func (t *Tree[K, V]) rebalance(n *node[K, V], i int) int {
 	}
 	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
 		// Rotate left: move separator down, right sibling's min up.
-		child, right := n.children[i], n.children[i+1]
+		child, right := n.children[i], t.mutableChild(n, i+1)
 		child.items = append(child.items, n.items[i])
 		n.items[i] = right.items[0]
 		right.items = append(right.items[:0], right.items[1:]...)
@@ -365,9 +516,11 @@ func (t *Tree[K, V]) rebalance(n *node[K, V], i int) int {
 }
 
 // mergeChildren merges n.children[i], n.items[i], and n.children[i+1] into a
-// single child at position i.
+// single child at position i. n must be mutable; both children are made
+// mutable here.
 func (t *Tree[K, V]) mergeChildren(n *node[K, V], i int) {
-	left, right := n.children[i], n.children[i+1]
+	left := t.mutableChild(n, i)
+	right := n.children[i+1]
 	left.items = append(left.items, n.items[i])
 	left.items = append(left.items, right.items...)
 	left.children = append(left.children, right.children...)

@@ -13,6 +13,7 @@ package chronicle
 
 import (
 	"fmt"
+	"sync"
 
 	"chronicledb/internal/value"
 )
@@ -42,18 +43,25 @@ const (
 
 // Chronicle is a single append-only sequence belonging to a Group.
 //
-// Chronicles are not safe for concurrent use; the engine serializes all
-// appends and reads (Section 2.3's update semantics are inherently serial:
-// proactive relation updates are exactly those ordered before later appends).
+// Appends are serialized by the engine (Section 2.3's update semantics are
+// inherently serial: proactive relation updates are exactly those ordered
+// before later appends). mu additionally guards the retained-row window so
+// read methods (Len, Scan, RowsCopy, ...) can run concurrently with
+// appends without holding the engine-wide lock.
 type Chronicle struct {
 	name       string
 	schema     *value.Schema
 	group      *Group
 	retain     Retention
 	retainSpan int64 // chronon span to keep; 0 = no time-based trimming
-	rows       []Row
-	dropped    int64 // rows discarded by the retention window
-	lastSN     int64 // largest SN appended to this chronicle; -1 if none
+
+	// mu guards rows, dropped, and lastSN: append grows rows in place and
+	// trim replaces the backing array, so readers must not alias them
+	// unsynchronized.
+	mu      sync.RWMutex
+	rows    []Row
+	dropped int64 // rows discarded by the retention window
+	lastSN  int64 // largest SN appended to this chronicle; -1 if none
 }
 
 // Name returns the chronicle's name.
@@ -117,12 +125,15 @@ func (c *Chronicle) AppendInto(sn, chronon int64, lsn uint64, tuples []value.Tup
 		rows = append(rows, Row{SN: sn, Chronon: chronon, LSN: lsn, Vals: t})
 	}
 	c.group.lastSN = sn
+	c.mu.Lock()
 	c.lastSN = sn
 	c.store(rows)
+	c.mu.Unlock()
 	return rows, nil
 }
 
-// store applies the retention policies while appending.
+// store applies the retention policies while appending. The caller holds
+// c.mu exclusively.
 func (c *Chronicle) store(rows []Row) {
 	switch {
 	case c.retain == RetainNone:
@@ -161,20 +172,39 @@ func (c *Chronicle) trim(n int) {
 }
 
 // Len returns the number of retained rows.
-func (c *Chronicle) Len() int { return len(c.rows) }
+func (c *Chronicle) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.rows)
+}
 
 // Total returns the number of rows ever appended, retained or not.
-func (c *Chronicle) Total() int64 { return c.dropped + int64(len(c.rows)) }
+func (c *Chronicle) Total() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dropped + int64(len(c.rows))
+}
 
 // Dropped returns the number of rows discarded by the retention window.
-func (c *Chronicle) Dropped() int64 { return c.dropped }
+func (c *Chronicle) Dropped() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dropped
+}
 
 // LastSN returns the largest sequence number appended to this chronicle,
 // or -1 if the chronicle is empty.
-func (c *Chronicle) LastSN() int64 { return c.lastSN }
+func (c *Chronicle) LastSN() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lastSN
+}
 
 // Scan visits every retained row in sequence order until fn returns false.
+// fn runs under the chronicle read lock and must not append.
 func (c *Chronicle) Scan(fn func(Row) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, r := range c.rows {
 		if !fn(r) {
 			return
@@ -183,7 +213,10 @@ func (c *Chronicle) Scan(fn func(Row) bool) {
 }
 
 // ScanRange visits retained rows with loSN <= SN < hiSN in sequence order.
+// fn runs under the chronicle read lock and must not append.
 func (c *Chronicle) ScanRange(loSN, hiSN int64, fn func(Row) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	// Rows are SN-sorted by construction; binary-search the start.
 	lo, hi := 0, len(c.rows)
 	for lo < hi {
@@ -202,8 +235,21 @@ func (c *Chronicle) ScanRange(loSN, hiSN int64, fn func(Row) bool) {
 }
 
 // Rows returns the retained rows. The result aliases internal storage and
-// must not be modified; it exists for baselines and tests.
+// must not be modified; it exists for baselines and tests that run with
+// appends quiesced. Concurrent readers use RowsCopy.
 func (c *Chronicle) Rows() []Row { return c.rows }
+
+// RowsCopy returns a copy of the retained rows taken under the chronicle
+// read lock: safe to hold while appends continue, and a consistent image
+// of the retention window at one instant.
+func (c *Chronicle) RowsCopy() []Row {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.rows) == 0 {
+		return nil
+	}
+	return append([]Row(nil), c.rows...)
+}
 
 // Restore loads retained rows and the dropped count during checkpoint
 // recovery. Rows must be in ascending sequence order; the group high-water
@@ -219,10 +265,14 @@ func (c *Chronicle) Restore(rows []Row, dropped int64) error {
 		}
 		last = r.SN
 	}
+	c.mu.Lock()
 	c.rows = append([]Row(nil), rows...)
 	c.dropped = dropped
 	if last >= 0 {
 		c.lastSN = last
+	}
+	c.mu.Unlock()
+	if last >= 0 {
 		c.group.RestoreLastSN(last)
 	}
 	return nil
@@ -324,8 +374,10 @@ func (g *Group) AppendBatchInto(sn, chronon int64, lsn uint64, parts []BatchPart
 		for i, t := range p.Tuples {
 			rows[i] = Row{SN: sn, Chronon: chronon, LSN: lsn, Vals: t}
 		}
+		p.C.mu.Lock()
 		p.C.store(rows)
 		p.C.lastSN = sn
+		p.C.mu.Unlock()
 		if existing, ok := out[p.C]; ok {
 			out[p.C] = append(existing, rows...)
 		} else {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chronicledb/internal/algebra"
@@ -41,6 +42,11 @@ type Config struct {
 	DispatchIndexed bool
 	// Clock supplies chronons for appends. Nil uses wall-clock nanoseconds.
 	Clock func() int64
+	// LockedReads restores the pre-snapshot read path: every read method
+	// acquires the engine-wide mutex, serializing queries against appends.
+	// It exists as the ablation baseline for the E17 experiment and has no
+	// production use.
+	LockedReads bool
 }
 
 // Stats aggregates engine-level counters.
@@ -80,10 +86,64 @@ type Engine struct {
 	stats    Stats
 	maintLat stats.Histogram // per-append view-maintenance latency
 
+	// cat is the atomically published catalog snapshot: immutable
+	// name→object maps rebuilt under e.mu on every DDL change. Read
+	// methods resolve names through it without touching e.mu, so queries
+	// never serialize against the append path. The objects themselves are
+	// individually synchronized (views publish COW snapshots; chronicles
+	// and relations carry their own read locks).
+	cat atomic.Pointer[catalog]
+
+	// Read-path metrics, updated with atomics so the lock-free read
+	// methods stay lock-free while still being observable.
+	readLookups atomic.Int64
+	readScans   atomic.Int64
+	readLat     stats.AtomicHistogram
+
 	// scratch is hot-path memory reused across mutations under e.mu. It
 	// never escapes a mutation: recorders encode synchronously, the
 	// chronicle copies retained rows, and views copy what they keep.
 	scratch appendScratch
+}
+
+// catalog is one immutable generation of the engine's name tables. A new
+// generation is built and published on every DDL statement; maps inside a
+// published catalog are never written again.
+type catalog struct {
+	groups     map[string]*chronicle.Group
+	chronicles map[string]*chronicle.Chronicle
+	relations  map[string]*relation.Relation
+	views      map[string]*view.View
+	periodics  map[string]*calendar.PeriodicView
+}
+
+// publishCatalogLocked snapshots the mutable catalog maps into a fresh
+// immutable generation for lock-free name resolution. Callers hold e.mu
+// exclusively (or have sole ownership, as in New).
+func (e *Engine) publishCatalogLocked() {
+	c := &catalog{
+		groups:     make(map[string]*chronicle.Group, len(e.groups)),
+		chronicles: make(map[string]*chronicle.Chronicle, len(e.chronicles)),
+		relations:  make(map[string]*relation.Relation, len(e.relations)),
+		views:      make(map[string]*view.View, len(e.views)),
+		periodics:  make(map[string]*calendar.PeriodicView, len(e.periodics)),
+	}
+	for n, g := range e.groups {
+		c.groups[n] = g
+	}
+	for n, ch := range e.chronicles {
+		c.chronicles[n] = ch
+	}
+	for n, r := range e.relations {
+		c.relations[n] = r
+	}
+	for n, v := range e.views {
+		c.views[n] = v
+	}
+	for n, pv := range e.periodics {
+		c.periodics[n] = pv
+	}
+	e.cat.Store(c)
 }
 
 // appendScratch backs the allocation-free append path.
@@ -128,7 +188,7 @@ func New(cfg Config) *Engine {
 	if cfg.Clock == nil {
 		cfg.Clock = func() int64 { return time.Now().UnixNano() }
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:        cfg,
 		groups:     make(map[string]*chronicle.Group),
 		chronicles: make(map[string]*chronicle.Chronicle),
@@ -142,6 +202,8 @@ func New(cfg Config) *Engine {
 			seen:   make(map[string]bool),
 		},
 	}
+	e.publishCatalogLocked()
+	return e
 }
 
 // SetRecorder installs the durable-mutation observer (the WAL hook).
@@ -216,6 +278,7 @@ func (e *Engine) CreateGroup(name string) (*chronicle.Group, error) {
 	}
 	g := chronicle.NewGroup(name)
 	e.groups[name] = g
+	e.publishCatalogLocked()
 	return g, nil
 }
 
@@ -246,6 +309,7 @@ func (e *Engine) CreateChronicle(name, groupName string, schema *value.Schema, r
 	}
 	e.groups[groupName] = g
 	e.chronicles[name] = c
+	e.publishCatalogLocked()
 	return c, nil
 }
 
@@ -262,6 +326,7 @@ func (e *Engine) CreateRelation(name string, schema *value.Schema, keyCols []int
 		return nil, err
 	}
 	e.relations[name] = r
+	e.publishCatalogLocked()
 	return r, nil
 }
 
@@ -276,6 +341,7 @@ func (e *Engine) AdoptRelation(r *relation.Relation) error {
 		return err
 	}
 	e.relations[r.Name()] = r
+	e.publishCatalogLocked()
 	return nil
 }
 
@@ -306,6 +372,7 @@ func (e *Engine) CreateView(def view.Def, kind view.StoreKind, filter pred.Predi
 	// Fold in any retained history so the view is current from creation.
 	e.backfill(v)
 	e.views[def.Name] = v
+	e.publishCatalogLocked()
 	return v, nil
 }
 
@@ -342,6 +409,7 @@ func (e *Engine) CreatePeriodicView(name string, def view.Def, cal calendar.Cale
 		return nil, err
 	}
 	e.periodics[name] = pv
+	e.publishCatalogLocked()
 	return pv, nil
 }
 
@@ -362,6 +430,7 @@ func (e *Engine) DropView(name string) error {
 	}
 	delete(e.names, name)
 	e.disp.Unregister(name)
+	e.publishCatalogLocked()
 	return nil
 }
 
@@ -711,61 +780,161 @@ func (e *Engine) GroupNames() []string {
 
 // Chronicle returns a chronicle by name.
 func (e *Engine) Chronicle(name string) (*chronicle.Chronicle, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	c, ok := e.chronicles[name]
+	c, ok := e.cat.Load().chronicles[name]
 	return c, ok
 }
 
 // Relation returns a relation by name.
 func (e *Engine) Relation(name string) (*relation.Relation, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	r, ok := e.relations[name]
+	r, ok := e.cat.Load().relations[name]
 	return r, ok
 }
 
-// View returns a persistent view by name. The handle itself is not
-// synchronized: callers that read it while other goroutines append must use
-// the engine's ViewLookup/ViewRows/ViewScanRange instead, which hold the
-// engine mutex.
+// View returns a persistent view by name. View read methods are
+// internally synchronized (B-tree views publish immutable snapshots, hash
+// views take a per-view read lock), so the handle may be used while other
+// goroutines append.
 func (e *Engine) View(name string) (*view.View, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	v, ok := e.views[name]
+	v, ok := e.cat.Load().views[name]
 	return v, ok
 }
 
-// ViewLookup answers a summary query from a persistent view by group key,
-// serialized against appends.
-func (e *Engine) ViewLookup(name string, key value.Tuple) (value.Tuple, bool, error) {
+// Read path. Every method below resolves names through the atomically
+// published catalog and reads object state through per-object
+// synchronization (view snapshots, chronicle/relation read locks) — none
+// of them touches e.mu, so summary queries never serialize against the
+// append hot path. The only exception is Config.LockedReads, the E17
+// ablation baseline, which restores the engine-wide read lock.
+//
+// Ownership rule: every tuple returned (or passed to a scan callback) by
+// these methods is caller-owned — the engine clones anything that would
+// otherwise alias store-owned memory, so callers may retain and mutate
+// results freely.
+
+// lockedReads acquires e.mu for the ablation baseline; the returned
+// function releases it. In the default configuration both are no-ops.
+func (e *Engine) lockedReads() func() {
+	if !e.cfg.LockedReads {
+		return func() {}
+	}
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	v, ok := e.views[name]
+	return e.mu.RUnlock
+}
+
+// ownedRow upholds the ownership rule: projection views hand out the
+// store's interned tuple (immutable, but shared), which is cloned before
+// it escapes; group-by rows are already materialized per call.
+func ownedRow(v *view.View, t value.Tuple) value.Tuple {
+	if v.Def().Mode == view.SummarizeProject {
+		return t.Clone()
+	}
+	return t
+}
+
+// ViewLookup answers a summary query from a persistent view by group key.
+// It runs lock-free against the view's latest published snapshot.
+func (e *Engine) ViewLookup(name string, key value.Tuple) (value.Tuple, bool, error) {
+	defer e.lockedReads()()
+	start := time.Now()
+	v, ok := e.cat.Load().views[name]
 	if !ok {
 		return nil, false, fmt.Errorf("engine: unknown view %q", name)
 	}
 	row, found := v.Lookup(key)
+	if found {
+		row = ownedRow(v, row)
+	}
+	e.readLookups.Add(1)
+	e.readLat.Observe(time.Since(start))
 	return row, found, nil
 }
 
-// ViewRows materializes a view's contents, serialized against appends.
-func (e *Engine) ViewRows(name string) ([]value.Tuple, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	v, ok := e.views[name]
+// ViewScanFunc streams a view's rows in group-key order until fn returns
+// false. Tuples passed to fn are caller-owned.
+func (e *Engine) ViewScanFunc(name string, fn func(value.Tuple) bool) error {
+	defer e.lockedReads()()
+	start := time.Now()
+	v, ok := e.cat.Load().views[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown view %q", name)
+		return fmt.Errorf("engine: unknown view %q", name)
 	}
-	return v.Rows(), nil
+	v.Scan(func(t value.Tuple) bool {
+		return fn(ownedRow(v, t))
+	})
+	e.readScans.Add(1)
+	e.readLat.Observe(time.Since(start))
+	return nil
 }
 
-// RelationRows materializes a relation's live tuples in key order,
-// serialized against updates.
+// ViewScanRangeFunc streams the view rows with group key in [lo, hi) in
+// ascending order until fn returns false. Tuples passed to fn are
+// caller-owned.
+func (e *Engine) ViewScanRangeFunc(name string, lo, hi value.Tuple, fn func(value.Tuple) bool) error {
+	defer e.lockedReads()()
+	start := time.Now()
+	v, ok := e.cat.Load().views[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown view %q", name)
+	}
+	v.ScanRange(lo, hi, func(t value.Tuple) bool {
+		return fn(ownedRow(v, t))
+	})
+	e.readScans.Add(1)
+	e.readLat.Observe(time.Since(start))
+	return nil
+}
+
+// ViewScanDescFunc streams a view's rows in descending group-key order —
+// the "latest N groups" access path: walk from the top and stop early.
+// Tuples passed to fn are caller-owned.
+func (e *Engine) ViewScanDescFunc(name string, fn func(value.Tuple) bool) error {
+	defer e.lockedReads()()
+	start := time.Now()
+	v, ok := e.cat.Load().views[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown view %q", name)
+	}
+	v.ScanDesc(func(t value.Tuple) bool {
+		return fn(ownedRow(v, t))
+	})
+	e.readScans.Add(1)
+	e.readLat.Observe(time.Since(start))
+	return nil
+}
+
+// ViewRows materializes a view's contents. The rows are caller-owned.
+func (e *Engine) ViewRows(name string) ([]value.Tuple, error) {
+	var out []value.Tuple
+	err := e.ViewScanFunc(name, func(t value.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ViewScanRange collects the view rows with group key in [lo, hi). The
+// rows are caller-owned.
+func (e *Engine) ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error) {
+	var out []value.Tuple
+	err := e.ViewScanRangeFunc(name, lo, hi, func(t value.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RelationRows materializes a relation's live tuples in key order. The
+// rows are caller-owned.
 func (e *Engine) RelationRows(name string) ([]value.Tuple, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	r, ok := e.relations[name]
+	defer e.lockedReads()()
+	start := time.Now()
+	r, ok := e.cat.Load().relations[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown relation %q", name)
 	}
@@ -774,43 +943,70 @@ func (e *Engine) RelationRows(name string) ([]value.Tuple, error) {
 		out = append(out, t.Clone())
 		return true
 	})
+	e.readScans.Add(1)
+	e.readLat.Observe(time.Since(start))
 	return out, nil
 }
 
-// ChronicleRows copies a chronicle's retained window, serialized against
-// appends.
+// ChronicleRows copies a chronicle's retained window under the
+// chronicle's own read lock. The rows are caller-owned.
 func (e *Engine) ChronicleRows(name string) ([]chronicle.Row, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	c, ok := e.chronicles[name]
+	defer e.lockedReads()()
+	start := time.Now()
+	c, ok := e.cat.Load().chronicles[name]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown chronicle %q", name)
 	}
-	return append([]chronicle.Row(nil), c.Rows()...), nil
+	rows := c.RowsCopy()
+	e.readScans.Add(1)
+	e.readLat.Observe(time.Since(start))
+	return rows, nil
 }
 
-// ViewScanRange collects the view rows with group key in [lo, hi),
-// serialized against appends.
-func (e *Engine) ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	v, ok := e.views[name]
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown view %q", name)
+// ReadStats reports the read-path counters and latency distribution.
+type ReadStats struct {
+	Lookups int64
+	Scans   int64
+	Latency stats.Snapshot
+}
+
+// ReadStats returns a copy of the read-path metrics.
+func (e *Engine) ReadStats() ReadStats {
+	return ReadStats{
+		Lookups: e.readLookups.Load(),
+		Scans:   e.readScans.Load(),
+		Latency: e.readLat.Snapshot(),
 	}
-	var out []value.Tuple
-	v.ScanRange(lo, hi, func(t value.Tuple) bool {
-		out = append(out, t)
-		return true
-	})
-	return out, nil
+}
+
+// ReadHistogram copies the raw read-latency histogram so the shard
+// router can Merge distributions across engines before summarizing.
+func (e *Engine) ReadHistogram() stats.Histogram {
+	return e.readLat.Histogram()
+}
+
+// ReadCounts returns the raw lookup and scan counters.
+func (e *Engine) ReadCounts() (lookups, scans int64) {
+	return e.readLookups.Load(), e.readScans.Load()
+}
+
+// OldestSnapshotUnixNano returns the publication time of the oldest live
+// view snapshot — how stale the worst-case lock-free read can be. Zero
+// means no view currently publishes a snapshot (no views, or all on the
+// hash store).
+func (e *Engine) OldestSnapshotUnixNano() int64 {
+	var oldest int64
+	for _, v := range e.cat.Load().views {
+		if at := v.SnapshotUnixNano(); at != 0 && (oldest == 0 || at < oldest) {
+			oldest = at
+		}
+	}
+	return oldest
 }
 
 // PeriodicView returns a periodic view family by name.
 func (e *Engine) PeriodicView(name string) (*calendar.PeriodicView, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	pv, ok := e.periodics[name]
+	pv, ok := e.cat.Load().periodics[name]
 	return pv, ok
 }
 

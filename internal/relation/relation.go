@@ -12,6 +12,7 @@ package relation
 
 import (
 	"fmt"
+	"sync"
 
 	"chronicledb/internal/btree"
 	"chronicledb/internal/value"
@@ -55,12 +56,17 @@ func (e *entry) asOf(lsn uint64) (value.Tuple, bool) {
 	return v.vals, v.vals != nil
 }
 
-// Relation is a keyed, versioned relation. It is not safe for concurrent
-// use; the engine serializes all access.
+// Relation is a keyed, versioned relation. Updates are serialized by the
+// engine; mu additionally lets read methods (Get, Scan, LookupBy, AsOf
+// variants) run concurrently with updates without the engine-wide lock.
 type Relation struct {
 	name    string
 	schema  *value.Schema
 	keyCols []int
+
+	// mu guards entries, live, and updates: version slices are appended in
+	// place, so readers cannot traverse them while an upsert runs.
+	mu      sync.RWMutex
 	entries *btree.Tree[string, *entry]
 	live    int  // number of keys with a live current version
 	history bool // retain superseded versions for AsOf lookups
@@ -107,10 +113,18 @@ func (r *Relation) Schema() *value.Schema { return r.schema }
 func (r *Relation) KeyCols() []int { return append([]int(nil), r.keyCols...) }
 
 // Len returns the number of live keys.
-func (r *Relation) Len() int { return r.live }
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live
+}
 
 // Updates returns the number of upserts and deletes ever applied.
-func (r *Relation) Updates() int64 { return r.updates }
+func (r *Relation) Updates() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.updates
+}
 
 // keyOf extracts the key string of a full tuple.
 func (r *Relation) keyOf(t value.Tuple) string { return t.Key(r.keyCols) }
@@ -137,6 +151,8 @@ func (r *Relation) Upsert(lsn uint64, t value.Tuple) error {
 		}
 	}
 	key := r.keyOf(t)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	e, ok := r.entries.Get(key)
 	if !ok {
 		e = &entry{}
@@ -154,6 +170,8 @@ func (r *Relation) Upsert(lsn uint64, t value.Tuple) error {
 // Delete removes the tuple with the given key values (in keyCols order),
 // effective at lsn. Deleting an absent key is a no-op that reports false.
 func (r *Relation) Delete(lsn uint64, keyVals value.Tuple) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	e, ok := r.entries.Get(r.KeyString(keyVals))
 	if !ok {
 		return false
@@ -183,6 +201,13 @@ func (r *Relation) push(e *entry, v version) {
 
 // Get returns the current tuple for the given key values.
 func (r *Relation) Get(keyVals value.Tuple) (value.Tuple, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.getLocked(keyVals)
+}
+
+// getLocked is Get without locking; the caller holds mu.
+func (r *Relation) getLocked(keyVals value.Tuple) (value.Tuple, bool) {
 	e, ok := r.entries.Get(r.KeyString(keyVals))
 	if !ok {
 		return nil, false
@@ -194,6 +219,8 @@ func (r *Relation) Get(keyVals value.Tuple) (value.Tuple, bool) {
 // the relation to have been created with history enabled; without history
 // it degrades to the current version (documented, for baselines only).
 func (r *Relation) GetAsOf(lsn uint64, keyVals value.Tuple) (value.Tuple, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	e, ok := r.entries.Get(r.KeyString(keyVals))
 	if !ok {
 		return nil, false
@@ -204,8 +231,16 @@ func (r *Relation) GetAsOf(lsn uint64, keyVals value.Tuple) (value.Tuple, bool) 
 	return e.asOf(lsn)
 }
 
-// Scan visits every live tuple in key order until fn returns false.
+// Scan visits every live tuple in key order until fn returns false. fn
+// runs under the relation read lock and must not call update methods.
 func (r *Relation) Scan(fn func(value.Tuple) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.scanLocked(fn)
+}
+
+// scanLocked is Scan without locking; the caller holds mu.
+func (r *Relation) scanLocked(fn func(value.Tuple) bool) {
 	r.entries.Ascend(func(_ string, e *entry) bool {
 		if t, ok := e.current(); ok {
 			return fn(t)
@@ -216,6 +251,8 @@ func (r *Relation) Scan(fn func(value.Tuple) bool) {
 
 // ScanAsOf visits every tuple live as of lsn in key order.
 func (r *Relation) ScanAsOf(lsn uint64, fn func(value.Tuple) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	r.entries.Ascend(func(_ string, e *entry) bool {
 		var t value.Tuple
 		var ok bool
@@ -236,6 +273,8 @@ func (r *Relation) ScanAsOf(lsn uint64, fn func(value.Tuple) bool) {
 // requires; otherwise it degrades to a scan (used only by plain CA cross
 // products, which are outside IM-log(R) anyway — Theorem 4.3).
 func (r *Relation) LookupBy(cols []int, vals value.Tuple) []value.Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.colsAreKey(cols) {
 		// Reorder vals into keyCols order.
 		ordered := make(value.Tuple, len(r.keyCols))
@@ -246,13 +285,13 @@ func (r *Relation) LookupBy(cols []int, vals value.Tuple) []value.Tuple {
 				}
 			}
 		}
-		if t, ok := r.Get(ordered); ok {
+		if t, ok := r.getLocked(ordered); ok {
 			return []value.Tuple{t}
 		}
 		return nil
 	}
 	var out []value.Tuple
-	r.Scan(func(t value.Tuple) bool {
+	r.scanLocked(func(t value.Tuple) bool {
 		for i, c := range cols {
 			if !value.Equal(t[c], vals[i]) {
 				return true

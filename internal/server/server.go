@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	chronicledb "chronicledb"
@@ -88,6 +89,7 @@ func NewWith(db *chronicledb.DB, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /exec", s.handleExec)
 	s.mux.HandleFunc("POST /append", s.handleAppend)
+	s.mux.HandleFunc("GET /latest", s.handleLatest)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	// Live profiling of the serving process: allocation and CPU profiles of
@@ -255,10 +257,43 @@ func tupleFromJSON(schema *value.Schema, raw []any) (value.Tuple, error) {
 	return out, nil
 }
 
+// handleLatest answers GET /latest?view=NAME&n=N: the view's last n rows
+// by group key, highest first — a descending walk over the view's
+// lock-free snapshot that stops after n rows. Dashboards poll it for
+// "most recent groups" without paying for a full materialization.
+func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("view")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing view parameter"))
+		return
+	}
+	n := 10
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("n must be a positive integer"))
+			return
+		}
+		n = parsed
+	}
+	v, ok := s.db.View(name)
+	if !ok {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown view %q", name))
+		return
+	}
+	rows, err := s.db.LatestViewRows(name, n)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(&chronicledb.Result{Columns: v.Schema().Names(), Rows: rows}))
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.db.Stats()
 	lat := s.db.MaintenanceLatency()
 	ws := s.db.WALStats()
+	rs := s.db.ReadStats()
 	body := map[string]any{
 		"shards":             s.db.Shards(),
 		"appends":            st.Appends,
@@ -269,7 +304,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"maintenance_p50_ns": int64(lat.P50),
 		"maintenance_p99_ns": int64(lat.P99),
 		"maintenance_max_ns": int64(lat.Max),
-		"read_only":          false,
+		// Read-path traffic: lookups and scans served off view snapshots,
+		// their latency distribution, and the worst-case snapshot staleness.
+		"read_lookups":    rs.Lookups,
+		"read_scans":      rs.Scans,
+		"read_p50_ns":     int64(rs.Latency.P50),
+		"read_p99_ns":     int64(rs.Latency.P99),
+		"read_max_ns":     int64(rs.Latency.Max),
+		"snapshot_age_ns": int64(s.db.SnapshotAge()),
+		"read_only":       false,
 		// Hot-path durability gauges: the commit_batch_* fields count
 		// records acked per fsync (group commit), not durations.
 		"allocs_per_append":  ws.AllocsPerOp,

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -76,6 +77,61 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 	if st["read_only"] != false {
 		t.Errorf("read_only = %v", st["read_only"])
+	}
+}
+
+func TestLatestEndpoint(t *testing.T) {
+	ts, c := newTestServer(t)
+	c.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`)
+	c.Exec(`CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct WITH STORE BTREE`)
+	for _, acct := range []string{"alice", "bob", "carol", "dave"} {
+		if _, err := c.Exec(`APPEND INTO calls VALUES ('` + acct + `', 5)`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var body struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}
+	resp, err := http.Get(ts.URL + "/latest?view=usage&n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	// Highest group keys first, capped at n.
+	if len(body.Rows) != 2 || body.Rows[0][0] != "dave" || body.Rows[1][0] != "carol" {
+		t.Errorf("latest rows = %v", body.Rows)
+	}
+	if body.Columns[0] != "acct" {
+		t.Errorf("columns = %v", body.Columns)
+	}
+	for _, bad := range []string{"/latest", "/latest?view=ghost", "/latest?view=usage&n=0", "/latest?view=usage&n=x"} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("GET %s succeeded", bad)
+		}
+	}
+
+	// The reads above show up in the stats read counters.
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["read_scans"].(float64) == 0 {
+		t.Errorf("read_scans = %v", st["read_scans"])
+	}
+	if _, ok := st["snapshot_age_ns"]; !ok {
+		t.Error("snapshot_age_ns missing from stats")
 	}
 }
 

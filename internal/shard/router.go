@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/engine"
+	"chronicledb/internal/keyenc"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
 	"chronicledb/internal/stats"
@@ -505,12 +507,35 @@ func (r *Router) homeOfView(name string) (*shardState, bool) {
 	return r.shards[idx], true
 }
 
-// Stats sums the per-shard engine counters plus router-level relation
-// updates.
+// scatter runs fn once per shard, concurrently, and waits for all of
+// them. Each shard's read path is independently synchronized (engine
+// reads run against per-view snapshots), so fan-out needs no router-level
+// lock; the gather half is whatever fn does with its shard's result —
+// callers write into a per-shard slot indexed by i. With one shard the
+// call is inlined to avoid the goroutine round-trip.
+func (r *Router) scatter(fn func(i int, e *engine.Engine)) {
+	if len(r.shards) == 1 {
+		fn(0, r.shards[0].eng)
+		return
+	}
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, e *engine.Engine) {
+			defer wg.Done()
+			fn(i, e)
+		}(i, s.eng)
+	}
+	wg.Wait()
+}
+
+// Stats sums the per-shard engine counters (gathered in parallel) plus
+// router-level relation updates.
 func (r *Router) Stats() engine.Stats {
+	per := make([]engine.Stats, len(r.shards))
+	r.scatter(func(i int, e *engine.Engine) { per[i] = e.Stats() })
 	var out engine.Stats
-	for _, s := range r.shards {
-		st := s.eng.Stats()
+	for _, st := range per {
 		out.Appends += st.Appends
 		out.TuplesAppended += st.TuplesAppended
 		out.RelationUpdates += st.RelationUpdates
@@ -524,10 +549,11 @@ func (r *Router) Stats() engine.Stats {
 // MaintenanceLatency merges every shard's maintenance-latency histogram
 // into one distribution (the SHOW STATS / HTTP gather path).
 func (r *Router) MaintenanceLatency() stats.Snapshot {
+	per := make([]stats.Histogram, len(r.shards))
+	r.scatter(func(i int, e *engine.Engine) { per[i] = e.MaintenanceHistogram() })
 	var merged stats.Histogram
-	for _, s := range r.shards {
-		h := s.eng.MaintenanceHistogram()
-		merged.Merge(&h)
+	for i := range per {
+		merged.Merge(&per[i])
 	}
 	return merged.Snapshot()
 }
@@ -536,10 +562,44 @@ func (r *Router) MaintenanceLatency() stats.Snapshot {
 // order.
 func (r *Router) ShardLatencies() []stats.Snapshot {
 	out := make([]stats.Snapshot, len(r.shards))
-	for i, s := range r.shards {
-		out[i] = s.eng.MaintenanceLatency()
-	}
+	r.scatter(func(i int, e *engine.Engine) { out[i] = e.MaintenanceLatency() })
 	return out
+}
+
+// ReadStats merges the per-shard read-path counters and latency
+// histograms into one view of query traffic.
+func (r *Router) ReadStats() engine.ReadStats {
+	lookups := make([]int64, len(r.shards))
+	scans := make([]int64, len(r.shards))
+	hists := make([]stats.Histogram, len(r.shards))
+	r.scatter(func(i int, e *engine.Engine) {
+		lookups[i], scans[i] = e.ReadCounts()
+		hists[i] = e.ReadHistogram()
+	})
+	var out engine.ReadStats
+	var merged stats.Histogram
+	for i := range r.shards {
+		out.Lookups += lookups[i]
+		out.Scans += scans[i]
+		merged.Merge(&hists[i])
+	}
+	out.Latency = merged.Snapshot()
+	return out
+}
+
+// OldestSnapshotUnixNano returns the publication time of the oldest live
+// view snapshot across every shard — the worst-case staleness bound of the
+// lock-free read path. Zero means no shard publishes a snapshot.
+func (r *Router) OldestSnapshotUnixNano() int64 {
+	per := make([]int64, len(r.shards))
+	r.scatter(func(i int, e *engine.Engine) { per[i] = e.OldestSnapshotUnixNano() })
+	var oldest int64
+	for _, at := range per {
+		if at != 0 && (oldest == 0 || at < oldest) {
+			oldest = at
+		}
+	}
+	return oldest
 }
 
 // LSN returns the current global logical sequence number.
@@ -634,6 +694,186 @@ func (r *Router) ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, 
 	return s.eng.ViewScanRange(name, lo, hi)
 }
 
+// ViewScanFunc streams a view's rows in group-key order from its home
+// shard's snapshot until fn returns false.
+func (r *Router) ViewScanFunc(name string, fn func(value.Tuple) bool) error {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return fmt.Errorf("engine: unknown view %q", name)
+	}
+	return s.eng.ViewScanFunc(name, fn)
+}
+
+// ViewScanRangeFunc streams the view rows with group key in [lo, hi) from
+// the view's home shard until fn returns false.
+func (r *Router) ViewScanRangeFunc(name string, lo, hi value.Tuple, fn func(value.Tuple) bool) error {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return fmt.Errorf("engine: unknown view %q", name)
+	}
+	return s.eng.ViewScanRangeFunc(name, lo, hi, fn)
+}
+
+// ViewScanDescFunc streams a view's rows in descending group-key order
+// from its home shard — the "latest N groups" access path.
+func (r *Router) ViewScanDescFunc(name string, fn func(value.Tuple) bool) error {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return fmt.Errorf("engine: unknown view %q", name)
+	}
+	return s.eng.ViewScanDescFunc(name, fn)
+}
+
+// MergedRow is one element of a cross-shard merged view scan: a row and
+// the view it came from, delivered in global group-key order.
+type MergedRow struct {
+	View string
+	Row  value.Tuple
+}
+
+// keyedRow pairs a row with its encoded group key for merging.
+type keyedRow struct {
+	key  []byte
+	view string
+	row  value.Tuple
+}
+
+// ViewScanRangeMerged streams rows from several views — typically the same
+// summary partitioned across shards by group — merged into one globally
+// key-ordered stream. One goroutine per involved shard walks that shard's
+// view snapshots (each already key-ordered by its B-tree) and merges its
+// local streams; the gather side then k-way merges the per-shard runs by
+// encoded group key, breaking ties by view name. lo and hi bound the group
+// key half-open range [lo, hi); nil hi means unbounded above, nil lo
+// unbounded below. Rows passed to fn are caller-owned.
+func (r *Router) ViewScanRangeMerged(names []string, lo, hi value.Tuple, fn func(MergedRow) bool) error {
+	byShard := make(map[int][]string)
+	r.mu.RLock()
+	for _, n := range names {
+		idx, ok := r.viewHome[n]
+		if !ok {
+			r.mu.RUnlock()
+			return fmt.Errorf("engine: unknown view %q", n)
+		}
+		byShard[idx] = append(byShard[idx], n)
+	}
+	r.mu.RUnlock()
+
+	var (
+		mu       sync.Mutex
+		runs     [][]keyedRow
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for idx, viewNames := range byShard {
+		wg.Add(1)
+		go func(e *engine.Engine, viewNames []string) {
+			defer wg.Done()
+			run, err := shardRun(e, viewNames, lo, hi)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			runs = append(runs, run)
+		}(r.shards[idx].eng, viewNames)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	mergeKeyed(runs, func(kr keyedRow) bool {
+		return fn(MergedRow{View: kr.view, Row: kr.row})
+	})
+	return nil
+}
+
+// ViewScanMerged is ViewScanRangeMerged over the full key range.
+func (r *Router) ViewScanMerged(names []string, fn func(MergedRow) bool) error {
+	return r.ViewScanRangeMerged(names, nil, nil, fn)
+}
+
+// shardRun collects one shard's contribution to a merged scan: each named
+// view's rows in key order (straight off its snapshot's B-tree iterator),
+// locally merged into a single key-ordered run.
+func shardRun(e *engine.Engine, names []string, lo, hi value.Tuple) ([]keyedRow, error) {
+	var loKey []byte
+	if lo != nil {
+		loKey = keyenc.AppendTuple(nil, lo)
+	}
+	streams := make([][]keyedRow, 0, len(names))
+	for _, n := range names {
+		v, ok := e.View(n)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown view %q", n)
+		}
+		// The group key is the row minus the trailing aggregate results
+		// (projection views have no aggregates: the whole row is the key).
+		aggs := len(v.Def().Aggs)
+		var rows []keyedRow
+		collect := func(t value.Tuple) bool {
+			key := keyenc.AppendTuple(nil, t[:len(t)-aggs])
+			if loKey != nil && bytes.Compare(key, loKey) < 0 {
+				return true
+			}
+			rows = append(rows, keyedRow{key: key, view: n, row: t})
+			return true
+		}
+		var err error
+		if hi != nil {
+			// An encoded range scan handles both bounds; loKey filtering
+			// above is then redundant but harmless.
+			err = e.ViewScanRangeFunc(n, lo, hi, collect)
+		} else {
+			err = e.ViewScanFunc(n, collect)
+		}
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, rows)
+	}
+	var run []keyedRow
+	mergeKeyed(streams, func(kr keyedRow) bool {
+		run = append(run, kr)
+		return true
+	})
+	return run, nil
+}
+
+// mergeKeyed k-way merges key-ordered runs into one key-ordered stream,
+// breaking key ties by view name so output is deterministic regardless of
+// which shard goroutine finished first. Runs are few (≤ shard count), so a
+// linear scan per emit beats a heap.
+func mergeKeyed(runs [][]keyedRow, emit func(keyedRow) bool) {
+	heads := make([]int, len(runs))
+	for {
+		best := -1
+		for i, run := range runs {
+			if heads[i] >= len(run) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			a, b := run[heads[i]], runs[best][heads[best]]
+			if c := bytes.Compare(a.key, b.key); c < 0 || (c == 0 && a.view < b.view) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		if !emit(runs[best][heads[best]]) {
+			return
+		}
+		heads[best]++
+	}
+}
+
 // RelationRows materializes a relation's live tuples in key order,
 // serialized against relation updates by the epoch gate.
 func (r *Router) RelationRows(name string) ([]value.Tuple, error) {
@@ -661,9 +901,11 @@ func (r *Router) ChronicleRows(name string) ([]chronicle.Row, error) {
 }
 
 func (r *Router) gatherNames(get func(*engine.Engine) []string) []string {
+	per := make([][]string, len(r.shards))
+	r.scatter(func(i int, e *engine.Engine) { per[i] = get(e) })
 	var out []string
-	for _, s := range r.shards {
-		out = append(out, get(s.eng)...)
+	for _, names := range per {
+		out = append(out, names...)
 	}
 	sort.Strings(out)
 	return out

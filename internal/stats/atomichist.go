@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHistogram is a Histogram variant safe for concurrent Observe
+// without any lock: the lock-free read path records its latency here from
+// many goroutines at once. Counters are independent atomics, so a
+// concurrent Snapshot is an approximation (bucket sums and count may be
+// skewed by in-flight observations), which is fine for monitoring.
+//
+// Min is not tracked — maintaining a racing min would need a CAS loop on
+// the hot path for a statistic the read metrics never surface.
+type AtomicHistogram struct {
+	buckets [bucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one duration (negative durations count as zero).
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *AtomicHistogram) Count() uint64 { return h.count.Load() }
+
+// Histogram copies the atomic counters into a plain Histogram for
+// summarizing or merging. Min is reported as 0 (untracked).
+func (h *AtomicHistogram) Histogram() Histogram {
+	var out Histogram
+	for i := range h.buckets {
+		out.buckets[i] = h.buckets[i].Load()
+	}
+	out.count = h.count.Load()
+	out.sum = h.sum.Load()
+	out.max = h.max.Load()
+	return out
+}
+
+// Snapshot summarizes the histogram.
+func (h *AtomicHistogram) Snapshot() Snapshot {
+	hist := h.Histogram()
+	return hist.Snapshot()
+}

@@ -25,8 +25,12 @@ const (
 	checkpointVersion = 1
 )
 
-// Checkpoint serializes the view's materialized state.
+// Checkpoint serializes the view's materialized state. It holds the view
+// read lock, so it sees batch boundaries only, never a half-applied
+// maintenance batch.
 func (v *View) Checkpoint() []byte {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	var b []byte
 	b = append(b, checkpointMagic...)
 	b = append(b, checkpointVersion)
@@ -113,7 +117,10 @@ func (v *View) RestoreCheckpoint(data []byte) error {
 	if off != len(data) {
 		return fmt.Errorf("view %s: %d trailing checkpoint bytes", v.def.Name, len(data)-off)
 	}
+	v.mu.Lock()
 	v.store = fresh
+	v.publishLocked()
+	v.mu.Unlock()
 	return nil
 }
 

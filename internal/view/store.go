@@ -12,10 +12,29 @@ import (
 // entry is one materialized view row: the group values (or projected
 // tuple), the per-group aggregation states, and a contribution count used
 // for refcounted duplicate elimination in projection views.
+//
+// epoch stamps the publication epoch the entry was created (or last
+// copied) in. B-tree stores publish an immutable snapshot after every
+// maintenance batch; an entry whose epoch predates the view's current
+// write epoch is reachable from a published snapshot and must be cloned
+// before mutation so lock-free readers never observe a partial update.
+// Hash stores never publish snapshots and leave epoch at zero.
 type entry struct {
 	vals   value.Tuple
 	states []aggregate.State
 	count  int64
+	epoch  uint64
+}
+
+// clone returns a mutable copy of the entry stamped with the given epoch.
+// vals is shared: it is assigned once at entry creation and never mutated
+// in place, so snapshot readers and the live store can alias it safely.
+func (e *entry) clone(epoch uint64) *entry {
+	c := &entry{vals: e.vals, count: e.count, epoch: epoch}
+	if e.states != nil {
+		c.states = aggregate.CloneStates(e.states)
+	}
+	return c
 }
 
 // StoreKind selects the view's group store. The paper's Theorem 4.4 bound,
@@ -46,6 +65,10 @@ func (k StoreKind) String() string {
 type store interface {
 	get(key []byte) (*entry, bool)
 	set(key []byte, e *entry)
+	// replace re-points an existing key at a new entry without copying the
+	// key (the COW path swaps entries on every first touch per epoch). The
+	// key must already be present.
+	replace(key []byte, e *entry)
 	len() int
 	// ascend visits entries; the B-tree store visits in key order, the hash
 	// store sorts keys on demand (acceptable: scans are query-side).
@@ -67,6 +90,7 @@ type hashStore struct {
 // without materializing the string — the zero-allocation hot path.
 func (h *hashStore) get(key []byte) (*entry, bool) { e, ok := h.m[string(key)]; return e, ok }
 func (h *hashStore) set(key []byte, e *entry)      { h.m[string(key)] = e }
+func (h *hashStore) replace(key []byte, e *entry)  { h.m[string(key)] = e }
 func (h *hashStore) len() int                      { return len(h.m) }
 
 func (h *hashStore) ascend(fn func([]byte, *entry) bool) {
@@ -90,6 +114,14 @@ func (t *treeStore) get(key []byte) (*entry, bool) { return t.t.Get(key) }
 
 func (t *treeStore) set(key []byte, e *entry) {
 	t.t.Set(append([]byte(nil), key...), e)
+}
+
+// replace overwrites the value under an existing key. The tree keeps the
+// key bytes it stored at insert time (Set does not retain the probe key
+// when the key is already present), so the caller's scratch buffer is
+// safe to pass without copying.
+func (t *treeStore) replace(key []byte, e *entry) {
+	t.t.Set(key, e)
 }
 
 func (t *treeStore) len() int { return t.t.Len() }

@@ -18,9 +18,13 @@ package view
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"chronicledb/internal/aggregate"
 	"chronicledb/internal/algebra"
+	"chronicledb/internal/btree"
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/keyenc"
 	"chronicledb/internal/value"
@@ -66,14 +70,44 @@ type Stats struct {
 	Touched   int64 // view entries created or updated
 }
 
+// snapshot is an immutable, atomically published image of a B-tree view
+// store. The tree shares nodes with the live store via copy-on-write and
+// is never mutated after publication, so readers traverse it without any
+// locks while maintenance keeps writing to the live tree.
+type snapshot struct {
+	tree *btree.Tree[[]byte, *entry]
+	at   int64 // publication time, UnixNano
+}
+
 // View is a materialized persistent view with incremental maintenance.
-// Views are not safe for concurrent use; the engine serializes access.
+//
+// Concurrency model: maintenance (Apply/ApplyRows/RestoreCheckpoint) is
+// serialized by the engine and takes mu exclusively. B-tree views publish
+// an immutable copy-on-write snapshot after every maintenance batch;
+// Lookup/Scan/ScanRange read the latest snapshot with zero locks. Hash
+// views (the zero-allocation maintenance fast path) have no ordered
+// snapshot; their readers take mu.RLock, which still never touches the
+// engine-wide lock.
 type View struct {
 	def    Def
 	schema *value.Schema
 	store  store
 	info   algebra.Info
 	stats  Stats
+
+	// mu guards the live store, stats, and scratch. Writers (maintenance,
+	// restore) hold it exclusively; only hash-store readers need RLock.
+	mu sync.RWMutex
+	// snap is the latest published snapshot; nil for hash stores. Entries
+	// reachable from it are frozen: the maintenance path clones an entry
+	// before its first mutation in each epoch (see entry.epoch).
+	snap atomic.Pointer[snapshot]
+	// epoch is the current write epoch, bumped at each publication. Only
+	// meaningful when cow is true.
+	epoch uint64
+	// cow reports whether the store is a B-tree that publishes snapshots
+	// and therefore needs entry-level copy-on-write.
+	cow bool
 
 	// Hot-path scratch, reused across maintenance batches. keyBuf holds the
 	// encoded group key being probed (the store copies it only on insert);
@@ -136,12 +170,37 @@ func New(def Def, kind StoreKind) (*View, error) {
 	default:
 		return nil, fmt.Errorf("view %s: unknown summarization mode %d", def.Name, def.Mode)
 	}
-	return &View{
+	v := &View{
 		def:    def,
 		schema: schema,
 		store:  newStore(kind),
 		info:   algebra.Analyze(def.Expr),
-	}, nil
+		cow:    kind == StoreBTree,
+	}
+	v.publishLocked()
+	return v, nil
+}
+
+// publishLocked snapshots the live B-tree store and publishes it for
+// lock-free readers, then opens a new write epoch so the next mutation of
+// any published entry copies it first. Callers must hold mu exclusively
+// (or have sole ownership, as in New). Hash stores publish nothing.
+func (v *View) publishLocked() {
+	ts, ok := v.store.(*treeStore)
+	if !ok {
+		return
+	}
+	v.snap.Store(&snapshot{tree: ts.t.Clone(), at: time.Now().UnixNano()})
+	v.epoch++
+}
+
+// SnapshotUnixNano returns the publication time of the current snapshot,
+// or 0 when the view has none (hash store).
+func (v *View) SnapshotUnixNano() int64 {
+	if s := v.snap.Load(); s != nil {
+		return s.at
+	}
+	return 0
 }
 
 // Name returns the view's name.
@@ -165,10 +224,22 @@ func (v *View) Lang() algebra.Lang { return v.info.Lang }
 func (v *View) IMClass() algebra.IMClass { return v.info.IMClass() }
 
 // Stats returns maintenance counters.
-func (v *View) Stats() Stats { return v.stats }
+func (v *View) Stats() Stats {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.stats
+}
 
-// Len returns the number of rows currently in the view.
-func (v *View) Len() int { return v.store.len() }
+// Len returns the number of rows currently in the view. B-tree views
+// answer from the published snapshot without locking.
+func (v *View) Len() int {
+	if s := v.snap.Load(); s != nil {
+		return s.tree.Len()
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.store.len()
+}
 
 // Apply folds one append batch into the view: it computes the expression
 // delta and maintains the materialization. This is the per-transaction
@@ -181,8 +252,14 @@ func (v *View) Apply(d algebra.BatchDelta) {
 }
 
 // ApplyRows folds precomputed expression delta rows into the view. The
-// engine uses it when several views share one expression delta.
+// engine uses it when several views share one expression delta. On B-tree
+// views the batch ends by publishing a fresh immutable snapshot, making
+// the whole batch visible to lock-free readers atomically: a reader holds
+// either the pre-batch snapshot or the post-batch one, never a partially
+// applied state.
 func (v *View) ApplyRows(rows []chronicle.Row) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.stats.Applies++
 	v.stats.DeltaRows += int64(len(rows))
 	switch v.def.Mode {
@@ -193,8 +270,13 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 			v.keyBuf = keyenc.AppendCols(v.keyBuf[:0], r.Vals, v.def.Cols)
 			e, ok := v.store.get(v.keyBuf)
 			if !ok {
-				e = &entry{vals: r.Vals.Project(v.def.Cols)}
+				e = &entry{vals: r.Vals.Project(v.def.Cols), epoch: v.epoch}
 				v.store.set(v.keyBuf, e)
+			} else if v.cow && e.epoch != v.epoch {
+				// First touch this epoch: the entry is frozen in the
+				// published snapshot; mutate a copy instead.
+				e = e.clone(v.epoch)
+				v.store.replace(v.keyBuf, e)
 			}
 			e.count++
 			v.stats.Touched++
@@ -207,14 +289,19 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 				e = &entry{
 					vals:   r.Vals.Project(v.def.GroupCols),
 					states: aggregate.NewStates(v.def.Aggs),
+					epoch:  v.epoch,
 				}
 				v.store.set(v.keyBuf, e)
+			} else if v.cow && e.epoch != v.epoch {
+				e = e.clone(v.epoch)
+				v.store.replace(v.keyBuf, e)
 			}
 			aggregate.Apply(e.states, v.def.Aggs, r.Vals)
 			e.count++
 			v.stats.Touched++
 		}
 	}
+	v.publishLocked()
 }
 
 // Lookup returns the view row whose group (or projected tuple) equals key.
@@ -222,12 +309,22 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 // projection views it is the full projected tuple. This is the paper's
 // summary query: answered from the view, never from the chronicle.
 func (v *View) Lookup(key value.Tuple) (value.Tuple, bool) {
-	// Lookups run concurrently under the engine's read lock, so the probe
-	// key is built in a pooled buffer, not the view's maintenance scratch.
+	// Lookups run concurrently with maintenance, so the probe key is built
+	// in a pooled buffer, not the view's maintenance scratch.
 	buf := keyenc.GetBuf()
+	defer keyenc.PutBuf(buf)
 	*buf = keyenc.AppendTuple(*buf, key)
+	if s := v.snap.Load(); s != nil {
+		// Lock-free: the snapshot tree and every entry in it are frozen.
+		e, ok := s.tree.Get(*buf)
+		if !ok || e.count == 0 {
+			return nil, false
+		}
+		return v.rowOf(e), true
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	e, ok := v.store.get(*buf)
-	keyenc.PutBuf(buf)
 	if !ok || e.count == 0 {
 		return nil, false
 	}
@@ -246,8 +343,9 @@ func (v *View) ScanRange(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 	loKey := keyenc.AppendTuple(*loBuf, lo)
 	hiKey := keyenc.AppendTuple(*hiBuf, hi)
 	*loBuf, *hiBuf = loKey, hiKey
-	if ts, ok := v.store.(*treeStore); ok {
-		ts.t.AscendRange(loKey, hiKey, func(_ []byte, e *entry) bool {
+	if s := v.snap.Load(); s != nil {
+		// Lock-free ordered range scan over the frozen snapshot.
+		s.tree.AscendRange(loKey, hiKey, func(_ []byte, e *entry) bool {
 			if e.count == 0 {
 				return true
 			}
@@ -255,6 +353,8 @@ func (v *View) ScanRange(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 		})
 		return
 	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	v.store.ascend(func(k []byte, e *entry) bool {
 		if e.count == 0 || bytes.Compare(k, loKey) < 0 || bytes.Compare(k, hiKey) >= 0 {
 			return true
@@ -263,10 +363,83 @@ func (v *View) ScanRange(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 	})
 }
 
+// ScanRangeDesc visits the same half-open window as ScanRange in
+// descending group-key order — "latest N" style queries walk it and stop
+// early. The hash store has no order and falls back to a sorted, filtered
+// full scan.
+func (v *View) ScanRangeDesc(lo, hi value.Tuple, fn func(value.Tuple) bool) {
+	loBuf, hiBuf := keyenc.GetBuf(), keyenc.GetBuf()
+	defer keyenc.PutBuf(loBuf)
+	defer keyenc.PutBuf(hiBuf)
+	loKey := keyenc.AppendTuple(*loBuf, lo)
+	hiKey := keyenc.AppendTuple(*hiBuf, hi)
+	*loBuf, *hiBuf = loKey, hiKey
+	if s := v.snap.Load(); s != nil {
+		s.tree.DescendRange(loKey, hiKey, func(_ []byte, e *entry) bool {
+			if e.count == 0 {
+				return true
+			}
+			return fn(v.rowOf(e))
+		})
+		return
+	}
+	v.descendFallback(loKey, hiKey, true, fn)
+}
+
+// ScanDesc visits every view row in descending group-key order until fn
+// returns false.
+func (v *View) ScanDesc(fn func(value.Tuple) bool) {
+	if s := v.snap.Load(); s != nil {
+		s.tree.Descend(func(_ []byte, e *entry) bool {
+			if e.count == 0 {
+				return true
+			}
+			return fn(v.rowOf(e))
+		})
+		return
+	}
+	v.descendFallback(nil, nil, false, fn)
+}
+
+// descendFallback emulates a descending scan on a store without ordered
+// iteration by materializing the keys in order and walking them backwards
+// under the read lock.
+func (v *View) descendFallback(loKey, hiKey []byte, bounded bool, fn func(value.Tuple) bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var rows []*entry
+	v.store.ascend(func(k []byte, e *entry) bool {
+		if e.count == 0 {
+			return true
+		}
+		if bounded && (bytes.Compare(k, loKey) < 0 || bytes.Compare(k, hiKey) >= 0) {
+			return true
+		}
+		rows = append(rows, e)
+		return true
+	})
+	for i := len(rows) - 1; i >= 0; i-- {
+		if !fn(v.rowOf(rows[i])) {
+			return
+		}
+	}
+}
+
 // Scan visits every view row until fn returns false. The B-tree store
 // yields group-key order; the hash store yields an arbitrary but complete
 // order.
 func (v *View) Scan(fn func(value.Tuple) bool) {
+	if s := v.snap.Load(); s != nil {
+		s.tree.Ascend(func(_ []byte, e *entry) bool {
+			if e.count == 0 {
+				return true
+			}
+			return fn(v.rowOf(e))
+		})
+		return
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	v.store.ascend(func(_ []byte, e *entry) bool {
 		if e.count == 0 {
 			return true
