@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-allocs bench-reads experiments fuzz examples torture clean
+.PHONY: all build test race vet check cover bench bench-allocs bench-reads experiments fuzz examples torture chaos clean
 
 all: check
 
@@ -25,6 +25,16 @@ vet:
 torture:
 	$(GO) test -race -count=1 -run 'TestCrashTorture' -v .
 
+# chaos is the network-torture gate: concurrent retrying clients push
+# idempotent appends through a fault-injecting transport and a chaos TCP
+# proxy (dropped requests, responses lost after apply, duplicated
+# deliveries, connections reset mid-body) across a mid-run power cut, and
+# the harness asserts exactly-once totals — plus the dedup-disabled
+# ablation over-applying. -count=1 defeats caching: this is the gate for
+# ingestion-reliability changes and must actually run.
+chaos:
+	$(GO) test -race -count=1 -run 'TestNetworkChaos' -v .
+
 # bench-allocs is the allocation-regression gate: the AllocsPerRun guards
 # pin the hot path's steady-state allocation counts (zero for the micro
 # paths, a small fixed budget end-to-end), and the append benchmarks print
@@ -43,9 +53,9 @@ bench-reads:
 
 # check is the gate for every change: static analysis plus the full suite
 # under the race detector (the sharded kernel is concurrent by design),
-# plus the crash-torture enumeration and the allocation-regression guards
-# for both the append and read hot paths.
-check: build vet race torture bench-allocs bench-reads
+# plus the crash-torture enumeration, the network-torture harness, and the
+# allocation-regression guards for both the append and read hot paths.
+check: build vet race torture chaos bench-allocs bench-reads
 
 cover:
 	$(GO) test -cover ./...

@@ -5,6 +5,8 @@
 //	chronicled [-addr :7457] [-dir /var/lib/chronicledb] [-sync]
 //	           [-retain all|none|N] [-checkpoint-every N] [-shards N]
 //	           [-request-timeout 30s] [-max-body 8388608] [-drain-timeout 10s]
+//	           [-max-inflight N] [-max-queue N] [-retry-after 1s]
+//	           [-dedup-cap N] [-dedup-disabled]
 //
 // With -dir, the database is durable: appends hit the WAL before views are
 // maintained, and every N appends (default 10000) the server checkpoints
@@ -47,6 +49,11 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout")
 		maxBody    = flag.Int64("max-body", 8<<20, "maximum request body bytes")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+		maxInFl    = flag.Int("max-inflight", 0, "concurrent writes admitted before queueing (0 = default 64)")
+		maxQueue   = flag.Int("max-queue", 0, "writes queued beyond in-flight before 429 shedding (0 = default 128)")
+		retryAfter = flag.Duration("retry-after", 0, "Retry-After hint on shed requests (0 = default 1s)")
+		dedupCap   = flag.Int("dedup-cap", 0, "idempotency dedup entries retained per shard (0 = default 65536)")
+		dedupOff   = flag.Bool("dedup-disabled", false, "disable idempotent-append dedup (at-least-once ingestion)")
 	)
 	flag.Parse()
 
@@ -59,6 +66,8 @@ func main() {
 		SyncWAL:          *sync,
 		Shards:           *shards,
 		DefaultRetention: retention,
+		DedupCap:         *dedupCap,
+		DedupDisabled:    *dedupOff,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -101,7 +110,13 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("chronicled listening on %s (dir=%q retain=%s shards=%d)", *addr, *dir, *retain, *shards)
-	srv := server.NewWith(db, server.Config{MaxBodyBytes: *maxBody, RequestTimeout: *reqTimeout})
+	srv := server.NewWith(db, server.Config{
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInFl,
+		MaxQueue:       *maxQueue,
+		RetryAfter:     *retryAfter,
+	})
 	err = server.Serve(ctx, ln, srv, *reqTimeout, *drain)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

@@ -11,6 +11,7 @@ import (
 
 	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
+	"chronicledb/internal/dedup"
 	"chronicledb/internal/engine"
 	"chronicledb/internal/fault"
 	"chronicledb/internal/pred"
@@ -69,6 +70,13 @@ type Options struct {
 	// the real OS; tests inject a fault.Disk to simulate power cuts,
 	// fsync failures, and disk-full conditions.
 	FS fault.FS
+	// DedupCap bounds the idempotency table (entries per shard engine).
+	// Zero means the default (64Ki entries).
+	DedupCap int
+	// DedupDisabled turns off request deduplication: AppendRowsIdem applies
+	// every delivery unconditionally (at-least-once). Ablation baseline for
+	// the E18 experiment; leave false in production.
+	DedupDisabled bool
 }
 
 // Retention re-exports the chronicle retention policy.
@@ -105,11 +113,17 @@ type Kernel interface {
 
 	Append(chronicleName string, tuples []value.Tuple) (int64, error)
 	AppendEach(chronicleName string, tuples []value.Tuple) (first, last int64, err error)
+	AppendEachIdem(chronicleName string, tuples []value.Tuple, clientID, requestID string) (first, last int64, deduped bool, err error)
+	AppendEachAt(chronicleName string, firstSN, chronon int64, tuples []value.Tuple, clientID, requestID string) error
 	AppendBatch(parts []engine.MutationPart) (int64, error)
 	AppendAt(chronicleName string, sn, chronon int64, tuples []value.Tuple) (int64, error)
 	AppendBatchAt(parts []engine.MutationPart, sn, chronon int64) (int64, error)
 	Upsert(relationName string, t value.Tuple) error
 	DeleteKey(relationName string, keyVals value.Tuple) (bool, error)
+
+	DedupEntries() []dedup.Entry
+	RestoreDedupEntry(ent dedup.Entry)
+	DedupStats() (entries int, hits int64, evictions int64)
 
 	Stats() engine.Stats
 	MaintenanceLatency() stats.Snapshot
@@ -189,6 +203,8 @@ func Open(opts Options) (*DB, error) {
 		DispatchIndexed:  !opts.NoDispatchIndex,
 		LockedReads:      opts.LockedReads,
 		Clock:            opts.Clock,
+		DedupCap:         opts.DedupCap,
+		DedupDisabled:    opts.DedupDisabled,
 	}
 	if opts.Shards > 0 {
 		r, err := shard.NewRouter(shard.Config{Shards: opts.Shards, Engine: ecfg})
@@ -366,6 +382,15 @@ func (db *DB) recorder(log *wal.Log) func(engine.Mutation) error {
 		switch m.Kind {
 		case engine.MutAppend:
 			rec.Kind = wal.RecAppend
+			parts = parts[:0]
+			for _, p := range m.Parts {
+				parts = append(parts, wal.Part{Chronicle: p.Chronicle, Tuples: p.Tuples})
+			}
+			rec.Parts = parts
+		case engine.MutAppendEach:
+			rec.Kind = wal.RecAppendEach
+			rec.ClientID = m.ClientID
+			rec.RequestID = m.RequestID
 			parts = parts[:0]
 			for _, p := range m.Parts {
 				parts = append(parts, wal.Part{Chronicle: p.Chronicle, Tuples: p.Tuples})
@@ -585,6 +610,32 @@ func (db *DB) AppendRows(chronicleName string, tuples []value.Tuple) (first, las
 		return 0, 0, err
 	}
 	return db.eng.AppendEach(chronicleName, tuples)
+}
+
+// AppendRowsIdem is AppendRows with exactly-once semantics: a request
+// already applied under the same (clientID, requestID) — including in a
+// previous process life — returns its original sequence-number range with
+// deduped=true instead of re-applying. The run is atomic (one WAL record
+// covers the rows and the dedup entry), so a crash mid-request leaves
+// either the whole request durable or none of it.
+//
+// The write gate runs before the dedup lookup on purpose: after a commit
+// failure latches the DB read-only, a retry must see ErrReadOnly — never a
+// stored ack for rows whose durability was not acknowledged.
+func (db *DB) AppendRowsIdem(chronicleName string, tuples []value.Tuple, clientID, requestID string) (first, last int64, deduped bool, err error) {
+	if err := db.writeGate(); err != nil {
+		return 0, 0, false, err
+	}
+	if clientID == "" || requestID == "" {
+		return 0, 0, false, fmt.Errorf("chronicledb: idempotent append needs a client id and request id")
+	}
+	return db.eng.AppendEachIdem(chronicleName, tuples, clientID, requestID)
+}
+
+// DedupStats reports the idempotency table's observability counters
+// (summed across shards when sharded).
+func (db *DB) DedupStats() (entries int, hits int64, evictions int64) {
+	return db.eng.DedupStats()
 }
 
 // Upsert applies a proactive relation update.

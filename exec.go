@@ -440,6 +440,7 @@ func (db *DB) show(what string) (*Result, error) {
 		lat := db.eng.MaintenanceLatency()
 		ws := db.WALStats()
 		rs := db.ReadStats()
+		dedupEntries, dedupHits, dedupEvictions := db.DedupStats()
 		snapAge := "no snapshots"
 		if age := db.SnapshotAge(); age > 0 {
 			snapAge = fmt.Sprintf("%.1fms", float64(age)/1e6)
@@ -462,6 +463,9 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("wal_fsyncs"), value.Int(ws.Fsyncs)},
 				{value.Str("fsyncs_per_sec"), value.Str(fmt.Sprintf("%.1f", ws.FsyncsPerSec))},
 				{value.Str("commit_batch_records"), value.Str(formatBatchSnapshot(ws.Batches))},
+				{value.Str("dedup_entries"), value.Int(int64(dedupEntries))},
+				{value.Str("dedup_hits"), value.Int(dedupHits)},
+				{value.Str("dedup_evictions"), value.Int(dedupEvictions)},
 			},
 		}, nil
 	default:

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/fault"
+	"chronicledb/internal/server"
+)
+
+// RunE18 — exactly-once ingestion under network chaos. Each cell pushes a
+// fixed number of logical append requests through a fault-injecting
+// transport that loses responses after the server has applied them and
+// duplicates deliveries, with the client retrying under the same request
+// id. With the dedup table on, retries and duplicates are absorbed and the
+// applied row count equals the logical request count exactly; the
+// at-least-once ablation (Options.DedupDisabled) re-applies every ambiguous
+// delivery, and the overshoot is the measured cost of not having the dedup
+// table. Chronicle ingestion feeds materialized views, so every
+// over-applied row is a permanently wrong SUM/COUNT downstream (Section 2's
+// correctness requirement for view maintenance).
+func RunE18(cfg Config) (*Table, error) {
+	requests := 400
+	if cfg.Quick {
+		requests = 100
+	}
+	t := &Table{
+		ID:     "E18",
+		Title:  "exactly-once ingestion under network chaos",
+		Claim:  "with responses lost after apply and deliveries duplicated, idempotent retries against the persisted dedup table apply each logical request exactly once; the dedup-disabled ablation over-applies in proportion to the ambiguous-fault rate",
+		Header: []string{"mode", "drop_resp", "duplicate", "requests", "applied", "over-applied", "dedup hits", "req/sec"},
+	}
+	for _, faults := range []struct{ dropResp, dup float64 }{
+		{0.05, 0.02},
+		{0.15, 0.08},
+	} {
+		for _, disabled := range []bool{false, true} {
+			row, err := e18Cell(requests, faults.dropResp, faults.dup, disabled)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"each cell: in-memory DB behind a real HTTP server; one client issues logical requests through a fault-injecting transport (seeded), retrying each request under the same (client_id, request_id) until acked",
+		"drop_resp loses the response after the server fully applied the request — the failure a client cannot distinguish from a lost request; duplicate delivers the request twice",
+		"over-applied = applied rows − logical requests; exactly-once rows must show 0, the ablation's overshoot tracks the injected ambiguous faults",
+		fmt.Sprintf("%d logical requests of 1 row per cell; TestNetworkChaos is the adversarial version: concurrent clients, a chaos TCP proxy, and a mid-run power cut", requests))
+	return t, nil
+}
+
+// e18Cell measures one (fault rates, dedup mode) combination.
+func e18Cell(requests int, dropResp, dup float64, disabled bool) ([]string, error) {
+	db, err := chronicledb.Open(chronicledb.Options{DedupDisabled: disabled})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT) RETAIN ALL`); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(server.New(db))
+	defer ts.Close()
+
+	chaos := fault.NewNetChaos(18)
+	chaos.DropResponse = dropResp
+	chaos.Duplicate = dup
+
+	c := server.NewClientWith(ts.URL, server.ClientConfig{
+		ClientID:         "e18",
+		MaxAttempts:      8,
+		BaseBackoff:      200 * time.Microsecond,
+		MaxBackoff:       2 * time.Millisecond,
+		BreakerThreshold: -1,
+		Transport:        &fault.ChaosTransport{Chaos: chaos},
+	})
+
+	start := time.Now()
+	for m := 0; m < requests; m++ {
+		rid := fmt.Sprintf("m%d", m)
+		for {
+			if _, err := c.AppendRowsIdem("calls", [][]any{{"a", 1}}, rid); err == nil {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	res, err := db.Exec(`SELECT * FROM calls`)
+	if err != nil {
+		return nil, err
+	}
+	applied := len(res.Rows)
+	_, hits, _ := db.DedupStats()
+	mode := "exactly-once"
+	if disabled {
+		mode = "at-least-once"
+	}
+	return []string{
+		mode,
+		fmt.Sprintf("%.0f%%", dropResp*100),
+		fmt.Sprintf("%.0f%%", dup*100),
+		fmt.Sprintf("%d", requests),
+		fmt.Sprintf("%d", applied),
+		fmt.Sprintf("%d", applied-requests),
+		fmt.Sprintf("%d", hits),
+		fmt.Sprintf("%.0f", float64(requests)/elapsed.Seconds()),
+	}, nil
+}

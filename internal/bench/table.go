@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"E15", "recovery time vs WAL tail length", RunE15},
 		{"E16", "append hot path: allocations and group commit", RunE16},
 		{"E17", "read path: snapshot reads vs locked reads", RunE17},
+		{"E18", "exactly-once ingestion under network chaos", RunE18},
 	}
 }
 

@@ -1,0 +1,216 @@
+// Package dedup implements the persisted idempotency table that gives the
+// ingestion path exactly-once semantics: every idempotent append carries a
+// (client_id, request_id) pair, and the table remembers the acknowledgment
+// (the assigned sequence-number range) of every request already applied.
+// A retry — whether caused by a lost response, a duplicated delivery, or a
+// crash-and-reopen on either side — finds the stored ack and returns it
+// instead of re-applying the rows, which is exactly the paper's
+// append-once sequence-number discipline extended across the network.
+//
+// Durability is owned by the layers above: the engine inserts an entry in
+// the same critical section that writes the append's WAL record (the
+// record itself carries the ids, so replay rebuilds the entry), and the
+// checkpoint serializes the table alongside the views it protects.
+//
+// The table is bounded: beyond the configured capacity the oldest entries
+// are evicted FIFO, so a server that lives forever cannot leak memory one
+// request id at a time. A client must retry a request before Cap newer
+// requests land — far beyond any sane retry budget — or the retry will
+// re-apply; the eviction counter makes that pressure observable.
+package dedup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// DefaultCap is the entry bound used when a Table is created with no
+// explicit capacity. At ~100 bytes an entry this bounds the table to a few
+// megabytes.
+const DefaultCap = 1 << 16
+
+// Ack is the stored acknowledgment of an applied request.
+type Ack struct {
+	Chronicle string // target chronicle (routes restore in sharded mode)
+	FirstSN   int64  // first sequence number assigned to the request
+	LastSN    int64  // last sequence number assigned
+	Rows      int    // rows applied
+}
+
+// Entry is one table entry with its identifying pair, as exposed to
+// checkpointing.
+type Entry struct {
+	ClientID  string
+	RequestID string
+	Ack
+}
+
+// key identifies a request. A struct key keeps lookups allocation-free.
+type key struct{ cid, rid string }
+
+// Table is the bounded idempotency table. It carries its own mutex: the
+// write path mutates it under the engine lock, but stats and checkpoint
+// readers arrive from other goroutines.
+type Table struct {
+	mu        sync.Mutex
+	cap       int
+	m         map[key]Ack
+	order     []key // insertion order; order[head:] are live
+	head      int
+	evictions int64
+}
+
+// NewTable returns an empty table bounded to capacity entries (<= 0 means
+// DefaultCap).
+func NewTable(capacity int) *Table {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Table{cap: capacity, m: make(map[key]Ack)}
+}
+
+// Cap returns the entry bound.
+func (t *Table) Cap() int { return t.cap }
+
+// Len returns the live entry count.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// Evictions returns how many entries the capacity bound has pushed out.
+func (t *Table) Evictions() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evictions
+}
+
+// Lookup returns the stored ack for (clientID, requestID), if present.
+func (t *Table) Lookup(clientID, requestID string) (Ack, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.m[key{clientID, requestID}]
+	return a, ok
+}
+
+// Put stores the ack for (clientID, requestID), evicting the oldest
+// entries if the table is at capacity. Re-putting an existing pair
+// refreshes the ack without growing the order log.
+func (t *Table) Put(clientID, requestID string, a Ack) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := key{clientID, requestID}
+	if _, ok := t.m[k]; ok {
+		t.m[k] = a
+		return
+	}
+	for len(t.m) >= t.cap {
+		oldest := t.order[t.head]
+		t.order[t.head] = key{} // release the strings
+		t.head++
+		if _, ok := t.m[oldest]; ok {
+			delete(t.m, oldest)
+			t.evictions++
+		}
+	}
+	t.m[k] = a
+	// Compact the order log once the dead prefix dominates, so the slice
+	// is bounded by O(cap) rather than growing with total request count.
+	if t.head > len(t.order)/2 && t.head > t.cap {
+		t.order = append(t.order[:0], t.order[t.head:]...)
+		t.head = 0
+	}
+	t.order = append(t.order, k)
+}
+
+// Range calls fn for every live entry in insertion order until fn returns
+// false. The table is locked for the duration; callers must not call back
+// into the table.
+func (t *Table) Range(fn func(Entry) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range t.order[t.head:] {
+		a, ok := t.m[k]
+		if !ok {
+			continue
+		}
+		if !fn(Entry{ClientID: k.cid, RequestID: k.rid, Ack: a}) {
+			return
+		}
+	}
+}
+
+// AppendEntries serializes entries onto dst and returns the extended
+// slice — the checkpoint's dedup section. The image is bounded by the
+// table capacity (entries come from bounded tables), which is what keeps
+// checkpoints from growing with total request count.
+func AppendEntries(dst []byte, ents []Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ents)))
+	for _, e := range ents {
+		dst = appendString(dst, e.ClientID)
+		dst = appendString(dst, e.RequestID)
+		dst = appendString(dst, e.Chronicle)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(e.FirstSN))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(e.LastSN))
+		dst = binary.AppendUvarint(dst, uint64(e.Rows))
+	}
+	return dst
+}
+
+// DecodeSnapshot parses a snapshot produced by AppendEntries, calling fn
+// for each entry in stored order. It returns the bytes consumed.
+func DecodeSnapshot(data []byte, fn func(Entry) error) (int, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return 0, fmt.Errorf("dedup: bad snapshot count")
+	}
+	off := sz
+	for i := uint64(0); i < n; i++ {
+		var e Entry
+		var used int
+		var err error
+		if e.ClientID, used, err = readString(data[off:]); err != nil {
+			return 0, fmt.Errorf("dedup: entry %d client id: %w", i, err)
+		}
+		off += used
+		if e.RequestID, used, err = readString(data[off:]); err != nil {
+			return 0, fmt.Errorf("dedup: entry %d request id: %w", i, err)
+		}
+		off += used
+		if e.Chronicle, used, err = readString(data[off:]); err != nil {
+			return 0, fmt.Errorf("dedup: entry %d chronicle: %w", i, err)
+		}
+		off += used
+		if len(data)-off < 16 {
+			return 0, fmt.Errorf("dedup: entry %d truncated", i)
+		}
+		e.FirstSN = int64(binary.LittleEndian.Uint64(data[off:]))
+		e.LastSN = int64(binary.LittleEndian.Uint64(data[off+8:]))
+		off += 16
+		rows, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return 0, fmt.Errorf("dedup: entry %d rows", i)
+		}
+		e.Rows = int(rows)
+		off += sz
+		if err := fn(e); err != nil {
+			return 0, err
+		}
+	}
+	return off, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte) (string, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", 0, fmt.Errorf("bad string")
+	}
+	return string(b[sz : sz+int(n)]), sz + int(n), nil
+}

@@ -1,0 +1,125 @@
+package dedup
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTableLookupPut(t *testing.T) {
+	tb := NewTable(4)
+	if _, ok := tb.Lookup("c", "r"); ok {
+		t.Fatal("empty table hit")
+	}
+	ack := Ack{Chronicle: "calls", FirstSN: 10, LastSN: 12, Rows: 3}
+	tb.Put("c", "r", ack)
+	got, ok := tb.Lookup("c", "r")
+	if !ok || got != ack {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	// Same request id under a different client is a distinct key.
+	if _, ok := tb.Lookup("other", "r"); ok {
+		t.Fatal("cross-client hit")
+	}
+}
+
+func TestTableFIFOEviction(t *testing.T) {
+	tb := NewTable(3)
+	for i := 0; i < 5; i++ {
+		tb.Put("c", fmt.Sprintf("r%d", i), Ack{FirstSN: int64(i)})
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+	if tb.Evictions() != 2 {
+		t.Fatalf("Evictions = %d, want 2", tb.Evictions())
+	}
+	// Oldest two are gone, newest three remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := tb.Lookup("c", fmt.Sprintf("r%d", i)); ok {
+			t.Errorf("r%d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := tb.Lookup("c", fmt.Sprintf("r%d", i)); !ok {
+			t.Errorf("r%d evicted early", i)
+		}
+	}
+}
+
+// The order slice must not grow without bound as old entries are evicted:
+// head-index compaction keeps its length proportional to the cap, not to
+// the total number of requests ever seen.
+func TestTableMemoryBound(t *testing.T) {
+	const cap = 64
+	tb := NewTable(cap)
+	for i := 0; i < 100*cap; i++ {
+		tb.Put("c", fmt.Sprintf("r%d", i), Ack{FirstSN: int64(i)})
+	}
+	if tb.Len() != cap {
+		t.Fatalf("Len = %d, want %d", tb.Len(), cap)
+	}
+	if n := len(tb.order) - tb.head; n != cap {
+		t.Errorf("live order window = %d, want %d", n, cap)
+	}
+	// Compaction keeps the backing slice within a small multiple of cap.
+	if len(tb.order) > 4*cap {
+		t.Errorf("order slice length = %d after %d puts, want ≤ %d", len(tb.order), 100*cap, 4*cap)
+	}
+	if len(tb.m) != cap {
+		t.Errorf("map size = %d, want %d", len(tb.m), cap)
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	tb := NewTable(8)
+	want := []Entry{
+		{ClientID: "a", RequestID: "r1", Ack: Ack{Chronicle: "calls", FirstSN: 1, LastSN: 3, Rows: 3}},
+		{ClientID: "a", RequestID: "r2", Ack: Ack{Chronicle: "calls", FirstSN: 4, LastSN: 4, Rows: 1}},
+		{ClientID: "b", RequestID: "r1", Ack: Ack{Chronicle: "taps", FirstSN: 0, LastSN: 9, Rows: 10}},
+	}
+	for _, e := range want {
+		tb.Put(e.ClientID, e.RequestID, e.Ack)
+	}
+
+	var ents []Entry
+	tb.Range(func(e Entry) bool { ents = append(ents, e); return true })
+	buf := AppendEntries(nil, ents)
+	var got []Entry
+	n, err := DecodeSnapshot(buf, func(e Entry) error { got = append(got, e); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(want))
+	}
+	// Entries come back in insertion order (the FIFO order).
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Truncated snapshots fail loudly rather than restoring a partial table.
+	if _, err := DecodeSnapshot(buf[:len(buf)-3], func(Entry) error { return nil }); err == nil {
+		t.Error("truncated snapshot decoded")
+	}
+	// Empty table roundtrips.
+	empty := AppendEntries(nil, nil)
+	if n, err := DecodeSnapshot(empty, func(Entry) error { t.Error("entry from empty snapshot"); return nil }); err != nil || n != len(empty) {
+		t.Errorf("empty snapshot: n=%d err=%v", n, err)
+	}
+}
+
+func TestDefaultCap(t *testing.T) {
+	tb := NewTable(0)
+	if tb.Cap() != DefaultCap {
+		t.Errorf("Cap = %d, want %d", tb.Cap(), DefaultCap)
+	}
+	tb = NewTable(-5)
+	if tb.Cap() != DefaultCap {
+		t.Errorf("Cap(-5) = %d, want %d", tb.Cap(), DefaultCap)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"chronicledb/internal/algebra"
 	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
+	"chronicledb/internal/dedup"
 	"chronicledb/internal/dispatch"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
@@ -47,6 +48,13 @@ type Config struct {
 	// It exists as the ablation baseline for the E17 experiment and has no
 	// production use.
 	LockedReads bool
+	// DedupCap bounds the idempotency table (entries). Zero means
+	// dedup.DefaultCap.
+	DedupCap int
+	// DedupDisabled turns off request deduplication: idempotent appends
+	// apply unconditionally. It exists as the ablation baseline for the E18
+	// experiment (at-least-once delivery) and has no production use.
+	DedupDisabled bool
 }
 
 // Stats aggregates engine-level counters.
@@ -56,6 +64,7 @@ type Stats struct {
 	RelationUpdates int64
 	MaintenanceNs   int64 // total time spent maintaining persistent views
 	ViewsMaintained int64 // view-maintenance invocations
+	DedupHits       int64 // idempotent appends answered from the dedup table
 }
 
 // Engine is the chronicle database system kernel.
@@ -104,6 +113,11 @@ type Engine struct {
 	// never escapes a mutation: recorders encode synchronously, the
 	// chronicle copies retained rows, and views copy what they keep.
 	scratch appendScratch
+
+	// dedup is the bounded idempotency table for AppendEachIdem; nil when
+	// Config.DedupDisabled (the E18 at-least-once ablation). It is mutated
+	// only under e.mu but carries its own lock for stats/checkpoint readers.
+	dedup *dedup.Table
 }
 
 // catalog is one immutable generation of the engine's name tables. A new
@@ -148,23 +162,25 @@ func (e *Engine) publishCatalogLocked() {
 
 // appendScratch backs the allocation-free append path.
 type appendScratch struct {
-	tuple  []value.Tuple                         // AppendEach's one-tuple batch
-	parts  []MutationPart                        // single-chronicle recorder parts
-	rows   []chronicle.Row                       // stored-row accumulator
-	batch  []chronicle.BatchPart                 // resolved batch parts
+	tuple  []value.Tuple                            // AppendEach's one-tuple batch
+	parts  []MutationPart                           // single-chronicle recorder parts
+	rows   []chronicle.Row                          // stored-row accumulator
+	batch  []chronicle.BatchPart                    // resolved batch parts
 	deltas map[*chronicle.Chronicle][]chronicle.Row // maintain input
-	seen   map[string]bool                       // maintain dedup
+	seen   map[string]bool                          // maintain dedup
 }
 
 // Mutation describes one durable engine mutation, in replayable form.
 type Mutation struct {
-	Kind     MutationKind
-	LSN      uint64 // logical sequence number assigned to this mutation
-	SN       int64
-	Chronon  int64
-	Parts    []MutationPart // appends
-	Relation string         // relation updates
-	Tuple    value.Tuple    // upsert tuple or delete key values
+	Kind      MutationKind
+	LSN       uint64 // logical sequence number assigned to this mutation
+	SN        int64  // sequence number (MutAppendEach: first SN of the run)
+	Chronon   int64
+	Parts     []MutationPart // appends
+	Relation  string         // relation updates
+	Tuple     value.Tuple    // upsert tuple or delete key values
+	ClientID  string         // MutAppendEach: idempotency pair
+	RequestID string         // MutAppendEach: idempotency pair
 }
 
 // MutationPart is one chronicle's share of an append.
@@ -181,6 +197,11 @@ const (
 	MutAppend MutationKind = iota
 	MutUpsert
 	MutDelete
+	// MutAppendEach is an idempotent bulk append: one chronicle, one run of
+	// per-tuple append transactions with consecutive sequence numbers, all
+	// recorded as a single WAL frame together with the (ClientID, RequestID)
+	// pair — the rows and the dedup entry become durable atomically.
+	MutAppendEach
 )
 
 // New creates an empty engine.
@@ -201,6 +222,9 @@ func New(cfg Config) *Engine {
 			deltas: make(map[*chronicle.Chronicle][]chronicle.Row),
 			seen:   make(map[string]bool),
 		},
+	}
+	if !cfg.DedupDisabled {
+		e.dedup = dedup.NewTable(cfg.DedupCap)
 	}
 	e.publishCatalogLocked()
 	return e
@@ -626,6 +650,158 @@ func (e *Engine) AppendEach(chronicleName string, tuples []value.Tuple) (first, 
 		return first, last, cerr
 	}
 	return first, last, nil
+}
+
+// AppendEachIdem is AppendEach with exactly-once semantics: the request is
+// identified by (clientID, requestID), and a request already applied — even
+// in a previous process life, via WAL replay or checkpoint restore —
+// returns its original sequence-number range with deduped=true instead of
+// re-applying. Unlike AppendEach, the run is atomic: every tuple is coerced
+// before the single WAL record is written, so a request is either applied
+// whole (and remembered) or not at all — there is no durable prefix that a
+// retry could double-apply.
+func (e *Engine) AppendEachIdem(chronicleName string, tuples []value.Tuple, clientID, requestID string) (first, last int64, deduped bool, err error) {
+	if len(tuples) == 0 {
+		return 0, 0, false, fmt.Errorf("engine: empty append")
+	}
+	e.mu.Lock()
+	if e.dedup != nil {
+		if ack, ok := e.dedup.Lookup(clientID, requestID); ok {
+			e.stats.DedupHits++
+			e.mu.Unlock()
+			return ack.FirstSN, ack.LastSN, true, nil
+		}
+	}
+	first, last, err = e.appendEachAtomicLocked(chronicleName, tuples, clientID, requestID, nil, nil)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := e.commitWith(commit); err != nil {
+		// The run is applied in memory but not durably acknowledged. The
+		// caller (the DB facade) latches read-only on this error, which is
+		// what keeps the dedup entry from turning a failed commit into a
+		// false positive ack on retry.
+		return first, last, false, err
+	}
+	return first, last, false, nil
+}
+
+// AppendEachAt replays a MutAppendEach record: caller-supplied first SN and
+// chronon, re-inserting the dedup entry so post-recovery retries still hit.
+func (e *Engine) AppendEachAt(chronicleName string, firstSN, chronon int64, tuples []value.Tuple, clientID, requestID string) error {
+	e.mu.Lock()
+	_, _, err := e.appendEachAtomicLocked(chronicleName, tuples, clientID, requestID, &firstSN, &chronon)
+	commit := e.onCommit
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.commitWith(commit)
+}
+
+// appendEachAtomicLocked applies one idempotent run: coerce everything,
+// write ONE WAL record carrying the ids, then apply each tuple as its own
+// append transaction (own SN, own view-maintenance round — identical
+// semantics to AppendEach) with sn = firstSN+i, and finally remember the
+// ack. Per-tuple LSN consumption matches replay: the record's LSN is the
+// first tuple's, and each later tuple draws a fresh one.
+func (e *Engine) appendEachAtomicLocked(chronicleName string, tuples []value.Tuple, clientID, requestID string, snOverride, chOverride *int64) (first, last int64, err error) {
+	c, ok := e.chronicles[chronicleName]
+	if !ok {
+		return 0, 0, fmt.Errorf("engine: unknown chronicle %q", chronicleName)
+	}
+	for i, t := range tuples {
+		coerced, cerr := c.Schema().Coerce(t)
+		if cerr != nil {
+			return 0, 0, fmt.Errorf("engine: chronicle %s: tuple %d: %w", chronicleName, i, cerr)
+		}
+		tuples[i] = coerced
+	}
+	firstSN := c.Group().NextSN()
+	if snOverride != nil {
+		firstSN = *snOverride
+	}
+	chronon := e.cfg.Clock()
+	if chOverride != nil {
+		chronon = *chOverride
+	}
+	lsn := e.nextLSN()
+	if e.onRecord != nil {
+		e.scratch.parts = append(e.scratch.parts[:0], MutationPart{Chronicle: chronicleName, Tuples: tuples})
+		m := Mutation{
+			Kind: MutAppendEach, LSN: lsn, SN: firstSN, Chronon: chronon,
+			Parts: e.scratch.parts, ClientID: clientID, RequestID: requestID,
+		}
+		if err := e.onRecord(m); err != nil {
+			return 0, 0, fmt.Errorf("engine: recording append: %w", err)
+		}
+	}
+	for i := range tuples {
+		sn := firstSN + int64(i)
+		tupleLSN := lsn
+		if i > 0 {
+			tupleLSN = e.nextLSN()
+		}
+		e.scratch.tuple = append(e.scratch.tuple[:0], tuples[i])
+		rows, aerr := c.AppendInto(sn, chronon, tupleLSN, e.scratch.tuple, e.scratch.rows[:0])
+		if aerr != nil {
+			// Unreachable in practice: the SNs are consecutive under e.mu
+			// and every tuple was coerced above. Reported for safety.
+			return 0, 0, fmt.Errorf("engine: tuple %d: %w", i, aerr)
+		}
+		e.scratch.rows = rows
+		clear(e.scratch.deltas)
+		e.scratch.deltas[c] = rows
+		e.maintain(e.scratch.deltas, chronon)
+		e.stats.Appends++
+		e.stats.TuplesAppended++
+	}
+	last = firstSN + int64(len(tuples)) - 1
+	if e.dedup != nil && clientID != "" {
+		e.dedup.Put(clientID, requestID, dedup.Ack{
+			Chronicle: chronicleName, FirstSN: firstSN, LastSN: last, Rows: len(tuples),
+		})
+	}
+	return firstSN, last, nil
+}
+
+// Dedup exposes the idempotency table for checkpointing and stats; nil when
+// dedup is disabled.
+func (e *Engine) Dedup() *dedup.Table { return e.dedup }
+
+// RestoreDedupEntry reinstates one checkpointed idempotency entry.
+func (e *Engine) RestoreDedupEntry(ent dedup.Entry) {
+	if e.dedup != nil {
+		e.dedup.Put(ent.ClientID, ent.RequestID, ent.Ack)
+	}
+}
+
+// DedupEntries snapshots the live idempotency entries in insertion order
+// (checkpoint building). Nil when dedup is disabled.
+func (e *Engine) DedupEntries() []dedup.Entry {
+	if e.dedup == nil {
+		return nil
+	}
+	out := make([]dedup.Entry, 0, e.dedup.Len())
+	e.dedup.Range(func(ent dedup.Entry) bool {
+		out = append(out, ent)
+		return true
+	})
+	return out
+}
+
+// DedupStats reports the idempotency table's observability counters.
+func (e *Engine) DedupStats() (entries int, hits int64, evictions int64) {
+	e.mu.RLock()
+	hits = e.stats.DedupHits
+	e.mu.RUnlock()
+	if e.dedup != nil {
+		entries = e.dedup.Len()
+		evictions = e.dedup.Evictions()
+	}
+	return entries, hits, evictions
 }
 
 // maintain dispatches one append's deltas to every affected persistent and

@@ -18,6 +18,7 @@ import (
 	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	chronicledb "chronicledb"
@@ -33,16 +34,26 @@ type Request struct {
 // path that skips SQL parsing — the shape a high-rate transaction recorder
 // actually feeds the server. Each row's cells must match the chronicle
 // schema (JSON numbers land as int or float per the column kind).
+//
+// A request carrying a (client_id, request_id) pair is idempotent: the
+// server remembers its ack in the WAL-logged, checkpointed dedup table, so
+// retrying the same pair — across timeouts, duplicated deliveries, even a
+// server crash-and-reopen — returns the original sequence-number range
+// instead of re-applying the rows.
 type AppendRequest struct {
 	Chronicle string  `json:"chronicle"`
 	Rows      [][]any `json:"rows"`
+	ClientID  string  `json:"client_id,omitempty"`
+	RequestID string  `json:"request_id,omitempty"`
 }
 
-// AppendResponse acknowledges a bulk append.
+// AppendResponse acknowledges a bulk append. Deduped reports that this
+// request was already applied and the ack is the remembered original.
 type AppendResponse struct {
 	FirstSN int64 `json:"first_sn"`
 	LastSN  int64 `json:"last_sn"`
 	Rows    int   `json:"rows"`
+	Deduped bool  `json:"deduped,omitempty"`
 }
 
 // Response is the body of every successful /exec reply.
@@ -64,11 +75,25 @@ type Config struct {
 	// RequestTimeout bounds one request's handling (write path included);
 	// 0 means the 30 s default. Applied by Serve, not by the bare handler.
 	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing write requests (/exec and
+	// /append); 0 means the default (64). Reads are never gated.
+	MaxInFlight int
+	// MaxQueue bounds write requests waiting for an in-flight slot; beyond
+	// it the server sheds load with 429 + Retry-After instead of letting
+	// queues (and client timeouts) grow without bound. 0 means the default
+	// (128); negative means no queue at all (shed the moment every
+	// in-flight slot is taken).
+	MaxQueue int
+	// RetryAfter is the backoff hint sent with 429 responses; 0 means 1s.
+	RetryAfter time.Duration
 }
 
 const (
 	defaultMaxBody        = 8 << 20
 	defaultRequestTimeout = 30 * time.Second
+	defaultMaxInFlight    = 64
+	defaultMaxQueue       = 128
+	defaultRetryAfter     = time.Second
 )
 
 // Server serves a DB over HTTP.
@@ -76,6 +101,18 @@ type Server struct {
 	db      *chronicledb.DB
 	mux     *http.ServeMux
 	maxBody int64
+
+	// Admission control for the write endpoints: inflight is a semaphore
+	// of executing requests, queued counts requests waiting for a slot,
+	// and shed counts requests turned away with 429. Distinct from the
+	// read-only 503 path: 429 is transient pressure (retry after backoff),
+	// 503 is a durability failure (retrying is pointless until an operator
+	// intervenes).
+	inflight   chan struct{}
+	maxQueue   int64
+	queued     atomic.Int64
+	shed       atomic.Int64
+	retryAfter time.Duration
 }
 
 // New wraps db in an HTTP handler with default limits.
@@ -87,8 +124,22 @@ func NewWith(db *chronicledb.DB, cfg Config) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = defaultMaxBody
 	}
-	s.mux.HandleFunc("POST /exec", s.handleExec)
-	s.mux.HandleFunc("POST /append", s.handleAppend)
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = defaultMaxQueue
+	} else if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = defaultRetryAfter
+	}
+	s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	s.maxQueue = int64(cfg.MaxQueue)
+	s.retryAfter = cfg.RetryAfter
+	s.mux.HandleFunc("POST /exec", s.admit(s.handleExec))
+	s.mux.HandleFunc("POST /append", s.admit(s.handleAppend))
 	s.mux.HandleFunc("GET /latest", s.handleLatest)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -101,6 +152,61 @@ func NewWith(db *chronicledb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
+
+// admit wraps a write handler with admission control. Up to MaxInFlight
+// requests execute at once; up to MaxQueue more wait for a slot; beyond
+// that the server sheds the request immediately with 429 and a Retry-After
+// hint, so overload produces fast, honest backpressure instead of a queue
+// whose wait time exceeds every client's deadline. Read endpoints
+// (/stats, /healthz, /latest) stay open — an overloaded server must remain
+// observable.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			if s.queued.Add(1) > s.maxQueue {
+				s.queued.Add(-1)
+				s.shed.Add(1)
+				s.writeOverloaded(w)
+				return
+			}
+			select {
+			case s.inflight <- struct{}{}:
+				s.queued.Add(-1)
+			case <-r.Context().Done():
+				// The client gave up (or the request timed out) while
+				// queued; count it as shed — the work was never admitted.
+				s.queued.Add(-1)
+				s.shed.Add(1)
+				s.writeOverloaded(w)
+				return
+			}
+		}
+		defer func() { <-s.inflight }()
+		h(w, r)
+	}
+}
+
+// writeOverloaded emits the 429 shed response with its Retry-After hint.
+func (s *Server) writeOverloaded(w http.ResponseWriter) {
+	secs := int(s.retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, fmt.Errorf("server overloaded; retry after %ds", secs))
+}
+
+// Overloaded reports whether a write request arriving now would be shed:
+// every in-flight slot is taken and the wait queue is full.
+func (s *Server) Overloaded() bool {
+	return len(s.inflight) == cap(s.inflight) && s.queued.Load() >= s.maxQueue
+}
+
+// ShedTotal returns how many write requests admission control has turned
+// away with 429.
+func (s *Server) ShedTotal() int64 { return s.shed.Load() }
 
 // ServeHTTP implements http.Handler: request bodies are bounded and a
 // handler panic becomes a 500 instead of killing the connection.
@@ -213,7 +319,23 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	// One bulk call: each row is still its own transaction (own SN and
 	// maintenance round), but the whole run crosses the kernel — and, when
-	// sharded, the shard queue — once.
+	// sharded, the shard queue — once. With an idempotency pair the run is
+	// atomic and remembered, so retries return the original ack.
+	if req.ClientID != "" || req.RequestID != "" {
+		if req.ClientID == "" || req.RequestID == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("client_id and request_id must be set together"))
+			return
+		}
+		firstSN, lastSN, deduped, err := s.db.AppendRowsIdem(req.Chronicle, tuples, req.ClientID, req.RequestID)
+		if err != nil {
+			writeError(w, execStatus(err), err)
+			return
+		}
+		// Row count derives from the ack, so a deduped reply reports what
+		// was originally applied.
+		writeJSON(w, http.StatusOK, AppendResponse{FirstSN: firstSN, LastSN: lastSN, Rows: int(lastSN-firstSN) + 1, Deduped: deduped})
+		return
+	}
 	firstSN, lastSN, err := s.db.AppendRows(req.Chronicle, tuples)
 	if err != nil {
 		writeError(w, execStatus(err), err)
@@ -294,7 +416,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	lat := s.db.MaintenanceLatency()
 	ws := s.db.WALStats()
 	rs := s.db.ReadStats()
+	dedupEntries, dedupHits, dedupEvictions := s.db.DedupStats()
 	body := map[string]any{
+		// Admission control and ingestion reliability.
+		"in_flight":          len(s.inflight),
+		"queue_depth":        s.queued.Load(),
+		"shed_total":         s.shed.Load(),
+		"dedup_entries":      dedupEntries,
+		"dedup_hits":         dedupHits,
+		"dedup_evictions":    dedupEvictions,
 		"shards":             s.db.Shards(),
 		"appends":            st.Appends,
 		"tuples_appended":    st.TuplesAppended,
@@ -333,19 +463,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// handleHealth answers 200 while the database accepts writes and 503 once
-// it has degraded to read-only, with the cause — the shape load balancers
-// and operators poll.
+// handleHealth answers 200 while the database accepts writes, 429 while
+// admission control is shedding (transient — retry after backoff), and 503
+// once it has degraded to read-only (permanent until operator action), with
+// the cause — the shape load balancers and operators poll. All values are
+// strings so pollers can decode into a flat map.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	shed := strconv.FormatInt(s.shed.Load(), 10)
 	if ro, cause := s.db.ReadOnly(); ro {
-		body := map[string]string{"status": "degraded"}
+		body := map[string]string{"status": "degraded", "shed_total": shed}
 		if cause != nil {
 			body["error"] = cause.Error()
 		}
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if s.Overloaded() {
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"status":     "overloaded",
+			"error":      "admission queue full",
+			"shed_total": shed,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "shed_total": shed})
 }
 
 func toResponse(res *chronicledb.Result) Response {

@@ -11,6 +11,7 @@ import (
 	"chronicledb/internal/algebra"
 	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
+	"chronicledb/internal/dedup"
 	"chronicledb/internal/engine"
 	"chronicledb/internal/keyenc"
 	"chronicledb/internal/pred"
@@ -358,6 +359,46 @@ func (r *Router) AppendEach(chronicleName string, tuples []value.Tuple) (first, 
 	return req.first, req.last, req.err
 }
 
+// AppendEachIdem is AppendEach with exactly-once semantics: the request
+// routes to the chronicle's home shard, whose engine answers a repeat
+// (clientID, requestID) pair from its dedup table instead of re-applying.
+// Because a chronicle's home shard is stable across restarts (hash of its
+// group name), a retried request always lands on the shard holding its
+// dedup entry.
+func (r *Router) AppendEachIdem(chronicleName string, tuples []value.Tuple, clientID, requestID string) (first, last int64, deduped bool, err error) {
+	s, err := r.homeOfChronicle(chronicleName)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	req := &appendReq{
+		chronicle: chronicleName, tuples: tuples, each: true,
+		clientID: clientID, requestID: requestID, done: make(chan struct{}),
+	}
+	if err := r.enqueue(s, req); err != nil {
+		return 0, 0, false, err
+	}
+	return req.first, req.last, req.deduped, req.err
+}
+
+// AppendEachAt replays an idempotent bulk append with caller-supplied
+// first SN and chronon directly on the home shard (WAL replay path),
+// re-inserting the dedup entry there.
+func (r *Router) AppendEachAt(chronicleName string, firstSN, chronon int64, tuples []value.Tuple, clientID, requestID string) error {
+	s, err := r.homeOfChronicle(chronicleName)
+	if err != nil {
+		return err
+	}
+	r.relGate.RLock()
+	defer r.relGate.RUnlock()
+	if err := s.eng.AppendEachAt(chronicleName, firstSN, chronon, tuples, clientID, requestID); err != nil {
+		return err
+	}
+	if s.commit != nil {
+		return s.commit()
+	}
+	return nil
+}
+
 // AppendBatch inserts tuples into several chronicles of one group
 // simultaneously, sharing one sequence number.
 func (r *Router) AppendBatch(parts []engine.MutationPart) (int64, error) {
@@ -541,9 +582,54 @@ func (r *Router) Stats() engine.Stats {
 		out.RelationUpdates += st.RelationUpdates
 		out.MaintenanceNs += st.MaintenanceNs
 		out.ViewsMaintained += st.ViewsMaintained
+		out.DedupHits += st.DedupHits
 	}
 	out.RelationUpdates += r.relUpdates.Load()
 	return out
+}
+
+// DedupEntries gathers every shard's live idempotency entries (checkpoint
+// building). Order is shard-major; restore routes each entry back to its
+// chronicle's home shard, so cross-shard order is irrelevant.
+func (r *Router) DedupEntries() []dedup.Entry {
+	per := make([][]dedup.Entry, len(r.shards))
+	r.scatter(func(i int, e *engine.Engine) { per[i] = e.DedupEntries() })
+	var out []dedup.Entry
+	for _, ents := range per {
+		out = append(out, ents...)
+	}
+	return out
+}
+
+// RestoreDedupEntry reinstates one checkpointed idempotency entry on the
+// shard owning its chronicle. Entries whose chronicle no longer resolves
+// (dropped between checkpoint and crash) are ignored: with no chronicle
+// there is nothing a retry could double-apply.
+func (r *Router) RestoreDedupEntry(ent dedup.Entry) {
+	s, err := r.homeOfChronicle(ent.Chronicle)
+	if err != nil {
+		return
+	}
+	s.eng.RestoreDedupEntry(ent)
+}
+
+// DedupStats sums the per-shard idempotency-table counters.
+func (r *Router) DedupStats() (entries int, hits int64, evictions int64) {
+	type trio struct {
+		entries   int
+		hits      int64
+		evictions int64
+	}
+	per := make([]trio, len(r.shards))
+	r.scatter(func(i int, e *engine.Engine) {
+		per[i].entries, per[i].hits, per[i].evictions = e.DedupStats()
+	})
+	for _, t := range per {
+		entries += t.entries
+		hits += t.hits
+		evictions += t.evictions
+	}
+	return entries, hits, evictions
 }
 
 // MaintenanceLatency merges every shard's maintenance-latency histogram

@@ -34,9 +34,12 @@ type appendReq struct {
 	tuples    []value.Tuple         // single-transaction append
 	parts     []engine.MutationPart // simultaneous group batch (one SN)
 	each      bool                  // bulk: one transaction per tuple
+	clientID  string                // idempotent bulk: dedup pair
+	requestID string                // idempotent bulk: dedup pair
 
 	sn          int64 // single/batch result
 	first, last int64 // bulk result
+	deduped     bool  // idempotent bulk: answered from the dedup table
 	err         error
 	done        chan struct{}
 }
@@ -45,6 +48,8 @@ func (q *appendReq) apply(eng *engine.Engine) {
 	switch {
 	case q.parts != nil:
 		q.sn, q.err = eng.AppendBatch(q.parts)
+	case q.each && q.clientID != "":
+		q.first, q.last, q.deduped, q.err = eng.AppendEachIdem(q.chronicle, q.tuples, q.clientID, q.requestID)
 	case q.each:
 		q.first, q.last, q.err = eng.AppendEach(q.chronicle, q.tuples)
 	default:

@@ -53,6 +53,14 @@ const (
 	RecUpsert
 	// RecDelete is a proactive relation delete (Tuple holds key values).
 	RecDelete
+	// RecAppendEach is an idempotent bulk append: one chronicle, one tuple
+	// run with consecutive sequence numbers starting at SN, tagged with the
+	// (ClientID, RequestID) pair that identifies the request. The whole
+	// request is one frame so the rows and the dedup-table entry that
+	// suppresses retries become durable atomically — a crash either
+	// persists both or neither, which is what makes crash-retry
+	// exactly-once.
+	RecAppendEach
 )
 
 // Part is one chronicle's share of an append record.
@@ -63,14 +71,16 @@ type Part struct {
 
 // Record is one durable mutation.
 type Record struct {
-	Kind     RecordKind
-	LSN      uint64 // global logical sequence number (orders records across segments)
-	Stmt     string // RecDDL
-	SN       int64  // RecAppend
-	Chronon  int64  // RecAppend
-	Parts    []Part // RecAppend
-	Relation string // RecUpsert / RecDelete
-	Tuple    value.Tuple
+	Kind      RecordKind
+	LSN       uint64 // global logical sequence number (orders records across segments)
+	Stmt      string // RecDDL
+	SN        int64  // RecAppend / RecAppendEach (first SN of the run)
+	Chronon   int64  // RecAppend / RecAppendEach
+	Parts     []Part // RecAppend / RecAppendEach (exactly one part)
+	Relation  string // RecUpsert / RecDelete
+	Tuple     value.Tuple
+	ClientID  string // RecAppendEach
+	RequestID string // RecAppendEach
 }
 
 // SyncPolicy selects when a Log makes appended records durable.
@@ -428,7 +438,7 @@ func encodeRecord(dst []byte, r Record) []byte {
 	switch r.Kind {
 	case RecDDL:
 		dst = appendString(dst, r.Stmt)
-	case RecAppend:
+	case RecAppend, RecAppendEach:
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.SN))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Chronon))
 		dst = binary.AppendUvarint(dst, uint64(len(r.Parts)))
@@ -438,6 +448,10 @@ func encodeRecord(dst []byte, r Record) []byte {
 			for _, t := range p.Tuples {
 				dst = value.AppendTuple(dst, t)
 			}
+		}
+		if r.Kind == RecAppendEach {
+			dst = appendString(dst, r.ClientID)
+			dst = appendString(dst, r.RequestID)
 		}
 	case RecUpsert, RecDelete:
 		dst = appendString(dst, r.Relation)
@@ -465,7 +479,7 @@ func decodeRecord(b []byte) (Record, error) {
 			return Record{}, err
 		}
 		r.Stmt = stmt
-	case RecAppend:
+	case RecAppend, RecAppendEach:
 		if len(b) < 16 {
 			return Record{}, fmt.Errorf("wal: truncated append header")
 		}
@@ -498,6 +512,20 @@ func decodeRecord(b []byte) (Record, error) {
 				b = b[used:]
 			}
 			r.Parts = append(r.Parts, p)
+		}
+		if r.Kind == RecAppendEach {
+			cid, used, err := readString(b)
+			if err != nil {
+				return Record{}, err
+			}
+			b = b[used:]
+			rid, used, err := readString(b)
+			if err != nil {
+				return Record{}, err
+			}
+			b = b[used:]
+			r.ClientID = cid
+			r.RequestID = rid
 		}
 	case RecUpsert, RecDelete:
 		name, used, err := readString(b)

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"chronicledb/internal/chronicle"
+	"chronicledb/internal/dedup"
 	"chronicledb/internal/engine"
 	"chronicledb/internal/sqlparse"
 	"chronicledb/internal/value"
@@ -113,6 +114,15 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 			}
 			_, err := db.eng.AppendBatchAt(parts, r.SN, r.Chronon)
 			return err
+		case wal.RecAppendEach:
+			// An idempotent bulk run: re-apply the tuples with their original
+			// consecutive SNs and re-insert the dedup entry, so a client
+			// retry after this recovery still gets the original ack.
+			if len(r.Parts) != 1 {
+				return fmt.Errorf("idempotent append record with %d parts", len(r.Parts))
+			}
+			p := r.Parts[0]
+			return db.eng.AppendEachAt(p.Chronicle, r.SN, r.Chronon, p.Tuples, r.ClientID, r.RequestID)
 		case wal.RecUpsert:
 			return db.eng.Upsert(r.Relation, r.Tuple)
 		case wal.RecDelete:
@@ -169,7 +179,7 @@ func (db *DB) Checkpoint() error {
 func (db *DB) buildCheckpoint() []byte {
 	b := db.ckptBuf[:0]
 	b = append(b, ckptMagic...)
-	b = append(b, 1) // version
+	b = append(b, 2) // version (2 added the dedup section)
 	b = binary.LittleEndian.AppendUint64(b, db.eng.LSN())
 
 	groups := db.eng.GroupNames()
@@ -231,6 +241,13 @@ func (db *DB) buildCheckpoint() []byte {
 		b = binary.AppendUvarint(b, uint64(len(snap)))
 		b = append(b, snap...)
 	}
+
+	// Dedup table (v2): the idempotency entries live inside the checkpoint
+	// because the WAL is truncated right after it is written — without this
+	// section a retry arriving after checkpoint-and-crash would re-apply.
+	// The section is bounded by the table capacity, so checkpoint size does
+	// not grow with total request count.
+	b = dedup.AppendEntries(b, db.eng.DedupEntries())
 	db.ckptBuf = b
 	return b
 }
@@ -244,8 +261,9 @@ func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
 	if len(data) < 13 || string(data[:4]) != ckptMagic {
 		return 0, bad("header")
 	}
-	if data[4] != 1 {
-		return 0, fmt.Errorf("chronicledb: unsupported checkpoint version %d", data[4])
+	version := data[4]
+	if version != 1 && version != 2 {
+		return 0, fmt.Errorf("chronicledb: unsupported checkpoint version %d", version)
 	}
 	off := 5
 	lsn := binary.LittleEndian.Uint64(data[off:])
@@ -406,6 +424,18 @@ func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
 			return 0, err
 		}
 		off += int(snapLen)
+	}
+
+	// Dedup table (absent in v1 checkpoints, which predate idempotency).
+	if version >= 2 {
+		used, err := dedup.DecodeSnapshot(data[off:], func(e dedup.Entry) error {
+			db.eng.RestoreDedupEntry(e)
+			return nil
+		})
+		if err != nil {
+			return 0, bad("dedup section")
+		}
+		off += used
 	}
 	if off != len(data) {
 		return 0, bad("trailing bytes")
