@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-allocs bench-reads experiments fuzz examples torture chaos clean
+.PHONY: all build test race vet check cover bench bench-allocs bench-reads experiments fuzz examples torture chaos watch-stress clean
 
 all: check
 
@@ -35,6 +35,15 @@ torture:
 chaos:
 	$(GO) test -race -count=1 -run 'TestNetworkChaos' -v .
 
+# watch-stress is the changefeed fan-out gate: many SSE subscribers and
+# concurrent appenders race under the race detector while every delivered
+# stream must conserve the append total with strictly increasing LSNs,
+# plus the network-chaos run that kills and resumes subscribers mid-stream
+# across a power cut. -count=1 defeats caching: this is the gate for
+# changefeed changes and must actually run.
+watch-stress:
+	$(GO) test -race -count=1 -run 'TestWatchStress|TestWatchNetworkChaos' -v .
+
 # bench-allocs is the allocation-regression gate: the AllocsPerRun guards
 # pin the hot path's steady-state allocation counts (zero for the micro
 # paths, a small fixed budget end-to-end), and the append benchmarks print
@@ -53,9 +62,10 @@ bench-reads:
 
 # check is the gate for every change: static analysis plus the full suite
 # under the race detector (the sharded kernel is concurrent by design),
-# plus the crash-torture enumeration, the network-torture harness, and the
-# allocation-regression guards for both the append and read hot paths.
-check: build vet race torture chaos bench-allocs bench-reads
+# plus the crash-torture enumeration, the network-torture harness, the
+# changefeed fan-out stress, and the allocation-regression guards for both
+# the append and read hot paths.
+check: build vet race torture chaos watch-stress bench-allocs bench-reads
 
 cover:
 	$(GO) test -cover ./...
@@ -81,6 +91,7 @@ examples:
 	$(GO) run ./examples/banking
 	$(GO) run ./examples/stocktrading
 	$(GO) run ./examples/eventmonitor
+	$(GO) run ./examples/livewatch
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 	"chronicledb/internal/aggregate"
 	"chronicledb/internal/bench"
 	"chronicledb/internal/chronicle"
+	feedpkg "chronicledb/internal/feed"
 	"chronicledb/internal/keyenc"
 	"chronicledb/internal/value"
 	"chronicledb/internal/view"
@@ -66,6 +67,41 @@ func TestAllocGuards(t *testing.T) {
 			vw.ApplyRows(rows)
 		}
 		allocGuard(t, "view.ApplyRows", 0, func() { vw.ApplyRows(rows) })
+	})
+
+	t.Run("feed-fanout", func(t *testing.T) {
+		// The changefeed publish path: one committed delta fanned out to 8
+		// subscribers. Frames are pooled and rings preallocated, so the
+		// budget is ≤1 alloc per delta per subscriber.
+		h := feedpkg.NewHub(feedpkg.Config{Ring: 64, TailFrames: 64})
+		d := feedpkg.NewDoor()
+		const subs = 8
+		subscribers := make([]*feedpkg.Subscription, subs)
+		for i := range subscribers {
+			sub, _ := h.Subscribe("v", 0, false)
+			defer sub.Close()
+			subscribers[i] = sub
+		}
+		rows := []chronicle.Row{{SN: 1, Chronon: 1, Vals: value.Tuple{value.Str("a"), value.Int(1)}}}
+		frames := make([][]*feedpkg.Frame, subs)
+		lsn := uint64(0)
+		step := func() {
+			lsn++
+			rows[0].LSN = lsn
+			b := h.Begin(d)
+			b.Capture("v", lsn, rows)
+			b.Publish()
+			for i, sub := range subscribers {
+				frames[i] = sub.Drain(frames[i][:0])
+				for _, f := range frames[i] {
+					f.Release()
+				}
+			}
+		}
+		for i := 0; i < 200; i++ {
+			step() // warm the frame pool and the tail ring
+		}
+		allocGuard(t, "feed.Publish fan-out (8 subscribers)", subs, step)
 	})
 
 	t.Run("engine-append", func(t *testing.T) {

@@ -12,19 +12,27 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	chronicledb "chronicledb"
 	"chronicledb/internal/cli"
 	"chronicledb/internal/server"
+	"chronicledb/internal/sqlparse"
 )
 
 // executor abstracts local vs remote execution.
 type executor func(stmt string) (columns []string, rows [][]string, message string, err error)
+
+// watcher runs a WATCH statement: a stream, not a request, so it gets its
+// own surface beside the request-shaped executor.
+type watcher func(w *sqlparse.Watch) error
 
 func main() {
 	var (
@@ -34,14 +42,14 @@ func main() {
 	)
 	flag.Parse()
 
-	exec, closeFn, err := buildExecutor(*remote, *dir)
+	exec, watch, closeFn, err := buildExecutor(*remote, *dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer closeFn()
 
 	if *oneOff != "" {
-		if err := runStatement(exec, *oneOff); err != nil {
+		if err := runStatement(exec, watch, *oneOff); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -67,7 +75,7 @@ func main() {
 			}
 		}
 		for _, stmt := range split.Feed(line) {
-			if err := runStatement(exec, stmt); err != nil {
+			if err := runStatement(exec, watch, stmt); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				if !interactive {
 					os.Exit(1)
@@ -97,13 +105,13 @@ func isTerminal() bool {
 	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
-func buildExecutor(remote, dir string) (executor, func(), error) {
+func buildExecutor(remote, dir string) (executor, watcher, func(), error) {
 	if remote != "" {
 		c := server.NewClient(remote)
 		if !c.Healthy() {
-			return nil, nil, fmt.Errorf("chronicle-cli: no healthy server at %s", remote)
+			return nil, nil, nil, fmt.Errorf("chronicle-cli: no healthy server at %s", remote)
 		}
-		return func(stmt string) ([]string, [][]string, string, error) {
+		exec := func(stmt string) ([]string, [][]string, string, error) {
 			res, err := c.Exec(stmt)
 			if err != nil {
 				return nil, nil, "", err
@@ -116,13 +124,14 @@ func buildExecutor(remote, dir string) (executor, func(), error) {
 				}
 			}
 			return res.Columns, rows, res.Message, nil
-		}, func() {}, nil
+		}
+		return exec, remoteWatch(c), func() {}, nil
 	}
-	db, err := chronicledb.Open(chronicledb.Options{Dir: dir})
+	db, err := chronicledb.Open(chronicledb.Options{Dir: dir, Feed: true})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return func(stmt string) ([]string, [][]string, string, error) {
+	exec := func(stmt string) ([]string, [][]string, string, error) {
 		res, err := db.Exec(stmt)
 		if err != nil {
 			return nil, nil, "", err
@@ -135,10 +144,107 @@ func buildExecutor(remote, dir string) (executor, func(), error) {
 			}
 		}
 		return res.Columns, rows, res.Message, nil
-	}, func() { db.Close() }, nil
+	}
+	return exec, embeddedWatch(db), func() { db.Close() }, nil
 }
 
-func runStatement(exec executor, stmt string) error {
+// embeddedWatch streams a local database's changefeed until Ctrl-C or the
+// statement's LIMIT is reached.
+func embeddedWatch(db *chronicledb.DB) watcher {
+	return func(w *sqlparse.Watch) error {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		seen := 0
+		err := db.Watch(ctx, w.View, w.FromLSN, w.HasFrom, func(ev chronicledb.WatchEvent) bool {
+			switch ev.Kind {
+			case chronicledb.WatchSnapshot:
+				fmt.Printf("-- snapshot of %s at lsn %d (%d rows)\n", w.View, ev.LSN, len(ev.Rows))
+				for _, r := range ev.Rows {
+					fmt.Printf("  %s\n", rowText(r))
+				}
+			case chronicledb.WatchDelta:
+				for _, d := range ev.Deltas {
+					fmt.Printf("[lsn %d] sn=%d chronon=%d %s\n", ev.LSN, d.SN, d.Chronon, rowText(d.Vals))
+				}
+				seen++
+				if w.Limit > 0 && seen >= w.Limit {
+					return false
+				}
+			case chronicledb.WatchEnd:
+				fmt.Printf("-- watch ended (%s) at lsn %d\n", ev.Reason, ev.LSN)
+			}
+			return true
+		})
+		if err == context.Canceled {
+			return nil // Ctrl-C ends the watch, not the shell
+		}
+		return err
+	}
+}
+
+// remoteWatch streams a server's changefeed over SSE with automatic
+// resume; the client reconnects with its LSN cursor on any interruption.
+func remoteWatch(c *server.Client) watcher {
+	return func(w *sqlparse.Watch) error {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		seen := 0
+		err := c.Watch(ctx, w.View, w.FromLSN, w.HasFrom, func(ev server.WatchEvent) bool {
+			switch ev.Kind {
+			case server.WatchInfo:
+				fmt.Printf("-- watching %s (resume: %s, from lsn %d)\n", ev.View, ev.Resume, ev.LSN)
+			case server.WatchSnapshot:
+				fmt.Printf("-- snapshot of %s at lsn %d (%d rows)\n", ev.View, ev.LSN, len(ev.Rows))
+				for _, r := range ev.Rows {
+					fmt.Printf("  %s\n", anyRowText(r))
+				}
+			case server.WatchDelta:
+				for _, d := range ev.Deltas {
+					fmt.Printf("[lsn %d] sn=%d chronon=%d %s\n", ev.LSN, d.SN, d.Chronon, anyRowText(d.Vals))
+				}
+				seen++
+				if w.Limit > 0 && seen >= w.Limit {
+					return false
+				}
+			case server.WatchBye:
+				fmt.Printf("-- watch ended (%s) at lsn %d\n", ev.Reason, ev.LSN)
+			}
+			return true
+		})
+		if err == context.Canceled {
+			return nil
+		}
+		return err
+	}
+}
+
+func rowText(r chronicledb.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func anyRowText(r []any) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func runStatement(exec executor, watch watcher, stmt string) error {
+	// WATCH is a stream, not a request: intercept it before the executor.
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "WATCH") {
+		s, err := sqlparse.ParseOne(stmt)
+		if err != nil {
+			return err
+		}
+		if w, ok := s.(*sqlparse.Watch); ok {
+			return watch(w)
+		}
+	}
 	columns, rows, message, err := exec(stmt)
 	if err != nil {
 		return err

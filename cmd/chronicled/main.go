@@ -7,6 +7,7 @@
 //	           [-request-timeout 30s] [-max-body 8388608] [-drain-timeout 10s]
 //	           [-max-inflight N] [-max-queue N] [-retry-after 1s]
 //	           [-dedup-cap N] [-dedup-disabled]
+//	           [-feed] [-feed-tail N] [-max-subscribers N] [-heartbeat 10s]
 //
 // With -dir, the database is durable: appends hit the WAL before views are
 // maintained, and every N appends (default 10000) the server checkpoints
@@ -54,6 +55,10 @@ func main() {
 		retryAfter = flag.Duration("retry-after", 0, "Retry-After hint on shed requests (0 = default 1s)")
 		dedupCap   = flag.Int("dedup-cap", 0, "idempotency dedup entries retained per shard (0 = default 65536)")
 		dedupOff   = flag.Bool("dedup-disabled", false, "disable idempotent-append dedup (at-least-once ingestion)")
+		feed       = flag.Bool("feed", true, "changefeeds: capture view deltas for /watch subscribers")
+		feedTail   = flag.Int("feed-tail", 0, "per-view resume window in frames (0 = default 1024)")
+		maxSubs    = flag.Int("max-subscribers", 0, "concurrent /watch subscribers before 429 shedding (0 = default 4096)")
+		heartbeat  = flag.Duration("heartbeat", 0, "keep-alive cadence on idle /watch streams (0 = default 10s)")
 	)
 	flag.Parse()
 
@@ -68,6 +73,8 @@ func main() {
 		DefaultRetention: retention,
 		DedupCap:         *dedupCap,
 		DedupDisabled:    *dedupOff,
+		Feed:             *feed,
+		FeedTailFrames:   *feedTail,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +123,8 @@ func main() {
 		MaxInFlight:    *maxInFl,
 		MaxQueue:       *maxQueue,
 		RetryAfter:     *retryAfter,
+		MaxSubscribers: *maxSubs,
+		Heartbeat:      *heartbeat,
 	})
 	err = server.Serve(ctx, ln, srv, *reqTimeout, *drain)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -14,6 +14,7 @@ import (
 	"chronicledb/internal/dedup"
 	"chronicledb/internal/engine"
 	"chronicledb/internal/fault"
+	"chronicledb/internal/feed"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
 	"chronicledb/internal/shard"
@@ -77,6 +78,23 @@ type Options struct {
 	// every delivery unconditionally (at-least-once). Ablation baseline for
 	// the E18 experiment; leave false in production.
 	DedupDisabled bool
+	// Feed enables changefeeds: every persistent view's maintenance delta
+	// is captured at commit, stamped with its LSN, and published to live
+	// subscribers (DB.Watch, the server's /watch endpoint, WATCH in SQL).
+	// Off by default: capture copies delta rows even with no subscribers
+	// (the per-view resume tail retains them), a cost the zero-allocation
+	// append path should not pay unless changefeeds are wanted.
+	Feed bool
+	// FeedTailFrames bounds the per-view in-memory resume window, in
+	// frames (delta batches). Reconnecting subscribers whose cursor is
+	// inside the window resume from memory; older cursors get a snapshot.
+	// Zero means feed.DefaultTailFrames (1024). Ignored without Feed.
+	FeedTailFrames int
+	// FeedRing bounds each subscriber's live delivery buffer, in frames; a
+	// subscriber that falls further behind is shed rather than allowed to
+	// backpressure the append path. Zero means feed.DefaultRing (256).
+	// Ignored without Feed.
+	FeedRing int
 }
 
 // Retention re-exports the chronicle retention policy.
@@ -144,6 +162,7 @@ type Kernel interface {
 	ViewRows(name string) ([]value.Tuple, error)
 	ViewScanRange(name string, lo, hi value.Tuple) ([]value.Tuple, error)
 	ViewScanFunc(name string, fn func(value.Tuple) bool) error
+	ViewScanAt(name string, fn func(value.Tuple) bool) (uint64, error)
 	ViewScanRangeFunc(name string, lo, hi value.Tuple, fn func(value.Tuple) bool) error
 	ViewScanDescFunc(name string, fn func(value.Tuple) bool) error
 	ReadStats() engine.ReadStats
@@ -163,6 +182,11 @@ type DB struct {
 	// Exactly one of these backs eng.
 	uno    *engine.Engine
 	router *shard.Router
+
+	// hub is the changefeed fan-out; nil unless Options.Feed. It is wired
+	// into the kernel before recovery so WAL replay repopulates the
+	// per-view resume tails with the original LSNs.
+	hub *feed.Hub
 
 	// Open WAL logs. Unsharded: [chronicle.wal]. Sharded: one segment per
 	// shard followed by the relation segment.
@@ -216,6 +240,16 @@ func Open(opts Options) (*DB, error) {
 	} else {
 		db.uno = engine.New(ecfg)
 		db.eng = db.uno
+	}
+	if opts.Feed {
+		db.hub = feed.NewHub(feed.Config{TailFrames: opts.FeedTailFrames, Ring: opts.FeedRing})
+		if db.router != nil {
+			// Deferred mode: the shard writer publishes after each group
+			// commit, merging every shard's frames through the shared hub.
+			db.router.SetFeed(db.hub)
+		} else {
+			db.uno.SetFeed(db.hub, false)
+		}
 	}
 	if opts.Dir == "" {
 		db.markOpen()
@@ -520,6 +554,25 @@ func (db *DB) Flush() error {
 // Engine exposes the kernel for advanced callers (benchmarks, tests). In
 // sharded mode this is the *shard.Router, otherwise the *engine.Engine.
 func (db *DB) Engine() Kernel { return db.eng }
+
+// Feed returns the changefeed hub, or nil when Options.Feed is off.
+func (db *DB) Feed() *feed.Hub { return db.hub }
+
+// FeedStats snapshots the changefeed counters (zero value when feeds are
+// disabled).
+func (db *DB) FeedStats() feed.Stats {
+	if db.hub == nil {
+		return feed.Stats{}
+	}
+	return db.hub.Stats()
+}
+
+// ScanViewAt streams a view's rows like ScanView and returns the applied
+// LSN of the scanned state — the anchor for splicing a snapshot read into
+// the live delta stream. Rows passed to fn are caller-owned.
+func (db *DB) ScanViewAt(viewName string, fn func(Row) bool) (uint64, error) {
+	return db.eng.ViewScanAt(viewName, fn)
+}
 
 // Router returns the shard router, or nil for a single-engine database.
 func (db *DB) Router() *shard.Router { return db.router }

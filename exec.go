@@ -181,6 +181,11 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 	case *sqlparse.Show:
 		return db.show(s.What)
 
+	case *sqlparse.Watch:
+		// Exec is request/response; a changefeed needs a stream. Point the
+		// caller at the surfaces that can hold one open.
+		return nil, fmt.Errorf("chronicledb: WATCH streams continuously and cannot run through Exec; use the CLI, DB.Watch, or GET /watch")
+
 	default:
 		return nil, fmt.Errorf("chronicledb: unsupported statement %T", s)
 	}
@@ -441,6 +446,7 @@ func (db *DB) show(what string) (*Result, error) {
 		ws := db.WALStats()
 		rs := db.ReadStats()
 		dedupEntries, dedupHits, dedupEvictions := db.DedupStats()
+		fs := db.FeedStats()
 		snapAge := "no snapshots"
 		if age := db.SnapshotAge(); age > 0 {
 			snapAge = fmt.Sprintf("%.1fms", float64(age)/1e6)
@@ -466,6 +472,14 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("dedup_entries"), value.Int(int64(dedupEntries))},
 				{value.Str("dedup_hits"), value.Int(dedupHits)},
 				{value.Str("dedup_evictions"), value.Int(dedupEvictions)},
+				{value.Str("feed_subscribers"), value.Int(fs.Subscribers)},
+				{value.Str("feed_subscribed_total"), value.Int(int64(fs.SubscribedTotal))},
+				{value.Str("feed_published"), value.Int(int64(fs.Published))},
+				{value.Str("feed_rows_published"), value.Int(int64(fs.RowsPublished))},
+				{value.Str("feed_dropped_slow"), value.Int(int64(fs.DroppedSlow))},
+				{value.Str("feed_catchups_tail"), value.Int(int64(fs.CatchupsTail))},
+				{value.Str("feed_catchups_snapshot"), value.Int(int64(fs.CatchupsSnapshot))},
+				{value.Str("feed_evicted"), value.Int(int64(fs.Evicted))},
 			},
 		}, nil
 	default:

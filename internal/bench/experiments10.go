@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/fault"
+	"chronicledb/internal/server"
+)
+
+// RunE19 — changefeed fan-out: delta delivery to live subscribers. The
+// open-loop cells append at a fixed arrival rate regardless of delivery
+// progress (so queueing shows up as latency, not as a slowed producer)
+// while N subscribers watch the same view through the hub; each append
+// stamps its own wall-clock time into the row, and since an aggregate
+// view's delta rows are the projected source rows (maintenance folds them
+// into the groups), every delivered delta carries its own append stamp —
+// delivery wall clock minus stamp is the end-to-end commit→delivery
+// latency. The chaos cell pushes SSE subscribers through a resetting TCP
+// proxy: streams die mid-body and the client resumes with its LSN cursor,
+// and the conservation invariant (snapshot count + delta-row count =
+// append total, LSNs strictly increasing) proves every resume was gapless
+// and duplicate-free.
+func RunE19(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E19",
+		Title:  "changefeed fan-out: delta delivery to live subscribers",
+		Claim:  "delta delivery latency stays in the milliseconds and per-subscriber memory stays fixed as fan-out grows into the thousands; slow or severed subscribers shed and resume without gaps or duplicates",
+		Header: []string{"mode", "subs", "rate/s", "appends", "delivered", "p50", "p99", "KB/sub", "shed", "result"},
+	}
+	fanouts := []struct {
+		subs, rate int
+		dur        time.Duration
+	}{
+		{500, 500, 3 * time.Second},
+		{2000, 500, 3 * time.Second},
+		{4000, 500, 3 * time.Second},
+	}
+	chaosSubs, chaosAppends, chaosRate := 16, 300, 300
+	if cfg.Quick {
+		fanouts = fanouts[:1]
+		fanouts[0] = struct {
+			subs, rate int
+			dur        time.Duration
+		}{50, 200, time.Second}
+		chaosSubs, chaosAppends, chaosRate = 8, 100, 200
+	}
+	for _, f := range fanouts {
+		row, err := e19Fanout(f.subs, f.rate, f.dur)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	row, err := e19Chaos(chaosSubs, chaosAppends, chaosRate)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(row...)
+	t.Notes = append(t.Notes,
+		"open-loop: one appender at the fixed arrival rate, every row stamped with its append-time micros; an aggregate view's delta rows are the projected source rows, so each delivered delta carries the stamp of exactly the append that produced it — latency = delivery wall clock - append wall clock",
+		"KB/sub = heap growth across subscribing the whole fleet / fleet size (ring of frame pointers + subscription bookkeeping); '-' where the cell measures chaos, not memory",
+		"sse-chaos: subscribers stream over HTTP SSE through a resetting chaos proxy and reconnect with their LSN cursors; result is 'gapless' only if every subscriber's snapshot count + delta-row count lands exactly on the append total with strictly increasing LSNs (TestWatchNetworkChaos is the adversarial version with a mid-run power cut)",
+		"shed counts subscribers dropped for falling behind their ring (feed_dropped_slow)")
+	return t, nil
+}
+
+// e19Fanout measures one open-loop fan-out cell over the embedded API.
+func e19Fanout(subs, rate int, dur time.Duration) ([]string, error) {
+	db, err := chronicledb.Open(chronicledb.Options{Feed: true, Shards: 4})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, ts INT)`); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec(`CREATE VIEW feedv AS SELECT acct, COUNT(*) AS n, MAX(ts) AS mts FROM calls GROUP BY acct`); err != nil {
+		return nil, err
+	}
+
+	appends := int(dur / (time.Second / time.Duration(rate)))
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), dur+30*time.Second)
+	defer cancel()
+	var (
+		wg        sync.WaitGroup
+		ready     sync.WaitGroup
+		delivered atomic.Int64
+		shedCount atomic.Int64
+		failures  atomic.Int64
+		mu        sync.Mutex
+		lats      []int64
+	)
+	ready.Add(subs)
+	for s := 0; s < subs; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			first := true
+			seen := 0
+			mine := make([]int64, 0, appends)
+			err := db.Watch(ctx, "feedv", 0, false, func(ev chronicledb.WatchEvent) bool {
+				if first {
+					ready.Done()
+					first = false
+				}
+				switch ev.Kind {
+				case chronicledb.WatchDelta:
+					// Delta rows are the projected source rows: Vals[1] is
+					// the appended row's own timestamp, one row per append.
+					now := time.Now().UnixNano()
+					for _, d := range ev.Deltas {
+						mine = append(mine, now-d.Vals[1].AsInt()*1000)
+						seen++
+					}
+				case chronicledb.WatchEnd:
+					shedCount.Add(1)
+					return false
+				}
+				return seen < appends
+			})
+			if err != nil && ctx.Err() == nil {
+				failures.Add(1)
+			}
+			delivered.Add(int64(seen))
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}()
+	}
+	ready.Wait()
+
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	kbPerSub := float64(m1.HeapAlloc-m0.HeapAlloc) / float64(subs) / 1024
+
+	interval := time.Second / time.Duration(rate)
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := db.Append("calls", chronicledb.Tuple{
+			chronicledb.Str("a"), chronicledb.Int(time.Now().UnixMicro())}); err != nil {
+			return nil, err
+		}
+	}
+	wg.Wait()
+
+	result := "ok"
+	if n := failures.Load(); n > 0 {
+		result = fmt.Sprintf("FAILED(%d watch errors)", n)
+	} else if want := int64(subs) * int64(appends); delivered.Load() != want && shedCount.Load() == 0 {
+		result = fmt.Sprintf("FAILED(delivered %d, want %d)", delivered.Load(), want)
+	}
+	p50, p99 := latQuantiles(lats)
+	return []string{
+		"fan-out", fmtCount(subs), fmt.Sprintf("%d", rate), fmtCount(appends),
+		fmtCount(int(delivered.Load())), fmtNs(p50), fmtNs(p99),
+		fmt.Sprintf("%.1f", kbPerSub),
+		fmt.Sprintf("%d", shedCount.Load()), result,
+	}, nil
+}
+
+// e19Chaos measures SSE delivery through a resetting proxy: latency of
+// what arrives, and the gapless/duplicate-free contract across resumes.
+func e19Chaos(subs, appends, rate int) ([]string, error) {
+	db, err := chronicledb.Open(chronicledb.Options{Feed: true, Shards: 4})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, ts INT)`); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec(`CREATE VIEW feedv AS SELECT acct, COUNT(*) AS n, MAX(ts) AS mts FROM calls GROUP BY acct`); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(server.NewWith(db, server.Config{}))
+	defer ts.Close()
+
+	chaos := fault.NewNetChaos(19)
+	chaos.ResetProb = 0.25
+	chaos.ResetAfter = 512
+	chaos.DropConn = 0.05
+	proxy, err := fault.NewProxy(strings.TrimPrefix(ts.URL, "http://"), chaos)
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []int64
+		gapless  atomic.Int64
+		failures atomic.Int64
+	)
+	for s := 0; s < subs; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := server.NewClientWith("http://"+proxy.Addr(), server.ClientConfig{
+				ClientID:    fmt.Sprintf("e19-%d", s),
+				Timeout:     2 * time.Second,
+				MaxAttempts: 100,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  20 * time.Millisecond,
+			})
+			var (
+				seen    int64
+				lastLSN uint64
+				mine    []int64
+				broken  bool
+			)
+			err := c.Watch(ctx, "feedv", 0, false, func(ev server.WatchEvent) bool {
+				switch ev.Kind {
+				case server.WatchSnapshot:
+					if ev.LSN < lastLSN {
+						broken = true
+						return false
+					}
+					lastLSN = ev.LSN
+					seen = 0
+					for _, r := range ev.Rows {
+						seen += int64(r[1].(float64))
+					}
+				case server.WatchDelta:
+					if ev.LSN <= lastLSN {
+						broken = true
+						return false
+					}
+					lastLSN = ev.LSN
+					// Delta rows are projected source rows: one row per
+					// append, Vals[1] the append's own microsecond stamp.
+					now := time.Now().UnixNano()
+					for _, d := range ev.Deltas {
+						seen++
+						mine = append(mine, now-int64(d.Vals[1].(float64))*1000)
+					}
+				case server.WatchBye:
+					broken = true
+					return false
+				}
+				return seen < int64(appends)
+			})
+			if broken || (err != nil && ctx.Err() == nil) || seen != int64(appends) {
+				failures.Add(1)
+				return
+			}
+			gapless.Add(1)
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(s)
+	}
+
+	interval := time.Second / time.Duration(rate)
+	start := time.Now()
+	for i := 0; i < appends; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := db.Append("calls", chronicledb.Tuple{
+			chronicledb.Str("a"), chronicledb.Int(time.Now().UnixMicro())}); err != nil {
+			return nil, err
+		}
+	}
+	wg.Wait()
+
+	counts := chaos.Counts()
+	result := fmt.Sprintf("gapless (%d resets)", counts.Resets)
+	if n := failures.Load(); n > 0 {
+		result = fmt.Sprintf("FAILED(%d of %d subscribers)", n, subs)
+	} else if counts.Resets == 0 && counts.DroppedConns == 0 {
+		result = "gapless (no chaos fired)"
+	}
+	p50, p99 := latQuantiles(lats)
+	return []string{
+		"sse-chaos", fmtCount(subs), fmt.Sprintf("%d", rate), fmtCount(appends),
+		fmtCount(int(gapless.Load()) * appends), fmtNs(p50), fmtNs(p99), "-",
+		"0", result,
+	}, nil
+}
+
+// latQuantiles returns the p50 and p99 of a latency sample in nanoseconds.
+func latQuantiles(lats []int64) (p50, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return float64(lats[len(lats)/2]), float64(lats[len(lats)*99/100])
+}

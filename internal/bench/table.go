@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"E16", "append hot path: allocations and group commit", RunE16},
 		{"E17", "read path: snapshot reads vs locked reads", RunE17},
 		{"E18", "exactly-once ingestion under network chaos", RunE18},
+		{"E19", "changefeed fan-out: delta delivery to live subscribers", RunE19},
 	}
 }
 

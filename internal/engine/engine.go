@@ -22,6 +22,7 @@ import (
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/dedup"
 	"chronicledb/internal/dispatch"
+	"chronicledb/internal/feed"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
 	"chronicledb/internal/stats"
@@ -118,6 +119,19 @@ type Engine struct {
 	// Config.DedupDisabled (the E18 at-least-once ablation). It is mutated
 	// only under e.mu but carries its own lock for stats/checkpoint readers.
 	dedup *dedup.Table
+
+	// Changefeed state. feed, when set, makes maintain capture every
+	// persistent view's expression delta into pendingFeed, stamped with the
+	// mutation's LSN and ordered by a ticket drawn from feedDoor under
+	// e.mu. With feedDefer false (unsharded kernel) each mutation method
+	// detaches the batch before unlocking and publishes it after its own
+	// commit; with feedDefer true (sharded kernel) batches accumulate until
+	// the shard writer's TakeFeed, so one group commit publishes the whole
+	// coalesced pass.
+	feed        *feed.Hub
+	feedDoor    *feed.Door
+	feedDefer   bool
+	pendingFeed *feed.Batch
 }
 
 // catalog is one immutable generation of the engine's name tables. A new
@@ -260,6 +274,50 @@ func (e *Engine) commitWith(fn func() error) error {
 		return fmt.Errorf("engine: committing: %w", err)
 	}
 	return nil
+}
+
+// SetFeed hooks the changefeed hub into the maintenance path. deferred
+// selects who publishes: false means each mutation method publishes its
+// own batch right after its commit succeeds; true means the caller (the
+// shard writer) detaches batches with TakeFeed and publishes them after
+// the group commit. Install the hub before any appends replay so the tail
+// rings repopulate during recovery.
+func (e *Engine) SetFeed(h *feed.Hub, deferred bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.feed = h
+	e.feedDoor = feed.NewDoor()
+	e.feedDefer = deferred
+}
+
+// Feed returns the installed changefeed hub, or nil.
+func (e *Engine) Feed() *feed.Hub {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.feed
+}
+
+// takeFeedLocked detaches the pending feed batch in immediate mode.
+// Deferred mode leaves it for TakeFeed so one group commit covers a whole
+// coalesced writer pass.
+func (e *Engine) takeFeedLocked() *feed.Batch {
+	if e.feedDefer {
+		return nil
+	}
+	fb := e.pendingFeed
+	e.pendingFeed = nil
+	return fb
+}
+
+// TakeFeed detaches the pending changefeed batch (nil when nothing was
+// captured). The caller owns it: Publish after the covering commit
+// succeeds, Abandon if it fails.
+func (e *Engine) TakeFeed() *feed.Batch {
+	e.mu.Lock()
+	fb := e.pendingFeed
+	e.pendingFeed = nil
+	e.mu.Unlock()
+	return fb
 }
 
 // SetLSNSource makes the engine draw LSNs from an external allocator
@@ -443,18 +501,25 @@ func (e *Engine) CreatePeriodicView(name string, def view.Def, cal calendar.Cale
 // for good — the chronicle it summarized was never stored).
 func (e *Engine) DropView(name string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	switch e.names[name] {
 	case "view":
 		delete(e.views, name)
 	case "periodic view":
 		delete(e.periodics, name)
 	default:
+		e.mu.Unlock()
 		return fmt.Errorf("engine: no view named %q", name)
 	}
 	delete(e.names, name)
 	e.disp.Unregister(name)
 	e.publishCatalogLocked()
+	h := e.feed
+	e.mu.Unlock()
+	if h != nil {
+		// Terminate the view's subscriptions (ReasonDropped) and free its
+		// resume tail; done outside e.mu so feed locks never nest inside it.
+		h.DropView(name)
+	}
 	return nil
 }
 
@@ -466,13 +531,17 @@ func (e *Engine) Append(chronicleName string, tuples []value.Tuple) (sn int64, e
 	e.mu.Lock()
 	sn, err = e.appendLocked(chronicleName, tuples, nil, nil)
 	commit := e.onCommit
+	fb := e.takeFeedLocked()
 	e.mu.Unlock()
 	if err != nil {
+		fb.Abandon()
 		return 0, err
 	}
 	if err := e.commitWith(commit); err != nil {
+		fb.Abandon()
 		return 0, err
 	}
+	fb.Publish()
 	return sn, nil
 }
 
@@ -482,13 +551,17 @@ func (e *Engine) AppendAt(chronicleName string, sn, chronon int64, tuples []valu
 	e.mu.Lock()
 	out, err := e.appendLocked(chronicleName, tuples, &sn, &chronon)
 	commit := e.onCommit
+	fb := e.takeFeedLocked()
 	e.mu.Unlock()
 	if err != nil {
+		fb.Abandon()
 		return 0, err
 	}
 	if err := e.commitWith(commit); err != nil {
+		fb.Abandon()
 		return 0, err
 	}
+	fb.Publish()
 	return out, nil
 }
 
@@ -527,7 +600,7 @@ func (e *Engine) appendLocked(chronicleName string, tuples []value.Tuple, snOver
 	e.scratch.rows = rows
 	clear(e.scratch.deltas)
 	e.scratch.deltas[c] = rows
-	e.maintain(e.scratch.deltas, chronon)
+	e.maintain(e.scratch.deltas, chronon, lsn)
 	e.stats.Appends++
 	e.stats.TuplesAppended += int64(len(tuples))
 	return sn, nil
@@ -539,13 +612,17 @@ func (e *Engine) AppendBatch(parts []MutationPart) (int64, error) {
 	e.mu.Lock()
 	sn, err := e.appendBatchLocked(parts, nil, nil)
 	commit := e.onCommit
+	fb := e.takeFeedLocked()
 	e.mu.Unlock()
 	if err != nil {
+		fb.Abandon()
 		return 0, err
 	}
 	if err := e.commitWith(commit); err != nil {
+		fb.Abandon()
 		return 0, err
 	}
+	fb.Publish()
 	return sn, nil
 }
 
@@ -554,13 +631,17 @@ func (e *Engine) AppendBatchAt(parts []MutationPart, sn, chronon int64) (int64, 
 	e.mu.Lock()
 	out, err := e.appendBatchLocked(parts, &sn, &chronon)
 	commit := e.onCommit
+	fb := e.takeFeedLocked()
 	e.mu.Unlock()
 	if err != nil {
+		fb.Abandon()
 		return 0, err
 	}
 	if err := e.commitWith(commit); err != nil {
+		fb.Abandon()
 		return 0, err
 	}
+	fb.Publish()
 	return out, nil
 }
 
@@ -606,7 +687,7 @@ func (e *Engine) appendBatchLocked(parts []MutationPart, snOverride, chOverride 
 	if err := g.AppendBatchInto(sn, chronon, lsn, resolved, e.scratch.deltas); err != nil {
 		return 0, err
 	}
-	e.maintain(e.scratch.deltas, chronon)
+	e.maintain(e.scratch.deltas, chronon, lsn)
 	e.stats.Appends++
 	for _, p := range parts {
 		e.stats.TuplesAppended += int64(len(p.Tuples))
@@ -641,8 +722,16 @@ func (e *Engine) AppendEach(chronicleName string, tuples []value.Tuple) (first, 
 		last = sn
 	}
 	commit := e.onCommit
+	fb := e.takeFeedLocked()
 	e.mu.Unlock()
 	cerr := e.commitWith(commit)
+	if cerr != nil {
+		fb.Abandon()
+	} else {
+		// Publish even on a partial run: the applied prefix committed, so
+		// its deltas are durable and must reach subscribers.
+		fb.Publish()
+	}
 	if applyErr != nil {
 		return first, last, applyErr
 	}
@@ -674,17 +763,21 @@ func (e *Engine) AppendEachIdem(chronicleName string, tuples []value.Tuple, clie
 	}
 	first, last, err = e.appendEachAtomicLocked(chronicleName, tuples, clientID, requestID, nil, nil)
 	commit := e.onCommit
+	fb := e.takeFeedLocked()
 	e.mu.Unlock()
 	if err != nil {
+		fb.Abandon()
 		return 0, 0, false, err
 	}
 	if err := e.commitWith(commit); err != nil {
+		fb.Abandon()
 		// The run is applied in memory but not durably acknowledged. The
 		// caller (the DB facade) latches read-only on this error, which is
 		// what keeps the dedup entry from turning a failed commit into a
 		// false positive ack on retry.
 		return first, last, false, err
 	}
+	fb.Publish()
 	return first, last, false, nil
 }
 
@@ -694,11 +787,18 @@ func (e *Engine) AppendEachAt(chronicleName string, firstSN, chronon int64, tupl
 	e.mu.Lock()
 	_, _, err := e.appendEachAtomicLocked(chronicleName, tuples, clientID, requestID, &firstSN, &chronon)
 	commit := e.onCommit
+	fb := e.takeFeedLocked()
 	e.mu.Unlock()
 	if err != nil {
+		fb.Abandon()
 		return err
 	}
-	return e.commitWith(commit)
+	if err := e.commitWith(commit); err != nil {
+		fb.Abandon()
+		return err
+	}
+	fb.Publish()
+	return nil
 }
 
 // appendEachAtomicLocked applies one idempotent run: coerce everything,
@@ -754,7 +854,7 @@ func (e *Engine) appendEachAtomicLocked(chronicleName string, tuples []value.Tup
 		e.scratch.rows = rows
 		clear(e.scratch.deltas)
 		e.scratch.deltas[c] = rows
-		e.maintain(e.scratch.deltas, chronon)
+		e.maintain(e.scratch.deltas, chronon, tupleLSN)
 		e.stats.Appends++
 		e.stats.TuplesAppended++
 	}
@@ -805,8 +905,10 @@ func (e *Engine) DedupStats() (entries int, hits int64, evictions int64) {
 }
 
 // maintain dispatches one append's deltas to every affected persistent and
-// periodic view.
-func (e *Engine) maintain(deltas map[*chronicle.Chronicle][]chronicle.Row, chronon int64) {
+// periodic view. lsn is the mutation's logical sequence number; with a
+// changefeed installed each persistent view's expression delta is captured
+// under it before being folded into the materialization.
+func (e *Engine) maintain(deltas map[*chronicle.Chronicle][]chronicle.Row, chronon int64, lsn uint64) {
 	start := time.Now()
 	batch := algebra.BatchDelta(deltas)
 	seen := e.scratch.seen
@@ -818,7 +920,18 @@ func (e *Engine) maintain(deltas map[*chronicle.Chronicle][]chronicle.Row, chron
 			}
 			seen[t.ID] = true
 			if v, ok := e.views[t.ID]; ok {
-				v.Apply(batch)
+				if e.feed != nil {
+					drows := v.Delta(batch)
+					v.ApplyRows(drows)
+					if len(drows) > 0 {
+						if e.pendingFeed == nil {
+							e.pendingFeed = e.feed.Begin(e.feedDoor)
+						}
+						e.pendingFeed.Capture(t.ID, lsn, drows)
+					}
+				} else {
+					v.Apply(batch)
+				}
 				e.stats.ViewsMaintained++
 			} else if pv, ok := e.periodics[t.ID]; ok {
 				// Apply error only occurs for invalid defs, which New vetted.
@@ -1040,6 +1153,25 @@ func (e *Engine) ViewScanFunc(name string, fn func(value.Tuple) bool) error {
 	e.readScans.Add(1)
 	e.readLat.Observe(time.Since(start))
 	return nil
+}
+
+// ViewScanAt streams a view's rows like ViewScanFunc and returns the
+// applied LSN of the scanned state — the changefeed's snapshot catch-up
+// anchor: deltas with LSN ≤ the returned value are already reflected in
+// the rows fn saw. Tuples passed to fn are caller-owned.
+func (e *Engine) ViewScanAt(name string, fn func(value.Tuple) bool) (uint64, error) {
+	defer e.lockedReads()()
+	start := time.Now()
+	v, ok := e.cat.Load().views[name]
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown view %q", name)
+	}
+	lsn := v.ScanAt(func(t value.Tuple) bool {
+		return fn(ownedRow(v, t))
+	})
+	e.readScans.Add(1)
+	e.readLat.Observe(time.Since(start))
+	return lsn, nil
 }
 
 // ViewScanRangeFunc streams the view rows with group key in [lo, hi) in

@@ -193,8 +193,12 @@ func (b *breaker) onFailure() {
 // that crosses a timeout, a duplicated delivery, or a server restart can
 // never double-apply.
 type Client struct {
-	base    string
-	http    *http.Client
+	base string
+	http *http.Client
+	// stream shares http's transport but carries no overall timeout: a
+	// /watch subscription is supposed to stay open indefinitely, and the
+	// request-shaped client's Timeout would sever it at the deadline.
+	stream  *http.Client
 	cfg     ClientConfig
 	brk     breaker
 	nextReq atomic.Uint64
@@ -221,9 +225,10 @@ func NewClientWith(base string, cfg ClientConfig) *Client {
 		}
 	}
 	c := &Client{
-		base: base,
-		http: &http.Client{Transport: transport, Timeout: cfg.Timeout},
-		cfg:  cfg,
+		base:   base,
+		http:   &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		stream: &http.Client{Transport: transport},
+		cfg:    cfg,
 	}
 	c.brk = breaker{
 		threshold: cfg.BreakerThreshold,

@@ -1,0 +1,264 @@
+// Client side of /watch: a resilient SSE subscriber. The client holds one
+// streaming GET open, tracks the last delivered LSN as its cursor, and on
+// any interruption — connection reset, server drain, shed as a slow
+// consumer, 429 admission — reconnects with from_lsn=<cursor> after the
+// configured backoff, so the caller observes one gapless, duplicate-free
+// logical stream across every reconnect.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WatchKind tags a client-side watch event.
+type WatchKind string
+
+// The event kinds a Watch callback receives. Heartbeats are consumed
+// internally (they only prove liveness); transient byes (drain, slow) are
+// hidden behind an automatic reconnect.
+const (
+	// WatchInfo opens every (re)connect: the view's columns, the resolved
+	// starting cursor, and whether this leg resumes from the in-memory tail
+	// or replays a snapshot.
+	WatchInfo WatchKind = "info"
+	// WatchSnapshot carries the view's full contents as of LSN; deltas then
+	// follow from LSN+1.
+	WatchSnapshot WatchKind = "snapshot"
+	// WatchDelta carries one committed mutation's delta rows at LSN.
+	WatchDelta WatchKind = "delta"
+	// WatchBye is terminal: the view was dropped server-side. LSN is the
+	// last position delivered.
+	WatchBye WatchKind = "bye"
+)
+
+// WatchDeltaRow is one delta row as delivered to a watch callback.
+type WatchDeltaRow struct {
+	SN      int64
+	Chronon int64
+	Vals    []any
+}
+
+// WatchEvent is one delivery to a Watch callback.
+type WatchEvent struct {
+	Kind    WatchKind
+	View    string
+	LSN     uint64
+	Columns []string        // WatchInfo
+	Resume  string          // WatchInfo: "tail" or "snapshot"
+	Rows    [][]any         // WatchSnapshot
+	Deltas  []WatchDeltaRow // WatchDelta
+	Reason  string          // WatchBye
+}
+
+// watchOutcome is one stream leg's disposition.
+type watchOutcome int
+
+const (
+	watchReconnect watchOutcome = iota // transient: resume from the cursor
+	watchDone                          // terminal: stop watching
+)
+
+// Watch subscribes to a view's changefeed and streams events to fn until
+// fn returns false, ctx is done, the view is dropped (fn receives a
+// terminal WatchBye), or MaxAttempts consecutive connection failures burn
+// through without a single event arriving.
+//
+// With hasFrom, fromLSN is the resume cursor — the last delta LSN the
+// caller already holds. The cursor then advances with every snapshot and
+// delta delivered, and every automatic reconnect passes it back, so the
+// LSN sequence fn observes is gapless and duplicate-free across server
+// drains, slow-consumer sheds, and network faults. After a deep
+// disconnect (cursor older than the server's resume window) fn receives a
+// fresh WatchSnapshot instead of the missed deltas; WatchInfo announces
+// which way each leg resumed.
+func (c *Client) Watch(ctx context.Context, view string, fromLSN uint64, hasFrom bool, fn func(WatchEvent) bool) error {
+	cursor, haveCursor := fromLSN, hasFrom
+	fails := 0
+	var lastErr error
+	var retryAfter time.Duration
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if fails > 0 {
+			if fails >= c.cfg.MaxAttempts {
+				return lastErr
+			}
+			c.cfg.sleep(c.backoffDelay(fails-1, retryAfter))
+			retryAfter = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		url := c.base + "/watch?view=" + neturl.QueryEscape(view)
+		if haveCursor {
+			url += "&from_lsn=" + strconv.FormatUint(cursor, 10)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		resp, err := c.stream.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fails++
+			lastErr = fmt.Errorf("server: %w", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var eb errorBody
+			json.NewDecoder(resp.Body).Decode(&eb)
+			resp.Body.Close()
+			serr := statusError(resp.StatusCode, eb.Error)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				// Admission shed (watcher slots full): transient, back off
+				// honoring the server's hint and try again.
+				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.cfg.now())
+				fails++
+				lastErr = serr
+				continue
+			}
+			// Anything else (unknown view, feeds disabled, bad cursor) is
+			// permanent: resending the same subscription cannot help.
+			return serr
+		}
+		outcome, legErr := c.consumeWatch(resp.Body, fn, &cursor, &haveCursor, &fails)
+		resp.Body.Close()
+		if outcome == watchDone {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if legErr != nil {
+			fails++
+			lastErr = legErr
+		}
+	}
+}
+
+// consumeWatch reads one stream leg, dispatching events to fn and
+// advancing the cursor. It returns watchDone when fn stops the watch or a
+// terminal bye arrives; otherwise watchReconnect, with a non-nil error
+// when the leg ended in a failure (counts toward MaxAttempts) rather than
+// a clean transient bye.
+func (c *Client) consumeWatch(body io.Reader, fn func(WatchEvent) bool, cursor *uint64, haveCursor *bool, fails *int) (watchOutcome, error) {
+	rd := bufio.NewReader(body)
+	var event string
+	var data []byte
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return watchReconnect, fmt.Errorf("server: watch stream: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line != "" {
+			if rest, ok := strings.CutPrefix(line, "event: "); ok {
+				event = rest
+			} else if rest, ok := strings.CutPrefix(line, "data: "); ok {
+				data = []byte(rest)
+			}
+			continue
+		}
+		if event == "" && data == nil {
+			continue // stray blank line between events
+		}
+		ev, terminal, deliver, err := decodeWatchEvent(event, data)
+		event, data = "", nil
+		if err != nil {
+			return watchReconnect, err
+		}
+		// Any successfully decoded event proves the stream works; the
+		// failure streak resets so a long-lived watch never exhausts its
+		// attempts across unrelated interruptions.
+		*fails = 0
+		switch ev.Kind {
+		case WatchSnapshot, WatchDelta:
+			*cursor, *haveCursor = ev.LSN, true
+		case WatchBye:
+			if ev.LSN > *cursor {
+				*cursor, *haveCursor = ev.LSN, true
+			}
+		}
+		if deliver && !fn(ev) {
+			return watchDone, nil
+		}
+		if terminal {
+			return watchDone, nil
+		}
+		if ev.Kind == WatchBye {
+			// Transient bye (drain, slow): the server is about to close the
+			// connection; reconnect cleanly with the cursor it handed back.
+			return watchReconnect, nil
+		}
+	}
+}
+
+// decodeWatchEvent maps one wire event to its client shape. deliver is
+// false for events the client consumes itself (heartbeats, transient
+// byes); terminal marks the stream's true end (view dropped).
+func decodeWatchEvent(event string, data []byte) (ev WatchEvent, terminal, deliver bool, err error) {
+	switch event {
+	case "info":
+		var wi watchInfo
+		if err = json.Unmarshal(data, &wi); err != nil {
+			break
+		}
+		ev = WatchEvent{Kind: WatchInfo, View: wi.View, LSN: wi.FromLSN, Columns: wi.Columns, Resume: wi.Resume}
+		deliver = true
+	case "snapshot":
+		var ws watchRows
+		if err = json.Unmarshal(data, &ws); err != nil {
+			break
+		}
+		ev = WatchEvent{Kind: WatchSnapshot, View: ws.View, LSN: ws.LSN, Rows: ws.Rows}
+		deliver = true
+	case "delta":
+		var wd watchDelta
+		if err = json.Unmarshal(data, &wd); err != nil {
+			break
+		}
+		ev = WatchEvent{Kind: WatchDelta, View: wd.View, LSN: wd.LSN}
+		ev.Deltas = make([]WatchDeltaRow, len(wd.Rows))
+		for i, r := range wd.Rows {
+			ev.Deltas[i] = WatchDeltaRow{SN: r.SN, Chronon: r.Chronon, Vals: r.Vals}
+		}
+		deliver = true
+	case "hb":
+		var h watchHB
+		if err = json.Unmarshal(data, &h); err != nil {
+			break
+		}
+		ev = WatchEvent{Kind: "hb", LSN: h.LSN}
+	case "bye":
+		var b watchBye
+		if err = json.Unmarshal(data, &b); err != nil {
+			break
+		}
+		ev = WatchEvent{Kind: WatchBye, LSN: b.LSN, Reason: b.Reason}
+		// Dropped means the view no longer exists: deliver and end. Drain
+		// and slow are transient server-side states: reconnect silently
+		// with the cursor.
+		if b.Reason == "dropped" {
+			terminal, deliver = true, true
+		}
+	default:
+		// Unknown event type: a newer server speaking a richer protocol.
+		// Skip it rather than failing the stream.
+	}
+	if err != nil {
+		err = fmt.Errorf("server: decoding watch %s event: %w", event, err)
+	}
+	return ev, terminal, deliver, err
+}

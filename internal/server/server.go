@@ -18,6 +18,7 @@ import (
 	"net/http/pprof"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +87,15 @@ type Config struct {
 	MaxQueue int
 	// RetryAfter is the backoff hint sent with 429 responses; 0 means 1s.
 	RetryAfter time.Duration
+	// MaxSubscribers bounds concurrently connected /watch subscribers; 0
+	// means the default (4096). This is a separate gate from MaxInFlight:
+	// a watcher flood sheds watchers with 429, it never consumes the write
+	// path's in-flight slots — and a write burst never sheds watchers.
+	MaxSubscribers int
+	// Heartbeat is the keep-alive cadence on idle /watch streams; 0 means
+	// the 10 s default. Each heartbeat carries the subscriber's cursor so a
+	// reconnect after silence still resumes at the right LSN.
+	Heartbeat time.Duration
 }
 
 const (
@@ -94,6 +104,9 @@ const (
 	defaultMaxInFlight    = 64
 	defaultMaxQueue       = 128
 	defaultRetryAfter     = time.Second
+	defaultMaxSubs        = 4096
+	defaultHeartbeat      = 10 * time.Second
+	maxPollWait           = 30 * time.Second
 )
 
 // Server serves a DB over HTTP.
@@ -113,6 +126,22 @@ type Server struct {
 	queued     atomic.Int64
 	shed       atomic.Int64
 	retryAfter time.Duration
+
+	// Subscriber admission for /watch: its own semaphore, deliberately not
+	// the write path's inflight channel, so watchers and appenders cannot
+	// starve each other. watchShed counts subscriptions turned away.
+	watchers  chan struct{}
+	watchShed atomic.Int64
+	heartbeat time.Duration
+	// writeWindow bounds each individual write on a /watch stream — the
+	// stream as a whole is unbounded (it is exempt from the request
+	// timeout), so a stalled client is detected per event, not per request.
+	writeWindow time.Duration
+	// drainCh closes when Serve begins a graceful shutdown: every live
+	// /watch stream ends with a terminal bye{reason:drain} event carrying
+	// its cursor instead of hanging until a timeout kills the connection.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // New wraps db in an HTTP handler with default limits.
@@ -135,11 +164,25 @@ func NewWith(db *chronicledb.DB, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = defaultRetryAfter
 	}
+	if cfg.MaxSubscribers <= 0 {
+		cfg.MaxSubscribers = defaultMaxSubs
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = defaultHeartbeat
+	}
 	s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	s.maxQueue = int64(cfg.MaxQueue)
 	s.retryAfter = cfg.RetryAfter
+	s.watchers = make(chan struct{}, cfg.MaxSubscribers)
+	s.heartbeat = cfg.Heartbeat
+	s.writeWindow = cfg.RequestTimeout
+	if s.writeWindow <= 0 {
+		s.writeWindow = defaultRequestTimeout
+	}
+	s.drainCh = make(chan struct{})
 	s.mux.HandleFunc("POST /exec", s.admit(s.handleExec))
 	s.mux.HandleFunc("POST /append", s.admit(s.handleAppend))
+	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /latest", s.handleLatest)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -208,6 +251,17 @@ func (s *Server) Overloaded() bool {
 // away with 429.
 func (s *Server) ShedTotal() int64 { return s.shed.Load() }
 
+// WatchShedTotal returns how many /watch subscriptions were turned away
+// with 429 because every MaxSubscribers slot was taken.
+func (s *Server) WatchShedTotal() int64 { return s.watchShed.Load() }
+
+// ActiveSubscribers returns how many /watch streams are connected now.
+func (s *Server) ActiveSubscribers() int { return len(s.watchers) }
+
+// beginDrain tells every live /watch stream to end with a terminal bye
+// event. Idempotent; called by Serve before shutting the listener down.
+func (s *Server) beginDrain() { s.drainOnce.Do(func() { close(s.drainCh) }) }
+
 // ServeHTTP implements http.Handler: request bodies are bounded and a
 // handler panic becomes a 500 instead of killing the connection.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -231,11 +285,26 @@ func Serve(ctx context.Context, ln net.Listener, s *Server, requestTimeout, drai
 	if requestTimeout <= 0 {
 		requestTimeout = defaultRequestTimeout
 	}
+	// /watch streams for as long as the subscriber stays connected, so it
+	// must bypass the per-request timeout wrapper and the server-wide
+	// read/write timeouts (either would sever every stream at the deadline).
+	// Request-shaped endpoints keep their bound via http.TimeoutHandler plus
+	// explicit per-request connection deadlines; the watch handler guards
+	// itself with a per-event write deadline instead.
+	timed := http.TimeoutHandler(s, requestTimeout, `{"error":"request timed out"}`)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/watch" {
+			s.ServeHTTP(w, r)
+			return
+		}
+		rc := http.NewResponseController(w)
+		rc.SetReadDeadline(time.Now().Add(requestTimeout))
+		rc.SetWriteDeadline(time.Now().Add(requestTimeout + 5*time.Second))
+		timed.ServeHTTP(w, r)
+	})
 	srv := &http.Server{
-		Handler:           http.TimeoutHandler(s, requestTimeout, `{"error":"request timed out"}`),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       requestTimeout,
-		WriteTimeout:      requestTimeout + 5*time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
@@ -245,6 +314,10 @@ func Serve(ctx context.Context, ln net.Listener, s *Server, requestTimeout, drai
 		return err
 	case <-ctx.Done():
 	}
+	// Tell live streams to say goodbye before Shutdown starts waiting on
+	// them: each emits bye{reason:drain,lsn:cursor} and returns, so the
+	// graceful drain completes instead of timing out under open streams.
+	s.beginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)
@@ -417,23 +490,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ws := s.db.WALStats()
 	rs := s.db.ReadStats()
 	dedupEntries, dedupHits, dedupEvictions := s.db.DedupStats()
+	fs := s.db.FeedStats()
 	body := map[string]any{
 		// Admission control and ingestion reliability.
-		"in_flight":          len(s.inflight),
-		"queue_depth":        s.queued.Load(),
-		"shed_total":         s.shed.Load(),
-		"dedup_entries":      dedupEntries,
-		"dedup_hits":         dedupHits,
-		"dedup_evictions":    dedupEvictions,
-		"shards":             s.db.Shards(),
-		"appends":            st.Appends,
-		"tuples_appended":    st.TuplesAppended,
-		"relation_updates":   st.RelationUpdates,
-		"views_maintained":   st.ViewsMaintained,
-		"maintenance_ns":     st.MaintenanceNs,
-		"maintenance_p50_ns": int64(lat.P50),
-		"maintenance_p99_ns": int64(lat.P99),
-		"maintenance_max_ns": int64(lat.Max),
+		"in_flight":   len(s.inflight),
+		"queue_depth": s.queued.Load(),
+		"shed_total":  s.shed.Load(),
+		// Changefeed delivery: live subscriber count, cumulative frames and
+		// rows pushed, slow consumers shed, and how reconnects resumed
+		// (tail replay vs full-snapshot catch-up).
+		"feed_subscribers":       fs.Subscribers,
+		"feed_subscribed_total":  fs.SubscribedTotal,
+		"feed_published":         fs.Published,
+		"feed_rows_published":    fs.RowsPublished,
+		"feed_dropped_slow":      fs.DroppedSlow,
+		"feed_catchups_tail":     fs.CatchupsTail,
+		"feed_catchups_snapshot": fs.CatchupsSnapshot,
+		"feed_evicted":           fs.Evicted,
+		"watch_active":           len(s.watchers),
+		"watch_shed_total":       s.watchShed.Load(),
+		"dedup_entries":          dedupEntries,
+		"dedup_hits":             dedupHits,
+		"dedup_evictions":        dedupEvictions,
+		"shards":                 s.db.Shards(),
+		"appends":                st.Appends,
+		"tuples_appended":        st.TuplesAppended,
+		"relation_updates":       st.RelationUpdates,
+		"views_maintained":       st.ViewsMaintained,
+		"maintenance_ns":         st.MaintenanceNs,
+		"maintenance_p50_ns":     int64(lat.P50),
+		"maintenance_p99_ns":     int64(lat.P99),
+		"maintenance_max_ns":     int64(lat.Max),
 		// Read-path traffic: lookups and scans served off view snapshots,
 		// their latency distribution, and the worst-case snapshot staleness.
 		"read_lookups":    rs.Lookups,
@@ -470,8 +557,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // strings so pollers can decode into a flat map.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	shed := strconv.FormatInt(s.shed.Load(), 10)
+	subs := strconv.FormatInt(s.db.FeedStats().Subscribers, 10)
+	watchShed := strconv.FormatInt(s.watchShed.Load(), 10)
 	if ro, cause := s.db.ReadOnly(); ro {
-		body := map[string]string{"status": "degraded", "shed_total": shed}
+		body := map[string]string{
+			"status": "degraded", "shed_total": shed,
+			"feed_subscribers": subs, "watch_shed_total": watchShed,
+		}
 		if cause != nil {
 			body["error"] = cause.Error()
 		}
@@ -480,13 +572,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Overloaded() {
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{
-			"status":     "overloaded",
-			"error":      "admission queue full",
-			"shed_total": shed,
+			"status":           "overloaded",
+			"error":            "admission queue full",
+			"shed_total":       shed,
+			"feed_subscribers": subs,
+			"watch_shed_total": watchShed,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "shed_total": shed})
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok", "shed_total": shed,
+		"feed_subscribers": subs, "watch_shed_total": watchShed,
+	})
 }
 
 func toResponse(res *chronicledb.Result) Response {

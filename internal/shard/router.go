@@ -13,6 +13,7 @@ import (
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/dedup"
 	"chronicledb/internal/engine"
+	"chronicledb/internal/feed"
 	"chronicledb/internal/keyenc"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
@@ -155,6 +156,18 @@ func (r *Router) SetRelationCommitter(fn func() error) {
 // append paths run it per mutation.
 func (r *Router) SetShardCommitter(i int, fn func() error) {
 	r.shards[i].commit = fn
+}
+
+// SetFeed installs one shared changefeed hub into every shard engine, in
+// deferred mode: captured frames stay pending until the shard writer (or a
+// direct append path) detaches them with TakeFeed and publishes them after
+// its commit. Every shard draws LSNs from the router's shared allocator
+// and every view is maintained by exactly one shard, so the shared hub
+// merges the multi-shard feeds into per-view streams in LSN order.
+func (r *Router) SetFeed(h *feed.Hub) {
+	for _, s := range r.shards {
+		s.eng.SetFeed(h, true)
+	}
 }
 
 // --- catalog ------------------------------------------------------------
@@ -390,12 +403,19 @@ func (r *Router) AppendEachAt(chronicleName string, firstSN, chronon int64, tupl
 	}
 	r.relGate.RLock()
 	defer r.relGate.RUnlock()
-	if err := s.eng.AppendEachAt(chronicleName, firstSN, chronon, tuples, clientID, requestID); err != nil {
+	err = s.eng.AppendEachAt(chronicleName, firstSN, chronon, tuples, clientID, requestID)
+	fb := s.eng.TakeFeed()
+	if err != nil {
+		fb.Abandon()
 		return err
 	}
 	if s.commit != nil {
-		return s.commit()
+		if cerr := s.commit(); cerr != nil {
+			fb.Abandon()
+			return cerr
+		}
 	}
+	fb.Publish()
 	return nil
 }
 
@@ -426,14 +446,18 @@ func (r *Router) AppendAt(chronicleName string, sn, chronon int64, tuples []valu
 	r.relGate.RLock()
 	defer r.relGate.RUnlock()
 	out, err := s.eng.AppendAt(chronicleName, sn, chronon, tuples)
+	fb := s.eng.TakeFeed()
 	if err != nil {
+		fb.Abandon()
 		return 0, err
 	}
 	if s.commit != nil {
 		if err := s.commit(); err != nil {
+			fb.Abandon()
 			return 0, err
 		}
 	}
+	fb.Publish()
 	return out, nil
 }
 
@@ -450,14 +474,18 @@ func (r *Router) AppendBatchAt(parts []engine.MutationPart, sn, chronon int64) (
 	r.relGate.RLock()
 	defer r.relGate.RUnlock()
 	out, err := s.eng.AppendBatchAt(parts, sn, chronon)
+	fb := s.eng.TakeFeed()
 	if err != nil {
+		fb.Abandon()
 		return 0, err
 	}
 	if s.commit != nil {
 		if err := s.commit(); err != nil {
+			fb.Abandon()
 			return 0, err
 		}
 	}
+	fb.Publish()
 	return out, nil
 }
 
@@ -788,6 +816,17 @@ func (r *Router) ViewScanFunc(name string, fn func(value.Tuple) bool) error {
 		return fmt.Errorf("engine: unknown view %q", name)
 	}
 	return s.eng.ViewScanFunc(name, fn)
+}
+
+// ViewScanAt streams a view's rows from its home shard and returns the
+// applied LSN of the scanned state (the changefeed snapshot catch-up
+// anchor).
+func (r *Router) ViewScanAt(name string, fn func(value.Tuple) bool) (uint64, error) {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown view %q", name)
+	}
+	return s.eng.ViewScanAt(name, fn)
 }
 
 // ViewScanRangeFunc streams the view rows with group key in [lo, hi) from

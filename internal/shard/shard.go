@@ -93,17 +93,30 @@ func (s *shardState) run(gate *sync.RWMutex, wg *sync.WaitGroup) {
 		for _, q := range batch {
 			q.apply(s.eng)
 		}
+		// The engine runs in deferred-feed mode: view deltas captured by the
+		// coalesced batch stay pending until detached here, so the single
+		// group commit below decides the fate of the whole pass's frames.
+		fb := s.eng.TakeFeed()
 		// Group commit: one fsync covers the whole coalesced batch. No
 		// request is acknowledged (done closed) until it is durable; a
 		// commit failure un-acks every request the fsync would have covered.
+		var cerr error
 		if s.commit != nil {
-			if cerr := s.commit(); cerr != nil {
+			if cerr = s.commit(); cerr != nil {
 				for _, q := range batch {
 					if q.err == nil {
 						q.err = cerr
 					}
 				}
 			}
+		}
+		// Publish-after-commit: frames reach subscribers only once durable,
+		// and before the requests are acknowledged, so an acked append's
+		// delta is already in flight to every watcher.
+		if cerr != nil {
+			fb.Abandon()
+		} else {
+			fb.Publish()
 		}
 		for _, q := range batch {
 			close(q.done)

@@ -154,6 +154,18 @@ type Show struct {
 	What string
 }
 
+// Watch is "WATCH view [FROM LSN n] [LIMIT k]": subscribe to a view's
+// changefeed, streaming committed deltas in LSN order. FROM LSN resumes
+// after the given cursor; LIMIT stops the stream after k delta events.
+// Only streaming surfaces (the CLI, DB.Watch, GET /watch) can execute it —
+// a request/response Exec cannot hold a stream open.
+type Watch struct {
+	View    string
+	FromLSN uint64
+	HasFrom bool
+	Limit   int // 0 = unlimited
+}
+
 func (*CreateGroup) stmt()     {}
 func (*CreateChronicle) stmt() {}
 func (*CreateRelation) stmt()  {}
@@ -165,3 +177,4 @@ func (*Delete) stmt()          {}
 func (*Query) stmt()           {}
 func (*Explain) stmt()         {}
 func (*Show) stmt()            {}
+func (*Watch) stmt()           {}

@@ -130,6 +130,8 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return &Explain{View: name}, nil
+	case p.atKeyword("WATCH"):
+		return p.watch()
 	case p.atKeyword("SHOW"):
 		p.next()
 		what, err := p.ident()
@@ -145,6 +147,40 @@ func (p *parser) statement() (Statement, error) {
 	default:
 		return nil, p.errf("expected a statement")
 	}
+}
+
+// watch parses "WATCH view [FROM LSN n] [LIMIT k]".
+func (p *parser) watch() (Statement, error) {
+	p.next() // WATCH
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	w := &Watch{View: name}
+	if p.eatKeyword("FROM") {
+		if err := p.expectKeyword("LSN"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokNumber) {
+			return nil, p.errf("expected an LSN after FROM LSN")
+		}
+		n, err := strconv.ParseUint(p.next().text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LSN: %v", err)
+		}
+		w.FromLSN, w.HasFrom = n, true
+	}
+	if p.eatKeyword("LIMIT") {
+		if !p.at(tokNumber) {
+			return nil, p.errf("expected a count after LIMIT")
+		}
+		n, err := strconv.ParseInt(p.next().text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, p.errf("LIMIT must be a positive integer")
+		}
+		w.Limit = int(n)
+	}
+	return w, nil
 }
 
 func (p *parser) create() (Statement, error) {

@@ -76,7 +76,8 @@ type Stats struct {
 // locks while maintenance keeps writing to the live tree.
 type snapshot struct {
 	tree *btree.Tree[[]byte, *entry]
-	at   int64 // publication time, UnixNano
+	at   int64  // publication time, UnixNano
+	lsn  uint64 // highest LSN folded in when this snapshot was published
 }
 
 // View is a materialized persistent view with incremental maintenance.
@@ -116,6 +117,12 @@ type View struct {
 	// concurrent read paths (Lookup, ScanRange) use pooled buffers instead.
 	keyBuf   []byte
 	deltaBuf []chronicle.Row
+
+	// appliedLSN is the highest LSN among delta rows folded into the view,
+	// the cursor position of the materialized state. The changefeed's
+	// snapshot catch-up path splices on it: deliver the snapshot, then
+	// filter live frames with LSN ≤ the snapshot's lsn.
+	appliedLSN uint64
 }
 
 // New validates a definition and materializes an empty view. The result is
@@ -190,7 +197,7 @@ func (v *View) publishLocked() {
 	if !ok {
 		return
 	}
-	v.snap.Store(&snapshot{tree: ts.t.Clone(), at: time.Now().UnixNano()})
+	v.snap.Store(&snapshot{tree: ts.t.Clone(), at: time.Now().UnixNano(), lsn: v.appliedLSN})
 	v.epoch++
 }
 
@@ -246,9 +253,17 @@ func (v *View) Len() int {
 // operation whose complexity defines the chronicle system's complexity
 // (Section 3).
 func (v *View) Apply(d algebra.BatchDelta) {
+	v.ApplyRows(v.Delta(d))
+}
+
+// Delta computes the expression delta for one append batch without
+// applying it. The rows alias the view's maintenance scratch and are valid
+// until the next Delta call; the engine uses the split form to capture the
+// delta for the changefeed between computing and folding it.
+func (v *View) Delta(d algebra.BatchDelta) []chronicle.Row {
 	rows, keep := algebra.DeltaInto(v.def.Expr, d, v.deltaBuf[:0])
 	v.deltaBuf = keep
-	v.ApplyRows(rows)
+	return rows
 }
 
 // ApplyRows folds precomputed expression delta rows into the view. The
@@ -262,6 +277,11 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 	defer v.mu.Unlock()
 	v.stats.Applies++
 	v.stats.DeltaRows += int64(len(rows))
+	for _, r := range rows {
+		if r.LSN > v.appliedLSN {
+			v.appliedLSN = r.LSN
+		}
+	}
 	switch v.def.Mode {
 	case SummarizeProject:
 		for _, r := range rows {
@@ -446,6 +466,52 @@ func (v *View) Scan(fn func(value.Tuple) bool) {
 		}
 		return fn(v.rowOf(e))
 	})
+}
+
+// ScanAt visits every view row like Scan and returns the applied LSN of
+// the state it scanned: the exact cursor position of the image fn saw. The
+// changefeed's snapshot catch-up uses it to splice into the live stream —
+// deltas with LSN ≤ the returned value are already reflected in the rows
+// delivered, deltas above it are not. B-tree views read the stamped LSN of
+// the frozen snapshot; hash views scan under the read lock, which excludes
+// maintenance, so the live appliedLSN is exact for the scanned state.
+func (v *View) ScanAt(fn func(value.Tuple) bool) uint64 {
+	if s := v.snap.Load(); s != nil {
+		s.tree.Ascend(func(_ []byte, e *entry) bool {
+			if e.count == 0 {
+				return true
+			}
+			return fn(v.rowOf(e))
+		})
+		return s.lsn
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	v.store.ascend(func(_ []byte, e *entry) bool {
+		if e.count == 0 {
+			return true
+		}
+		return fn(v.rowOf(e))
+	})
+	return v.appliedLSN
+}
+
+// AppliedLSN returns the highest LSN folded into the view.
+func (v *View) AppliedLSN() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.appliedLSN
+}
+
+// SetAppliedLSN restores the cursor position of the materialized state
+// after a checkpoint restore, before the WAL suffix replays.
+func (v *View) SetAppliedLSN(lsn uint64) {
+	v.mu.Lock()
+	if lsn > v.appliedLSN {
+		v.appliedLSN = lsn
+		v.publishLocked()
+	}
+	v.mu.Unlock()
 }
 
 // Rows materializes the view contents as a slice (tests and small queries).

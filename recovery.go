@@ -78,6 +78,18 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 			return err
 		}
 		ckptLSN = lsn
+		// Every restored view reflects exactly the mutations at or below
+		// the checkpoint LSN; stamp that cursor so changefeed snapshot
+		// splices anchor correctly, and raise the feed horizon — deltas
+		// inside the checkpoint are not individually replayable.
+		for _, name := range db.eng.ViewNames() {
+			if v, ok := db.eng.View(name); ok {
+				v.SetAppliedLSN(ckptLSN)
+			}
+		}
+		if db.hub != nil {
+			db.hub.SetBase(ckptLSN)
+		}
 	} else if !os.IsNotExist(err) {
 		return fmt.Errorf("chronicledb: checkpoint: %w", err)
 	}

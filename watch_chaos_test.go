@@ -1,0 +1,223 @@
+package chronicledb_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/fault"
+	"chronicledb/internal/server"
+)
+
+const (
+	watchChaosSubs      = 5  // concurrent SSE subscribers
+	watchChaosAppenders = 3  // concurrent idempotent appenders
+	watchChaosRequests  = 40 // appends per appender, one row each
+)
+
+// TestWatchNetworkChaos is the changefeed half of the network-torture
+// harness: SSE subscribers watch a view through a chaos TCP proxy that
+// resets and drops their streams mid-body, while idempotent appenders push
+// rows through the same proxy and the server suffers a checkpoint, a power
+// cut, and a reopen behind the same address. The delivery contract under
+// all of it: every subscriber's spliced stream (snapshot counts plus one
+// delta row per appended source row, across every reconnect) conserves
+// the append total exactly — a gap undercounts and the watch never
+// finishes; a duplicate overcounts — and LSNs only ever move forward.
+func TestWatchNetworkChaos(t *testing.T) {
+	disk := fault.NewDisk()
+	open := func() *chronicledb.DB {
+		db, err := chronicledb.Open(chronicledb.Options{
+			Dir: "/data", SyncWAL: true, FS: disk, Shards: 4, Feed: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := open()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT) RETAIN ALL`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE VIEW usage AS SELECT acct, COUNT(*) AS n FROM calls GROUP BY acct`); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewWith(db, server.Config{}))
+
+	chaos := fault.NewNetChaos(99)
+	chaos.DropRequest = 0.03
+	chaos.DropResponse = 0.05
+	chaos.Duplicate = 0.03
+	chaos.DropConn = 0.05
+	chaos.ResetProb = 0.20 // streams die mid-body; subscribers must resume
+	chaos.ResetAfter = 256
+
+	proxy, err := fault.NewProxy(strings.TrimPrefix(ts.URL, "http://"), chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const total = int64(watchChaosAppenders * watchChaosRequests)
+
+	// Mid-run checkpoint, power cut, and failover: subscribers whose
+	// cursors predate the checkpoint must re-splice via snapshot; newer
+	// cursors tail-resume from the frames WAL replay republished.
+	var acked atomic.Int64
+	var db2 *chronicledb.DB
+	var ts2 *httptest.Server
+	failoverDone := make(chan struct{})
+	go func() {
+		defer close(failoverDone)
+		for acked.Load() < total/3 {
+			time.Sleep(time.Millisecond)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Errorf("mid-run checkpoint: %v", err)
+		}
+		disk.PowerCut()
+		ts.CloseClientConnections()
+		ts.Close()
+		db.Close()
+		disk.Heal()
+		db2 = open()
+		ts2 = httptest.NewServer(server.NewWith(db2, server.Config{}))
+		proxy.SetTarget(strings.TrimPrefix(ts2.URL, "http://"))
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	newClient := func(id string) *server.Client {
+		return server.NewClientWith("http://"+proxy.Addr(), server.ClientConfig{
+			ClientID:         id,
+			Timeout:          2 * time.Second,
+			MaxAttempts:      200, // ride out the whole failover window
+			BaseBackoff:      2 * time.Millisecond,
+			MaxBackoff:       50 * time.Millisecond,
+			RetryBudget:      10 * time.Second,
+			BreakerThreshold: -1,
+			Transport: &fault.ChaosTransport{
+				Chaos: chaos,
+				Base:  &http.Transport{DisableKeepAlives: true},
+			},
+		})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, watchChaosSubs+watchChaosAppenders)
+	for s := 0; s < watchChaosSubs; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := newClient(fmt.Sprintf("watcher-%d", s))
+			// A reconnect may legally re-splice via snapshot (cursor below
+			// the post-recovery horizon): the snapshot replaces all
+			// accumulated state, then deltas continue past its LSN.
+			acctN := map[string]int64{}
+			var seen int64
+			var lastLSN uint64
+			err := c.Watch(ctx, "usage", 0, false, func(ev server.WatchEvent) bool {
+				switch ev.Kind {
+				case server.WatchSnapshot:
+					if ev.LSN < lastLSN {
+						errs <- fmt.Errorf("subscriber %d: snapshot LSN %d below cursor %d", s, ev.LSN, lastLSN)
+						return false
+					}
+					lastLSN = ev.LSN
+					clear(acctN)
+					seen = 0
+					for _, r := range ev.Rows {
+						n := int64(r[1].(float64))
+						acctN[r[0].(string)] = n
+						seen += n
+					}
+				case server.WatchDelta:
+					if ev.LSN <= lastLSN {
+						errs <- fmt.Errorf("subscriber %d: delta LSN %d after %d (duplicate)", s, ev.LSN, lastLSN)
+						return false
+					}
+					lastLSN = ev.LSN
+					for _, d := range ev.Deltas {
+						acctN[d.Vals[0].(string)]++
+						seen++
+					}
+				case server.WatchBye:
+					errs <- fmt.Errorf("subscriber %d: terminal bye (%s)", s, ev.Reason)
+					return false
+				}
+				return seen < total
+			})
+			if err != nil && ctx.Err() == nil {
+				errs <- fmt.Errorf("subscriber %d: %v", s, err)
+				return
+			}
+			if ctx.Err() != nil {
+				errs <- fmt.Errorf("subscriber %d: timed out at %d/%d rows (gap)", s, seen, total)
+				return
+			}
+			if seen != total {
+				errs <- fmt.Errorf("subscriber %d: saw %d rows, want %d (duplicate delivery)", s, seen, total)
+			}
+			for a := 0; a < watchChaosAppenders; a++ {
+				acct := fmt.Sprintf("chaos-%d", a)
+				if acctN[acct] != watchChaosRequests {
+					errs <- fmt.Errorf("subscriber %d: %s total %d, want %d", s, acct, acctN[acct], watchChaosRequests)
+				}
+			}
+		}(s)
+	}
+	for a := 0; a < watchChaosAppenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			c := newClient(fmt.Sprintf("chaos-%d", a))
+			rows := [][]any{{fmt.Sprintf("chaos-%d", a), 1}}
+			for m := 0; m < watchChaosRequests; m++ {
+				rid := fmt.Sprintf("m%d", m)
+				deadline := time.Now().Add(60 * time.Second)
+				for {
+					// Request-id reuse: however many times chaos or the
+					// failover re-delivers this append, it applies once,
+					// so watchers see exactly one delta for it.
+					if _, err := c.AppendRowsIdem("calls", rows, rid); err == nil {
+						acked.Add(1)
+						break
+					} else if time.Now().After(deadline) {
+						errs <- fmt.Errorf("appender %d req %s: %v", a, rid, err)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	<-failoverDone
+	defer db2.Close()
+	defer ts2.Close()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	counts := chaos.Counts()
+	t.Logf("chaos: %+v", counts)
+	if counts.Resets == 0 && counts.DroppedConns == 0 {
+		t.Fatal("chaos never killed a stream; raise probabilities")
+	}
+
+	// The durable view agrees with what every subscriber converged on.
+	for a := 0; a < watchChaosAppenders; a++ {
+		row, ok, err := db2.Lookup("usage", chronicledb.Str(fmt.Sprintf("chaos-%d", a)))
+		if err != nil || !ok || row[1].AsInt() != watchChaosRequests {
+			t.Errorf("usage(chaos-%d) = %v %v %v, want %d", a, row, ok, err, watchChaosRequests)
+		}
+	}
+}
