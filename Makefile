@@ -83,6 +83,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeValue -fuzztime=30s ./internal/value/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/wal/
+	$(GO) test -run=NONE -fuzz=FuzzManifest -fuzztime=30s ./internal/wal/
 
 examples:
 	$(GO) run ./examples/quickstart

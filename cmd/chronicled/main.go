@@ -3,15 +3,21 @@
 // Usage:
 //
 //	chronicled [-addr :7457] [-dir /var/lib/chronicledb] [-sync]
-//	           [-retain all|none|N] [-checkpoint-every N] [-shards N]
+//	           [-retain all|none|N] [-checkpoint-every 1m] [-shards N]
+//	           [-wal-segment-bytes N] [-checkpoint-full-every N] [-compact]
 //	           [-request-timeout 30s] [-max-body 8388608] [-drain-timeout 10s]
 //	           [-max-inflight N] [-max-queue N] [-retry-after 1s]
 //	           [-dedup-cap N] [-dedup-disabled]
 //	           [-feed] [-feed-tail N] [-max-subscribers N] [-heartbeat 10s]
 //
-// With -dir, the database is durable: appends hit the WAL before views are
-// maintained, and every N appends (default 10000) the server checkpoints
-// and truncates the log. Without -dir, the database is in-memory.
+// With -dir, the database is durable: appends hit a rotated, size-capped
+// WAL (segment cap -wal-segment-bytes, default 16 MiB; negative = legacy
+// single grow-until-checkpoint file) and the -checkpoint-every ticker cuts
+// incremental checkpoints, so recovery time and disk footprint are bounded
+// by write rate since the last checkpoint, not by uptime. Each checkpoint
+// also compacts: sealed segments wholly below the checkpoint LSN are
+// deleted (disable with -compact=false to keep every segment for external
+// archiving). Without -dir, the database is in-memory.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
 // drains in-flight requests (bounded by -drain-timeout), flushes and syncs
@@ -45,6 +51,9 @@ func main() {
 		sync       = flag.Bool("sync", false, "durable WAL: group-commit fsync acks every append")
 		retain     = flag.String("retain", "none", "default chronicle retention: all, none, or a row count")
 		ckptEvery  = flag.Duration("checkpoint-every", time.Minute, "checkpoint interval (0 disables; durable mode only)")
+		segBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation cap in bytes (0 = default 16MiB, negative = legacy single-file WAL)")
+		ckptFull   = flag.Int("checkpoint-full-every", 0, "fold the incremental chain into a full checkpoint every N checkpoints (0 = default 8)")
+		compact    = flag.Bool("compact", true, "delete WAL segments and checkpoints superseded by the chain (false keeps every file)")
 		initFile   = flag.String("init", "", "SQL file executed at startup (idempotence is the caller's concern)")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "single-writer shards (0 = classic single-engine kernel)")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout")
@@ -67,14 +76,17 @@ func main() {
 		log.Fatal(err)
 	}
 	db, err := chronicledb.Open(chronicledb.Options{
-		Dir:              *dir,
-		SyncWAL:          *sync,
-		Shards:           *shards,
-		DefaultRetention: retention,
-		DedupCap:         *dedupCap,
-		DedupDisabled:    *dedupOff,
-		Feed:             *feed,
-		FeedTailFrames:   *feedTail,
+		Dir:                 *dir,
+		SyncWAL:             *sync,
+		Shards:              *shards,
+		DefaultRetention:    retention,
+		WALSegmentBytes:     *segBytes,
+		CheckpointFullEvery: *ckptFull,
+		NoCompact:           !*compact,
+		DedupCap:            *dedupCap,
+		DedupDisabled:       *dedupOff,
+		Feed:                *feed,
+		FeedTailFrames:      *feedTail,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -53,6 +53,25 @@ type Options struct {
 	// apply under a cross-shard epoch barrier. Zero keeps the classic
 	// single-engine kernel.
 	Shards int
+	// WALSegmentBytes caps each WAL segment file: an append that would push
+	// the active segment past the cap first rotates to a fresh segment,
+	// registered in the durable manifest, so recovery replay and disk usage
+	// are bounded by write rate since the last checkpoint rather than by
+	// uptime. Zero means DefaultSegmentBytes; negative selects the legacy
+	// single-file-per-shard layout (one grow-until-checkpoint WAL, full
+	// checkpoints into checkpoint.bin — the E20 ablation baseline).
+	WALSegmentBytes int64
+	// CheckpointFullEvery folds the incremental checkpoint chain: every
+	// Nth checkpoint is written full and supersedes the whole chain (the
+	// compactor then deletes the obsolete increments). Zero means
+	// DefaultCheckpointFullEvery; 1 makes every checkpoint full. Ignored
+	// in the legacy layout, where every checkpoint is full.
+	CheckpointFullEvery int
+	// NoCompact disables segment reclamation: sealed segments wholly below
+	// the checkpoint LSN are kept instead of deleted, and superseded
+	// checkpoint-chain files survive folds. Ablation baseline for E20's
+	// bounded-disk claim; leave false in production.
+	NoCompact bool
 	// DefaultRetention applies to chronicles created without RETAIN. The
 	// zero value (RetainNone) is the pure chronicle model: nothing stored.
 	DefaultRetention Retention
@@ -188,11 +207,35 @@ type DB struct {
 	// per-view resume tails with the original LSNs.
 	hub *feed.Hub
 
-	// Open WAL logs. Unsharded: [chronicle.wal]. Sharded: one segment per
-	// shard followed by the relation segment.
+	// Open WAL logs, one per stream. Unsharded: the chronicle stream.
+	// Sharded: one per shard followed by the relation stream. In the
+	// legacy layout these are the fixed-name grow-until-checkpoint files;
+	// in the segmented layout each log is the stream's active segment and
+	// rotates at the cap.
 	logs          []*wal.Log
 	catalogPath   string
 	catalogSynced bool // catalog.sql's dir entry is durable
+
+	// Segmented-layout state (zero/nil in legacy mode). man is the current
+	// durable manifest; manMu serializes flips (rotation hook, checkpoint,
+	// stats snapshots). ckptMarks are the dirty markers captured at the
+	// last checkpoint — nil forces the next checkpoint full; ddlDirty does
+	// the same after DDL (drops are invisible to the monotonic markers).
+	// incrSinceFull counts chain entries since the last fold; it and
+	// ckptMarks are guarded by db.mu (checkpoints are serialized).
+	man           wal.Manifest
+	manMu         sync.Mutex
+	ckptMarks     map[string]uint64
+	incrSinceFull int
+	ddlDirty      atomic.Bool
+
+	// Storage observability counters.
+	lastCkptLSN    atomic.Uint64
+	ckptFull       atomic.Int64
+	ckptIncr       atomic.Int64
+	ckptsFolded    atomic.Int64
+	reclaimedBytes atomic.Int64
+	segsReclaimed  atomic.Int64
 
 	// Degradation latch: the first WAL failure flips the DB read-only.
 	readOnly atomic.Bool
@@ -273,14 +316,22 @@ func Open(opts Options) (*DB, error) {
 		db.stopKernel()
 		return nil, err
 	}
-	if err := db.openLogs(); err != nil {
-		db.stopKernel()
-		return nil, err
-	}
-	db.installRecorders()
-	if err := db.normalizeLayout(oldManifest, hadManifest); err != nil {
-		db.Close()
-		return nil, err
+	if db.segmented() {
+		if err := db.openSegmented(oldManifest, hadManifest); err != nil {
+			db.stopKernel()
+			return nil, err
+		}
+		db.installRecorders()
+	} else {
+		if err := db.openLogs(); err != nil {
+			db.stopKernel()
+			return nil, err
+		}
+		db.installRecorders()
+		if err := db.normalizeLayout(oldManifest, hadManifest); err != nil {
+			db.Close()
+			return nil, err
+		}
 	}
 	db.markOpen()
 	return db, nil
@@ -308,13 +359,7 @@ func (db *DB) openLogs() error {
 	} else {
 		paths = append(paths, filepath.Join(db.opts.Dir, "chronicle.wal"))
 	}
-	policy := wal.SyncNone
-	if db.opts.SyncWAL {
-		policy = wal.SyncGroup
-		if db.opts.SyncPerAppend {
-			policy = wal.SyncEach
-		}
-	}
+	policy := db.syncPolicy()
 	for _, p := range paths {
 		log, err := wal.OpenPolicyFS(db.fs, p, policy)
 		if err != nil {
@@ -456,12 +501,35 @@ func (db *DB) committer(log *wal.Log) func() error {
 	}
 }
 
-// normalizeLayout converts the on-disk WAL layout to the active kernel's
-// shape after a shard-count change: everything recovered is checkpointed
-// (so no WAL record is still needed), stale segments are removed, and the
-// manifest is rewritten last.
+// normalizeLayout converts the on-disk WAL layout to the legacy shape the
+// active kernel expects (it only runs in legacy mode; segmented mode
+// converts inside openSegmented). Everything recovered is checkpointed
+// first (so no old WAL record is still needed), the new layout's manifest
+// is made durable (or removed, for the manifest-less unsharded layout),
+// and only then are the old layout's files — v1 shard segments, v2
+// segments and chain checkpoints, the legacy single log — removed, so a
+// crash mid-conversion always leaves a manifest whose references exist.
 func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
 	legacyWAL := filepath.Join(db.opts.Dir, "chronicle.wal")
+	oldFiles := func(keep map[string]bool) []string {
+		var names []string
+		for _, seg := range old.Segments {
+			if !keep[seg] {
+				names = append(names, seg)
+			}
+		}
+		for _, s := range old.Live {
+			if !keep[s.Name] {
+				names = append(names, s.Name)
+			}
+		}
+		for _, c := range old.Checkpoints {
+			if !keep[c.Name] {
+				names = append(names, c.Name)
+			}
+		}
+		return names
+	}
 	if db.router == nil {
 		if !hadManifest {
 			return nil // classic layout already
@@ -469,15 +537,21 @@ func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
 		if err := db.Checkpoint(); err != nil {
 			return err
 		}
-		for _, seg := range old.Segments {
-			db.fs.Remove(filepath.Join(db.opts.Dir, seg))
-		}
+		// Drop the manifest first: from here recovery takes the legacy
+		// unsharded path (checkpoint.bin + chronicle.wal) and never reads
+		// the old layout's files again.
 		db.fs.Remove(filepath.Join(db.opts.Dir, wal.ManifestName))
+		if err := db.fs.SyncDir(db.opts.Dir); err != nil {
+			return fmt.Errorf("chronicledb: %w", err)
+		}
+		for _, name := range oldFiles(map[string]bool{"chronicle.wal": true}) {
+			db.fs.Remove(filepath.Join(db.opts.Dir, name))
+		}
 		return db.fs.SyncDir(db.opts.Dir)
 	}
 	_, statErr := db.fs.Stat(legacyWAL)
 	hadLegacy := statErr == nil
-	if hadManifest && old.Shards == db.router.NumShards() && !hadLegacy {
+	if hadManifest && old.Version == 1 && old.Shards == db.router.NumShards() && !hadLegacy {
 		return nil // layout already matches
 	}
 	if err := db.Checkpoint(); err != nil {
@@ -488,20 +562,18 @@ func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
 	for _, seg := range cur.Segments {
 		keep[seg] = true
 	}
+	if err := wal.WriteManifestFS(db.fs, db.opts.Dir, cur); err != nil {
+		return fmt.Errorf("chronicledb: %w", err)
+	}
 	if hadManifest {
-		for _, seg := range old.Segments {
-			if !keep[seg] {
-				db.fs.Remove(filepath.Join(db.opts.Dir, seg))
-			}
+		for _, name := range oldFiles(keep) {
+			db.fs.Remove(filepath.Join(db.opts.Dir, name))
 		}
 	}
 	if hadLegacy {
 		db.fs.Remove(legacyWAL)
 	}
-	if err := wal.WriteManifestFS(db.fs, db.opts.Dir, cur); err != nil {
-		return fmt.Errorf("chronicledb: %w", err)
-	}
-	return nil
+	return db.fs.SyncDir(db.opts.Dir)
 }
 
 // stopKernel stops shard writers (no-op for the single-engine kernel).
@@ -603,6 +675,21 @@ type WALStats struct {
 	AllocsPerOp   float64 // process mallocs per append since Open (all goroutines)
 	FsyncsPerSec  float64 // fsync rate since Open
 	UptimeSeconds float64 // seconds since Open
+
+	// Segmented-layout gauges (zero in legacy mode or without a Dir).
+	Segmented              bool
+	SegmentCap             int64  // rotation threshold, bytes
+	Segments               int    // live segment files, all streams
+	SealedSegments         int    // of those, sealed (rotation completed)
+	LiveBytes              int64  // bytes recovery would read (sealed + active)
+	Rotations              int64  // segment rotations since open
+	ReclaimedBytes         int64  // sealed bytes deleted by compaction since open
+	SegmentsReclaimed      int64  // segments deleted by compaction since open
+	Checkpoints            int    // checkpoint chain length
+	CheckpointsFull        int64  // full images written since open
+	CheckpointsIncremental int64  // incremental images written since open
+	CheckpointsFolded      int64  // chain entries superseded by folds since open
+	LastCheckpointLSN      uint64 // chain tip LSN (replay skip threshold)
 }
 
 // WALStats returns the merged durability and hot-path gauges. The
@@ -617,9 +704,33 @@ func (db *DB) WALStats() WALStats {
 		m := l.LogMetrics()
 		w.Records += m.Records
 		w.Fsyncs += m.Fsyncs
+		w.Rotations += m.Rotations
 		batches.Merge(&m.Batches)
 	}
 	w.Batches = batches.Snapshot()
+	if db.segmented() {
+		w.Segmented = true
+		w.SegmentCap = db.segmentCap()
+		for _, l := range db.logs {
+			w.LiveBytes += l.LogMetrics().ActiveBytes
+		}
+		db.manMu.Lock()
+		for _, s := range db.man.Live {
+			w.Segments++
+			if s.Sealed {
+				w.SealedSegments++
+				w.LiveBytes += s.Bytes
+			}
+		}
+		w.Checkpoints = len(db.man.Checkpoints)
+		db.manMu.Unlock()
+		w.ReclaimedBytes = db.reclaimedBytes.Load()
+		w.SegmentsReclaimed = db.segsReclaimed.Load()
+		w.CheckpointsFull = db.ckptFull.Load()
+		w.CheckpointsIncremental = db.ckptIncr.Load()
+		w.CheckpointsFolded = db.ckptsFolded.Load()
+		w.LastCheckpointLSN = db.lastCkptLSN.Load()
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	w.Appends = db.eng.Stats().Appends - db.openAppends

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"chronicledb/internal/wal"
 )
 
 func memDB(t testing.TB) *DB {
@@ -239,8 +241,12 @@ func TestDurableReopenWALOnly(t *testing.T) {
 }
 
 func TestDurableCheckpointTruncatesWAL(t *testing.T) {
+	// Legacy single-file layout (WALSegmentBytes < 0): a checkpoint writes
+	// one full image to checkpoint.bin and truncates the WAL outright. The
+	// segmented default never truncates — TestSegmentedCheckpointChain
+	// covers its replay-skip + compaction equivalent.
 	dir := t.TempDir()
-	db, err := Open(Options{Dir: dir, DefaultRetention: Retention(2)})
+	db, err := Open(Options{Dir: dir, DefaultRetention: Retention(2), WALSegmentBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +269,7 @@ func TestDurableCheckpointTruncatesWAL(t *testing.T) {
 	mustExec(t, db, `APPEND INTO calls VALUES ('alice', 2, 1.0)`)
 	db.Close()
 
-	db2, err := Open(Options{Dir: dir, DefaultRetention: Retention(2)})
+	db2, err := Open(Options{Dir: dir, DefaultRetention: Retention(2), WALSegmentBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,8 +336,10 @@ func TestTornWALTailRecovers(t *testing.T) {
 	mustExec(t, db, `APPEND INTO calls VALUES ('alice', 8, 0.5)`)
 	db.Close()
 
-	// Simulate a crash mid-write: chop the last few bytes of the WAL.
-	walPath := filepath.Join(dir, "chronicle.wal")
+	// Simulate a crash mid-write: chop the last few bytes of the active
+	// WAL segment (the chronicle stream's first segment — nothing here
+	// rotates).
+	walPath := filepath.Join(dir, wal.SegmentFileName(wal.ChronicleStream, 1))
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -503,7 +511,7 @@ func TestCorruptCheckpointRejected(t *testing.T) {
 	}
 	db.Close()
 
-	path := filepath.Join(dir, "checkpoint.bin")
+	path := filepath.Join(dir, wal.CheckpointFileName(1))
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

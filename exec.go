@@ -147,6 +147,7 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 		if err := db.eng.DropView(s.Name); err != nil {
 			return nil, err
 		}
+		db.ddlDirty.Store(true) // force the next checkpoint full (see ddlDone)
 		if logDDL && db.catalogPath != "" {
 			if err := db.appendCatalog(fmt.Sprintf("DROP VIEW %s", s.Name)); err != nil {
 				return nil, err
@@ -191,8 +192,13 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 	}
 }
 
-// ddlDone persists a DDL statement to the catalog and acknowledges it.
+// ddlDone persists a DDL statement to the catalog and acknowledges it. It
+// also flags the DDL for the incremental checkpointer: the monotonic dirty
+// markers cannot see a drop (or a drop-and-recreate that resets a counter
+// behind an unchanged name), so the next checkpoint after any DDL is
+// written full.
 func (db *DB) ddlDone(s sqlparse.Statement, logDDL bool, format string, args ...any) (*Result, error) {
+	db.ddlDirty.Store(true)
 	if logDDL && db.catalogPath != "" {
 		if err := db.appendCatalog(renderDDL(s)); err != nil {
 			return nil, err
@@ -469,6 +475,18 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("wal_fsyncs"), value.Int(ws.Fsyncs)},
 				{value.Str("fsyncs_per_sec"), value.Str(fmt.Sprintf("%.1f", ws.FsyncsPerSec))},
 				{value.Str("commit_batch_records"), value.Str(formatBatchSnapshot(ws.Batches))},
+				{value.Str("wal_segments"), value.Int(int64(ws.Segments))},
+				{value.Str("wal_sealed_segments"), value.Int(int64(ws.SealedSegments))},
+				{value.Str("wal_segment_cap"), value.Int(ws.SegmentCap)},
+				{value.Str("wal_live_bytes"), value.Int(ws.LiveBytes)},
+				{value.Str("wal_rotations"), value.Int(ws.Rotations)},
+				{value.Str("wal_reclaimed_bytes"), value.Int(ws.ReclaimedBytes)},
+				{value.Str("wal_segments_reclaimed"), value.Int(ws.SegmentsReclaimed)},
+				{value.Str("checkpoint_chain_len"), value.Int(int64(ws.Checkpoints))},
+				{value.Str("checkpoint_full_total"), value.Int(ws.CheckpointsFull)},
+				{value.Str("checkpoint_incremental_total"), value.Int(ws.CheckpointsIncremental)},
+				{value.Str("checkpoints_folded"), value.Int(ws.CheckpointsFolded)},
+				{value.Str("last_checkpoint_lsn"), value.Int(int64(ws.LastCheckpointLSN))},
 				{value.Str("dedup_entries"), value.Int(int64(dedupEntries))},
 				{value.Str("dedup_hits"), value.Int(dedupHits)},
 				{value.Str("dedup_evictions"), value.Int(dedupEvictions)},

@@ -107,6 +107,7 @@ func All() []Experiment {
 		{"E17", "read path: snapshot reads vs locked reads", RunE17},
 		{"E18", "exactly-once ingestion under network chaos", RunE18},
 		{"E19", "changefeed fan-out: delta delivery to live subscribers", RunE19},
+		{"E20", "recovery and disk vs uptime: segmented vs single-file WAL", RunE20},
 	}
 }
 

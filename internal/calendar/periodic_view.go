@@ -24,6 +24,7 @@ type PeriodicView struct {
 	maxSeen   int64 // high-water chronon, drives expiration
 	created   int64
 	expired   int64
+	applies   int64 // maintenance invocations; the checkpoint dirty marker
 }
 
 // NewPeriodicView builds the family. def is the per-interval SCA view
@@ -67,12 +68,18 @@ func (p *PeriodicView) Created() int64 { return p.created }
 // Expired returns the number of instances dropped by expiration.
 func (p *PeriodicView) Expired() int64 { return p.expired }
 
+// Applies counts maintenance invocations ever applied (including rounds
+// that only advanced expiration). Incremental checkpoints use it as the
+// monotonic dirty marker: an unchanged count means unchanged state.
+func (p *PeriodicView) Applies() int64 { return p.applies }
+
 // Apply routes one append batch (stamped with its chronon) to every view
 // instance whose interval contains the chronon, creating instances on
 // demand, then expires instances whose grace period has passed. Only the
 // currently active instances are maintained — the Section 5.2 requirement
 // that "only these periodic views need to be maintained upon insertions".
 func (p *PeriodicView) Apply(d algebra.BatchDelta, chronon int64) error {
+	p.applies++
 	if chronon > p.maxSeen {
 		p.maxSeen = chronon
 	}

@@ -73,7 +73,7 @@ type Engine struct {
 	mu  sync.RWMutex
 	cfg Config
 
-	lsn        uint64
+	lsn        atomic.Uint64 // internal allocator; atomic so LSN() needs no lock
 	lsnSrc     func() uint64 // shared LSN domain (sharded mode); nil = internal counter
 	groups     map[string]*chronicle.Group
 	chronicles map[string]*chronicle.Chronicle
@@ -330,6 +330,20 @@ func (e *Engine) SetLSNSource(next func() uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.lsnSrc = next
+}
+
+// Quiesce runs fn while holding the engine's mutation lock exclusively, so
+// no append, upsert, or DDL interleaves with it. Checkpoints use it to cut
+// a consistent snapshot at an exact LSN: without it a concurrent mutation
+// could land in some captured objects but not others, and a segmented
+// recovery — which replays records above the checkpoint LSN without
+// truncating the log — would double-apply or lose the stragglers. fn must
+// only use the engine's lock-free accessors (the published catalog, the
+// atomic LSN, per-object locks), never methods that take the engine lock.
+func (e *Engine) Quiesce(fn func() error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn()
 }
 
 // Stats returns a copy of the engine counters.
@@ -1032,35 +1046,32 @@ func (e *Engine) nextLSN() uint64 {
 	if e.lsnSrc != nil {
 		return e.lsnSrc()
 	}
-	e.lsn++
-	return e.lsn
+	return e.lsn.Add(1)
 }
 
 // LSN returns the current logical sequence number. With an external LSN
 // source installed the router owns the counter; this reports only the
 // internal one.
 func (e *Engine) LSN() uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.lsn
+	return e.lsn.Load()
 }
 
 // RestoreLSN advances the LSN to at least lsn. Checkpoint recovery uses it
 // so post-recovery updates keep strictly increasing LSNs.
 func (e *Engine) RestoreLSN(lsn uint64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if lsn > e.lsn {
-		e.lsn = lsn
+	for {
+		cur := e.lsn.Load()
+		if lsn <= cur || e.lsn.CompareAndSwap(cur, lsn) {
+			return
+		}
 	}
 }
 
 // GroupNames returns the chronicle group names, sorted.
 func (e *Engine) GroupNames() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]string, 0, len(e.groups))
-	for n := range e.groups {
+	c := e.cat.Load()
+	out := make([]string, 0, len(c.groups))
+	for n := range c.groups {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -1320,9 +1331,7 @@ func (e *Engine) PeriodicView(name string) (*calendar.PeriodicView, bool) {
 
 // Group returns a chronicle group by name.
 func (e *Engine) Group(name string) (*chronicle.Group, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	g, ok := e.groups[name]
+	g, ok := e.cat.Load().groups[name]
 	return g, ok
 }
 
@@ -1339,11 +1348,23 @@ func (e *Engine) RelationNames() []string { return e.sortedNames("relation") }
 func (e *Engine) PeriodicViewNames() []string { return e.sortedNames("periodic view") }
 
 func (e *Engine) sortedNames(kind string) []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	c := e.cat.Load()
 	var out []string
-	for n, k := range e.names {
-		if k == kind {
+	switch kind {
+	case "view":
+		for n := range c.views {
+			out = append(out, n)
+		}
+	case "chronicle":
+		for n := range c.chronicles {
+			out = append(out, n)
+		}
+	case "relation":
+		for n := range c.relations {
+			out = append(out, n)
+		}
+	case "periodic view":
+		for n := range c.periodics {
 			out = append(out, n)
 		}
 	}

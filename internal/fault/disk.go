@@ -7,6 +7,7 @@ import (
 	iofs "io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -345,6 +346,23 @@ func (d *Disk) Stat(path string) (iofs.FileInfo, error) {
 		return fileInfo{name: filepath.Base(path), dir: true}, nil
 	}
 	return nil, notExist("stat", path)
+}
+
+// ReadDir lists the volatile namespace's entries under dir, sorted.
+func (d *Disk) ReadDir(dir string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	var names []string
+	for p := range d.files {
+		if filepath.Dir(p) == dir {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // MkdirAll records the directory. Directory creation is durable

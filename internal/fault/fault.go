@@ -53,6 +53,11 @@ type FS interface {
 	MkdirAll(path string, perm iofs.FileMode) error
 	// SyncDir fsyncs the directory at path.
 	SyncDir(path string) error
+	// ReadDir lists the names of the entries in the directory at path, in
+	// lexical order. Recovery uses it to sweep orphan files a crash left
+	// between creating a segment (or checkpoint) and the manifest flip
+	// that would have referenced it.
+	ReadDir(path string) ([]string, error)
 }
 
 // OS is the passthrough implementation backed by the real filesystem.
@@ -78,6 +83,18 @@ func (osFS) Stat(path string) (iofs.FileInfo, error) { return os.Stat(path) }
 
 func (osFS) MkdirAll(path string, perm iofs.FileMode) error {
 	return os.MkdirAll(path, perm.Perm())
+}
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
 }
 
 func (osFS) SyncDir(path string) error {

@@ -126,6 +126,16 @@ func (r *Relation) Updates() int64 {
 	return r.updates
 }
 
+// Reset discards every entry (and all retained history). Recovery uses it
+// when a checkpoint chain restores the same relation more than once: each
+// chain entry's snapshot must replace, not merge with, the previous one.
+func (r *Relation) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = btree.New[string, *entry](func(a, b string) bool { return a < b })
+	r.live = 0
+}
+
 // keyOf extracts the key string of a full tuple.
 func (r *Relation) keyOf(t value.Tuple) string { return t.Key(r.keyCols) }
 

@@ -540,6 +540,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"commit_batch_mean":  float64(ws.Batches.Mean),
 		"commit_batch_p95":   int64(ws.Batches.P95),
 		"commit_batch_max":   int64(ws.Batches.Max),
+		// Segmented-WAL storage gauges: live segment chain, bytes the
+		// compactor has reclaimed, and the incremental checkpoint chain.
+		// Recovery work is bounded by wal_live_bytes, not uptime.
+		"wal_segmented":                ws.Segmented,
+		"wal_segments":                 ws.Segments,
+		"wal_sealed_segments":          ws.SealedSegments,
+		"wal_segment_cap":              ws.SegmentCap,
+		"wal_live_bytes":               ws.LiveBytes,
+		"wal_rotations":                ws.Rotations,
+		"wal_reclaimed_bytes":          ws.ReclaimedBytes,
+		"wal_segments_reclaimed":       ws.SegmentsReclaimed,
+		"checkpoint_chain_len":         ws.Checkpoints,
+		"checkpoint_full_total":        ws.CheckpointsFull,
+		"checkpoint_incremental_total": ws.CheckpointsIncremental,
+		"checkpoints_folded":           ws.CheckpointsFolded,
+		"last_checkpoint_lsn":          ws.LastCheckpointLSN,
 	}
 	if ro, cause := s.db.ReadOnly(); ro {
 		body["read_only"] = true
@@ -559,10 +575,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	shed := strconv.FormatInt(s.shed.Load(), 10)
 	subs := strconv.FormatInt(s.db.FeedStats().Subscribers, 10)
 	watchShed := strconv.FormatInt(s.watchShed.Load(), 10)
+	ws := s.db.WALStats()
+	// Storage gauges operators alarm on: a growing wal_live_bytes with a
+	// stale last_checkpoint_lsn means the checkpointer/compactor stalled
+	// and recovery time is climbing.
+	liveBytes := strconv.FormatInt(ws.LiveBytes, 10)
+	ckptLSN := strconv.FormatUint(ws.LastCheckpointLSN, 10)
 	if ro, cause := s.db.ReadOnly(); ro {
 		body := map[string]string{
 			"status": "degraded", "shed_total": shed,
 			"feed_subscribers": subs, "watch_shed_total": watchShed,
+			"wal_live_bytes": liveBytes, "last_checkpoint_lsn": ckptLSN,
 		}
 		if cause != nil {
 			body["error"] = cause.Error()
@@ -577,12 +600,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"shed_total":       shed,
 			"feed_subscribers": subs,
 			"watch_shed_total": watchShed,
+			"wal_live_bytes":   liveBytes,
 		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{
 		"status": "ok", "shed_total": shed,
 		"feed_subscribers": subs, "watch_shed_total": watchShed,
+		"wal_live_bytes": liveBytes, "last_checkpoint_lsn": ckptLSN,
 	})
 }
 

@@ -29,15 +29,127 @@ const ManifestName = "wal.manifest"
 // RelationSegment is the segment holding router-level relation updates.
 const RelationSegment = "relations.wal"
 
-// Manifest describes the sharded WAL layout of a data directory.
-type Manifest struct {
-	Version  int      `json:"version"`
-	Shards   int      `json:"shards"`
-	Segments []string `json:"segments"` // file names relative to the directory
+// Stream names for the rotated (version-2) layout. A stream is one
+// logical append-only log — the unsharded engine's, one per shard, or the
+// router's relation log — realized on disk as a chain of size-capped
+// segment files.
+const (
+	// ChronicleStream is the unsharded engine's stream.
+	ChronicleStream = "chronicle"
+	// RelationStream is the router-level relation-update stream.
+	RelationStream = "relations"
+)
+
+// StreamName returns shard i's stream name.
+func StreamName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// SegmentFileName returns the file name of segment seq of a stream.
+// Segment sequence numbers are per-stream and strictly increasing; the
+// names never collide with the legacy single-file names (chronicle.wal,
+// shard-NNNN.wal, relations.wal), so both layouts can coexist in a
+// directory during a conversion.
+func SegmentFileName(stream string, seq uint64) string {
+	return fmt.Sprintf("%s-%08d.wal", stream, seq)
 }
 
-// SegmentName returns the log file name for shard i.
+// CheckpointFileName returns the file name of chain checkpoint seq.
+func CheckpointFileName(seq uint64) string {
+	return fmt.Sprintf("checkpoint-%08d.bin", seq)
+}
+
+// Segment describes one segment file of a stream in a version-2 manifest.
+// An unsealed segment is the stream's active tail: the writer appends to
+// it and its Bytes/MaxLSN are not yet final. Sealing happens at rotation,
+// after the file's content is fsynced, so a sealed entry's MaxLSN is a
+// durable upper bound on every record in the file.
+type Segment struct {
+	Name   string `json:"name"`
+	Stream string `json:"stream"`
+	Seq    uint64 `json:"seq"`
+	Sealed bool   `json:"sealed,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`   // size at seal (sealed only)
+	MaxLSN uint64 `json:"max_lsn,omitempty"` // highest LSN at seal (sealed only)
+}
+
+// CheckpointRef is one entry of the checkpoint chain in a version-2
+// manifest: recovery restores the chain in ascending Seq order (each file
+// replaces the state of the objects it contains) and then replays only
+// WAL records above the last entry's LSN. A Full entry supersedes every
+// earlier entry; the compactor drops the superseded files.
+type CheckpointRef struct {
+	Name string `json:"name"`
+	Seq  uint64 `json:"seq"`
+	LSN  uint64 `json:"lsn"`
+	Full bool   `json:"full,omitempty"`
+}
+
+// Manifest describes the WAL layout of a data directory.
+//
+// Version 1 (legacy sharded): Segments lists one grow-until-checkpoint
+// file per shard plus the relation segment; checkpoints live in the
+// fixed-name checkpoint.bin.
+//
+// Version 2 (rotated): Live lists every live segment of every stream and
+// Checkpoints lists the checkpoint chain. The manifest is the single
+// source of truth for which files recovery reads; it is only ever
+// replaced atomically (WriteFileAtomicFS), so a crash during any flip
+// leaves either the old or the new complete manifest. Files are created
+// and fsynced before the flip that references them and deleted only
+// after the flip that drops them, so a referenced file always exists;
+// unreferenced leftovers are swept at the next open.
+type Manifest struct {
+	Version     int             `json:"version"`
+	Shards      int             `json:"shards"`
+	Segments    []string        `json:"segments,omitempty"`    // v1: file names relative to the directory
+	Live        []Segment       `json:"live,omitempty"`        // v2: live segments, all streams
+	Checkpoints []CheckpointRef `json:"checkpoints,omitempty"` // v2: checkpoint chain, ascending Seq
+}
+
+// SegmentName returns the legacy (v1) log file name for shard i.
 func SegmentName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
+
+// Active returns the index in m.Live of stream's unsealed segment, or -1.
+func (m *Manifest) Active(stream string) int {
+	for i := range m.Live {
+		if m.Live[i].Stream == stream && !m.Live[i].Sealed {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxSeq returns the highest segment sequence number of stream (0 if the
+// stream has no live segments).
+func (m *Manifest) MaxSeq(stream string) uint64 {
+	var max uint64
+	for i := range m.Live {
+		if m.Live[i].Stream == stream && m.Live[i].Seq > max {
+			max = m.Live[i].Seq
+		}
+	}
+	return max
+}
+
+// NextCheckpointSeq returns the sequence number for the next chain entry.
+func (m *Manifest) NextCheckpointSeq() uint64 {
+	var max uint64
+	for i := range m.Checkpoints {
+		if m.Checkpoints[i].Seq > max {
+			max = m.Checkpoints[i].Seq
+		}
+	}
+	return max + 1
+}
+
+// Clone deep-copies the manifest so flips can be prepared without
+// mutating the last-durable image (which must survive a failed write).
+func (m Manifest) Clone() Manifest {
+	c := m
+	c.Segments = append([]string(nil), m.Segments...)
+	c.Live = append([]Segment(nil), m.Live...)
+	c.Checkpoints = append([]CheckpointRef(nil), m.Checkpoints...)
+	return c
+}
 
 // NewManifest builds the manifest for n shards (n shard segments plus the
 // relation segment).
@@ -66,6 +178,55 @@ func WriteManifestFS(fsys fault.FS, dir string, m Manifest) error {
 	return WriteFileAtomicFS(fsys, filepath.Join(dir, ManifestName), buf.Bytes())
 }
 
+// EncodeManifest renders the manifest to its on-disk JSON form.
+func EncodeManifest(m Manifest) ([]byte, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wal: manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeManifest parses and validates on-disk manifest bytes.
+func DecodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	switch m.Version {
+	case 1:
+		if m.Shards <= 0 {
+			return Manifest{}, fmt.Errorf("wal: corrupt manifest: %d shards", m.Shards)
+		}
+	case 2:
+		if m.Shards < 0 {
+			return Manifest{}, fmt.Errorf("wal: corrupt manifest: %d shards", m.Shards)
+		}
+		seen := make(map[string]bool, len(m.Live)+len(m.Checkpoints))
+		for _, s := range m.Live {
+			if s.Name == "" || s.Stream == "" || s.Seq == 0 {
+				return Manifest{}, fmt.Errorf("wal: corrupt manifest: bad segment %+v", s)
+			}
+			if seen[s.Name] {
+				return Manifest{}, fmt.Errorf("wal: corrupt manifest: duplicate entry %s", s.Name)
+			}
+			seen[s.Name] = true
+		}
+		for _, c := range m.Checkpoints {
+			if c.Name == "" || c.Seq == 0 {
+				return Manifest{}, fmt.Errorf("wal: corrupt manifest: bad checkpoint %+v", c)
+			}
+			if seen[c.Name] {
+				return Manifest{}, fmt.Errorf("wal: corrupt manifest: duplicate entry %s", c.Name)
+			}
+			seen[c.Name] = true
+		}
+	default:
+		return Manifest{}, fmt.Errorf("wal: unsupported manifest version %d", m.Version)
+	}
+	return m, nil
+}
+
 // ReadManifest loads the manifest from dir. A missing manifest reports
 // ok=false without error (the directory predates sharding or is fresh).
 func ReadManifest(dir string) (Manifest, bool, error) {
@@ -81,12 +242,9 @@ func ReadManifestFS(fsys fault.FS, dir string) (Manifest, bool, error) {
 	if err != nil {
 		return Manifest{}, false, fmt.Errorf("wal: manifest: %w", err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return Manifest{}, false, fmt.Errorf("wal: corrupt manifest: %w", err)
-	}
-	if m.Shards <= 0 {
-		return Manifest{}, false, fmt.Errorf("wal: corrupt manifest: %d shards", m.Shards)
+	m, err := DecodeManifest(data)
+	if err != nil {
+		return Manifest{}, false, err
 	}
 	return m, true, nil
 }

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -114,6 +115,21 @@ type Log struct {
 	buf    []byte
 	seq    uint64 // records appended since open (under mu)
 
+	// Segment rotation (version-2 layout). capBytes == 0 means the log is
+	// a plain single file that never rotates (the legacy layout). All are
+	// guarded by mu; rotation happens inside Append, before the frame that
+	// would overflow the cap is written, so the hot path adds only a size
+	// comparison.
+	fsys     fault.FS
+	dir      string
+	stream   string
+	segSeq   uint64 // active segment sequence number
+	segBytes int64  // bytes appended to the active segment
+	capBytes int64
+	lastLSN  uint64 // highest record LSN appended (segments are LSN-ascending)
+	onRotate func(sealed, next Segment) error
+	rotates  atomic.Int64
+
 	// Group-commit door. synced is the record count covered by a completed
 	// fsync; it only grows, so a committer whose target is already covered
 	// returns without touching the file. syncMu serializes fsyncs in
@@ -137,6 +153,10 @@ type Metrics struct {
 	Records int64           // records appended since open
 	Fsyncs  int64           // fsync calls since open
 	Batches stats.Histogram // records acked per fsync (group-commit batch size)
+
+	Rotations   int64  // segment rotations since open (0 for plain logs)
+	ActiveBytes int64  // bytes in the active segment (whole file for plain logs)
+	ActiveSeq   uint64 // active segment sequence (0 for plain logs)
 }
 
 // Open opens (creating if needed) the log at path for appending. When
@@ -162,6 +182,29 @@ func OpenPolicyFS(fsys fault.FS, path string, policy SyncPolicy) (*Log, error) {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	return &Log{path: path, f: f, w: bufio.NewWriterSize(f, 1<<16), policy: policy}, nil
+}
+
+// OpenSegmentFS opens a rotated log: the stream's active segment seq in
+// dir, already holding startBytes bytes, rotating once an append would push
+// the segment past capBytes. onRotate is called inside the rotation, after
+// the old segment's content is durable and the new segment file exists and
+// is fsynced, and must durably register the flip (seal the old entry, add
+// the new one) before the swap is committed — its error aborts both the
+// rotation and the triggering append, latching the sticky error.
+func OpenSegmentFS(fsys fault.FS, dir, stream string, seq uint64, startBytes, capBytes int64, policy SyncPolicy, onRotate func(sealed, next Segment) error) (*Log, error) {
+	path := filepath.Join(dir, SegmentFileName(stream, seq))
+	l, err := OpenPolicyFS(fsys, path, policy)
+	if err != nil {
+		return nil, err
+	}
+	l.fsys = fsys
+	l.dir = dir
+	l.stream = stream
+	l.segSeq = seq
+	l.segBytes = startBytes
+	l.capBytes = capBytes
+	l.onRotate = onRotate
+	return l, nil
 }
 
 // Path returns the log file path.
@@ -191,11 +234,20 @@ func (l *Log) Append(r Record) error {
 	payload := l.buf[8:]
 	binary.LittleEndian.PutUint32(l.buf[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(payload))
+	if l.capBytes > 0 && l.segBytes > 0 && l.segBytes+int64(len(l.buf)) > l.capBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
 	if _, err := l.w.Write(l.buf); err != nil {
 		l.err = err
 		return fmt.Errorf("wal: write: %w", err)
 	}
 	l.seq++
+	l.segBytes += int64(len(l.buf))
+	if r.LSN > l.lastLSN {
+		l.lastLSN = r.LSN
+	}
 	switch l.policy {
 	case SyncEach:
 		return l.syncLocked()
@@ -236,14 +288,20 @@ func (l *Log) Commit() error {
 	if l.synced.Load() >= target {
 		return nil // the previous door holder's fsync covered our records
 	}
+	// covered and f are captured under one mu acquisition: every record
+	// numbered at or below covered is either in a sealed segment (rotation
+	// fsyncs the old file and advances synced before swapping) or in f, so
+	// fsyncing this f covers all of them even if a rotation swaps the
+	// active file right after the capture.
 	l.mu.Lock()
 	covered := l.seq
+	f := l.f
 	err = l.err
 	l.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("wal: log failed: %w", err)
 	}
-	if serr := l.f.Sync(); serr != nil {
+	if serr := f.Sync(); serr != nil {
 		l.mu.Lock()
 		if l.err == nil {
 			l.err = serr
@@ -309,6 +367,84 @@ func (l *Log) syncLocked() error {
 	return nil
 }
 
+// rotateLocked seals the active segment and swaps in a fresh one. Order
+// matters for crash atomicity:
+//
+//  1. flush + fsync the old segment — the sealed entry's MaxLSN/Bytes
+//     describe durable content (this also advances the group-commit
+//     watermark: one rotation fsync acks every pending record);
+//  2. create and fsync the next segment file (truncating any orphan left
+//     by a previously crashed rotation — the manifest never referenced it);
+//  3. onRotate durably flips the manifest (atomic replace + dirsync, which
+//     also makes the new file's directory entry durable);
+//  4. only then swap the writer.
+//
+// A crash before 3 leaves the old manifest pointing at the old still-active
+// segment (the new file is an unreferenced orphan, swept at next open); a
+// crash after 3 leaves the new manifest with the old segment sealed and the
+// new one empty. Any failure latches the sticky error without swapping, so
+// the triggering append aborts before it is applied and the DB degrades
+// read-only — a half-registered segment is impossible.
+func (l *Log) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return fmt.Errorf("wal: rotate: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return fmt.Errorf("wal: rotate: sync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	if prev := l.synced.Load(); l.seq > prev {
+		l.synced.Store(l.seq)
+		l.batchHist.Observe(time.Duration(l.seq - prev))
+	}
+	sealed := Segment{
+		Name:   SegmentFileName(l.stream, l.segSeq),
+		Stream: l.stream,
+		Seq:    l.segSeq,
+		Sealed: true,
+		Bytes:  l.segBytes,
+		MaxLSN: l.lastLSN,
+	}
+	next := Segment{
+		Name:   SegmentFileName(l.stream, l.segSeq+1),
+		Stream: l.stream,
+		Seq:    l.segSeq + 1,
+	}
+	nf, err := l.fsys.OpenFile(filepath.Join(l.dir, next.Name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.err = err
+		return fmt.Errorf("wal: rotate: create segment: %w", err)
+	}
+	if err := nf.Truncate(0); err != nil {
+		nf.Close()
+		l.err = err
+		return fmt.Errorf("wal: rotate: truncate segment: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		l.err = err
+		return fmt.Errorf("wal: rotate: sync segment: %w", err)
+	}
+	if l.onRotate != nil {
+		if err := l.onRotate(sealed, next); err != nil {
+			nf.Close()
+			l.err = err
+			return fmt.Errorf("wal: rotate: manifest flip: %w", err)
+		}
+	}
+	old := l.f
+	l.f = nf
+	l.w.Reset(nf)
+	l.path = filepath.Join(l.dir, next.Name)
+	l.segSeq = next.Seq
+	l.segBytes = 0
+	l.rotates.Add(1)
+	old.Close() // content already durable; a close error changes nothing
+	return nil
+}
+
 // Close flushes and closes the log.
 func (l *Log) Close() error {
 	l.mu.Lock()
@@ -356,9 +492,12 @@ func (l *Log) LogMetrics() Metrics {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Metrics{
-		Records: int64(l.seq),
-		Fsyncs:  l.fsyncs.Load(),
-		Batches: l.batchHist,
+		Records:     int64(l.seq),
+		Fsyncs:      l.fsyncs.Load(),
+		Batches:     l.batchHist,
+		Rotations:   l.rotates.Load(),
+		ActiveBytes: l.segBytes,
+		ActiveSeq:   l.segSeq,
 	}
 }
 

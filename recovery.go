@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"chronicledb/internal/chronicle"
@@ -15,19 +16,31 @@ import (
 	"chronicledb/internal/wal"
 )
 
-// Durability layout under Options.Dir:
+// Durability layout under Options.Dir (segmented, the default):
 //
-//	catalog.sql     — every DDL statement, in order (schema is replayed
-//	                  through the normal planner at recovery)
-//	chronicle.wal   — framed, checksummed data mutations since the last
-//	                  checkpoint
-//	checkpoint.bin  — group high-water marks, retained chronicle windows,
-//	                  relation snapshots, view and periodic-view states
+//	catalog.sql          — every DDL statement, in order (schema is replayed
+//	                       through the normal planner at recovery)
+//	wal.manifest         — version-2 manifest: the live WAL segments of every
+//	                       stream plus the checkpoint chain; the single source
+//	                       of truth for which files recovery reads
+//	<stream>-NNNNNNNN.wal — size-capped WAL segments; appends rotate to a
+//	                       fresh segment at the cap
+//	checkpoint-NNNNNNNN.bin — checkpoint chain: a full image followed by
+//	                       incremental images holding only objects dirtied
+//	                       since the previous cut
 //
-// Recovery order: catalog → checkpoint → WAL tail. A checkpoint atomically
-// replaces checkpoint.bin (write-temp, fsync, rename) and then truncates
-// the WAL, so recovery work is proportional to the log tail, not to the
-// full transactional history (experiment E12).
+// The legacy layout (Options.WALSegmentBytes < 0) keeps one
+// grow-until-checkpoint WAL per shard (chronicle.wal unsharded, a v1
+// manifest's shard segments sharded) and full checkpoints in the
+// fixed-name checkpoint.bin, truncating the logs after each one.
+//
+// Recovery order: catalog → checkpoint (chain) → WAL tail. Checkpoint and
+// manifest files are only ever replaced atomically (write-temp, fsync,
+// rename, dirsync), so a crash mid-flip leaves the previous complete
+// image. In the segmented layout the logs are never truncated; instead
+// replay skips records at or below the chain's tip LSN, and the compactor
+// deletes segments wholly below it — recovery work and disk stay
+// proportional to the write rate since the last checkpoint (E12, E20).
 
 const ckptMagic = "CDBC"
 
@@ -69,15 +82,46 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 		return fmt.Errorf("chronicledb: catalog: %w", err)
 	}
 
-	// 2. Checkpoint.
+	// 2. Checkpoint. A version-2 manifest carries a checkpoint chain: a
+	// full image plus incremental images holding only the objects dirtied
+	// since the previous cut. The chain restores in ascending sequence
+	// order — each file *replaces* the state of the objects it contains —
+	// and the tip's LSN is the replay skip threshold. The manifest
+	// invariant (files are fsynced before the flip that references them,
+	// deleted only after the flip that drops them) makes a referenced-but-
+	// missing chain file genuine corruption, not a crash artifact.
+	// Otherwise the legacy fixed-name checkpoint.bin holds one full image.
 	var ckptLSN uint64
-	ckptPath := filepath.Join(db.opts.Dir, "checkpoint.bin")
-	if data, err := db.fs.ReadFile(ckptPath); err == nil {
-		lsn, err := db.restoreCheckpoint(data)
-		if err != nil {
-			return err
+	restored := false
+	if hadManifest && m.Version == 2 {
+		refs := append([]wal.CheckpointRef(nil), m.Checkpoints...)
+		sort.Slice(refs, func(i, j int) bool { return refs[i].Seq < refs[j].Seq })
+		for _, c := range refs {
+			data, err := db.fs.ReadFile(filepath.Join(db.opts.Dir, c.Name))
+			if err != nil {
+				return fmt.Errorf("chronicledb: checkpoint chain %s: %w", c.Name, err)
+			}
+			lsn, err := db.restoreCheckpoint(data)
+			if err != nil {
+				return fmt.Errorf("chronicledb: checkpoint chain %s: %w", c.Name, err)
+			}
+			ckptLSN = lsn
+			restored = true
 		}
-		ckptLSN = lsn
+	} else {
+		ckptPath := filepath.Join(db.opts.Dir, "checkpoint.bin")
+		if data, err := db.fs.ReadFile(ckptPath); err == nil {
+			lsn, err := db.restoreCheckpoint(data)
+			if err != nil {
+				return err
+			}
+			ckptLSN = lsn
+			restored = true
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("chronicledb: checkpoint: %w", err)
+		}
+	}
+	if restored {
 		// Every restored view reflects exactly the mutations at or below
 		// the checkpoint LSN; stamp that cursor so changefeed snapshot
 		// splices anchor correctly, and raise the feed horizon — deltas
@@ -90,8 +134,6 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 		if db.hub != nil {
 			db.hub.SetBase(ckptLSN)
 		}
-	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("chronicledb: checkpoint: %w", err)
 	}
 
 	// 3. WAL tail: every segment on disk, merged by global LSN so
@@ -103,9 +145,26 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 	// versions. Skipping them also keeps the LSN allocator aligned: replay
 	// re-assigns LSNs starting from the checkpoint LSN, so each surviving
 	// record re-acquires exactly the LSN it carried live.
-	segments := []string{"chronicle.wal"}
-	if hadManifest {
-		segments = append(segments, m.Segments...)
+	var segments []string
+	if hadManifest && m.Version == 2 {
+		// Rotated layout: replay every live segment the manifest lists, in
+		// (stream, seq) order so the stable LSN sort keeps intra-stream
+		// file order for any legacy zero-LSN records.
+		live := append([]wal.Segment(nil), m.Live...)
+		sort.Slice(live, func(i, j int) bool {
+			if live[i].Stream != live[j].Stream {
+				return live[i].Stream < live[j].Stream
+			}
+			return live[i].Seq < live[j].Seq
+		})
+		for _, s := range live {
+			segments = append(segments, s.Name)
+		}
+	} else {
+		segments = []string{"chronicle.wal"}
+		if hadManifest {
+			segments = append(segments, m.Segments...)
+		}
 	}
 	_, err := wal.ReplayMergedFS(db.fs, db.opts.Dir, segments, func(r wal.Record) error {
 		if r.LSN != 0 && r.LSN <= ckptLSN {
@@ -150,13 +209,16 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 	return nil
 }
 
-// Checkpoint atomically persists the database state and truncates the WAL.
-// The checkpoint file is replaced crash-safely (temp file, fsync, rename,
-// directory fsync), so a crash mid-checkpoint leaves either the previous
-// complete checkpoint or the new one — never a truncated mix. In sharded
-// mode the snapshot is cut under the router's epoch barrier, which drains
-// every shard's in-flight batches first. It is a no-op (with an error) for
-// in-memory databases.
+// Checkpoint atomically persists the database state. In the segmented
+// layout it appends a (usually incremental) image to the checkpoint chain
+// and flips the manifest; the logs are never truncated — replay skips
+// records at or below the chain tip, and the compactor reclaims segments
+// wholly below it. In the legacy layout it writes one full image to
+// checkpoint.bin and truncates the logs. Either way the snapshot is cut
+// with mutations quiesced — under the router's epoch barrier when sharded,
+// under the engine's mutation lock otherwise — so the image is exactly the
+// state at its header LSN. It is a no-op (with an error) for in-memory
+// databases.
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -167,7 +229,10 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	write := func() error {
-		data := db.buildCheckpoint()
+		if db.segmented() {
+			return db.writeSegmentedCheckpoint()
+		}
+		data, _, _, _ := db.buildCheckpointImage(2, true)
 		final := filepath.Join(db.opts.Dir, "checkpoint.bin")
 		if err := wal.WriteFileAtomicFS(db.fs, final, data); err != nil {
 			return fmt.Errorf("chronicledb: checkpoint: %w", err)
@@ -182,17 +247,64 @@ func (db *DB) Checkpoint() error {
 	if db.router != nil {
 		return db.router.Barrier(write)
 	}
+	if db.uno != nil {
+		// Quiesce the engine for an exact cut. buildCheckpointImage only
+		// uses lock-free accessors (published catalog, atomic LSN,
+		// per-object locks), as Quiesce requires.
+		return db.uno.Quiesce(write)
+	}
 	return write()
 }
 
-// buildCheckpoint serializes the full database state into db.ckptBuf,
-// which it reuses across checkpoints (callers hold db.mu, and the image is
-// fully consumed — written to disk — before the next checkpoint starts).
-func (db *DB) buildCheckpoint() []byte {
+// buildCheckpointImage serializes database state into db.ckptBuf, which it
+// reuses across checkpoints (callers hold db.mu, and the image is fully
+// consumed — written to disk — before the next checkpoint starts).
+//
+// version 2 is the legacy format: always a full image. version 3 prefixes
+// a flags byte (bit 0 = full) and supports incremental images: when full
+// is false, chronicles, relations, views, and periodic views are included
+// only if their dirty marker moved since db.ckptMarks was captured (an
+// absent marker means dirty, which covers objects created since the last
+// cut). Groups (8 bytes each) and the dedup table (bounded by capacity)
+// are always included. The returned marks are the markers observed at this
+// cut; the caller installs them as db.ckptMarks only once the image is
+// durably referenced. dirty counts the objects an incremental image
+// includes, so an unchanged database can skip the chain entry entirely.
+//
+// The markers are monotonic mutation counters, recomputed from the objects
+// themselves: chronicle Total+Dropped (either moves on any append or
+// retention drop), relation Updates, view Applies, periodic-view Applies.
+// DDL (drop, or drop-and-recreate, which could leave a fresh object behind
+// an unchanged marker) is handled by the caller forcing a full image via
+// db.ddlDirty instead.
+func (db *DB) buildCheckpointImage(version byte, full bool) (data []byte, lsn uint64, marks map[string]uint64, dirty int) {
+	old := db.ckptMarks
+	marks = make(map[string]uint64)
+	include := func(key string, cur uint64) bool {
+		marks[key] = cur
+		if full {
+			return true
+		}
+		prev, ok := old[key]
+		if !ok || prev != cur {
+			dirty++
+			return true
+		}
+		return false
+	}
+
+	lsn = db.eng.LSN()
 	b := db.ckptBuf[:0]
 	b = append(b, ckptMagic...)
-	b = append(b, 2) // version (2 added the dedup section)
-	b = binary.LittleEndian.AppendUint64(b, db.eng.LSN())
+	b = append(b, version)
+	if version >= 3 {
+		var flags byte
+		if full {
+			flags = 1
+		}
+		b = append(b, flags)
+	}
+	b = binary.LittleEndian.AppendUint64(b, lsn)
 
 	groups := db.eng.GroupNames()
 	b = binary.AppendUvarint(b, uint64(len(groups)))
@@ -202,9 +314,16 @@ func (db *DB) buildCheckpoint() []byte {
 		b = binary.LittleEndian.AppendUint64(b, uint64(g.LastSN()))
 	}
 
+	var incl []string
 	chrons := db.eng.ChronicleNames()
-	b = binary.AppendUvarint(b, uint64(len(chrons)))
 	for _, name := range chrons {
+		c, _ := db.eng.Chronicle(name)
+		if include("c:"+name, uint64(c.Total()+c.Dropped())) {
+			incl = append(incl, name)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(incl)))
+	for _, name := range incl {
 		c, _ := db.eng.Chronicle(name)
 		b = appendName(b, name)
 		b = binary.LittleEndian.AppendUint64(b, uint64(c.Dropped()))
@@ -218,9 +337,16 @@ func (db *DB) buildCheckpoint() []byte {
 		}
 	}
 
+	incl = incl[:0]
 	rels := db.eng.RelationNames()
-	b = binary.AppendUvarint(b, uint64(len(rels)))
 	for _, name := range rels {
+		r, _ := db.eng.Relation(name)
+		if include("r:"+name, uint64(r.Updates())) {
+			incl = append(incl, name)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(incl)))
+	for _, name := range incl {
 		r, _ := db.eng.Relation(name)
 		b = appendName(b, name)
 		var tuples []value.Tuple
@@ -234,9 +360,16 @@ func (db *DB) buildCheckpoint() []byte {
 		}
 	}
 
+	incl = incl[:0]
 	views := db.eng.ViewNames()
-	b = binary.AppendUvarint(b, uint64(len(views)))
 	for _, name := range views {
+		v, _ := db.eng.View(name)
+		if include("v:"+name, uint64(v.Stats().Applies)) {
+			incl = append(incl, name)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(incl)))
+	for _, name := range incl {
 		v, _ := db.eng.View(name)
 		snap := v.Checkpoint()
 		b = appendName(b, name)
@@ -244,9 +377,16 @@ func (db *DB) buildCheckpoint() []byte {
 		b = append(b, snap...)
 	}
 
+	incl = incl[:0]
 	pviews := db.eng.PeriodicViewNames()
-	b = binary.AppendUvarint(b, uint64(len(pviews)))
 	for _, name := range pviews {
+		pv, _ := db.eng.PeriodicView(name)
+		if include("p:"+name, uint64(pv.Applies())) {
+			incl = append(incl, name)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(incl)))
+	for _, name := range incl {
 		pv, _ := db.eng.PeriodicView(name)
 		snap := pv.Checkpoint()
 		b = appendName(b, name)
@@ -254,14 +394,16 @@ func (db *DB) buildCheckpoint() []byte {
 		b = append(b, snap...)
 	}
 
-	// Dedup table (v2): the idempotency entries live inside the checkpoint
-	// because the WAL is truncated right after it is written — without this
-	// section a retry arriving after checkpoint-and-crash would re-apply.
-	// The section is bounded by the table capacity, so checkpoint size does
-	// not grow with total request count.
+	// Dedup table (since v2): the idempotency entries live inside the
+	// checkpoint because replay skips records at or below its LSN (and the
+	// legacy layout truncates the log outright) — without this section a
+	// retry arriving after checkpoint-and-crash would re-apply. The section
+	// is bounded by the table capacity, so checkpoint size does not grow
+	// with total request count. Restoring a chain re-Puts entries; Put
+	// refreshes duplicates in place, so later chain files win.
 	b = dedup.AppendEntries(b, db.eng.DedupEntries())
 	db.ckptBuf = b
-	return b
+	return b, lsn, marks, dirty
 }
 
 // restoreCheckpoint rebuilds state from a checkpoint image and returns
@@ -274,10 +416,20 @@ func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
 		return 0, bad("header")
 	}
 	version := data[4]
-	if version != 1 && version != 2 {
+	if version != 1 && version != 2 && version != 3 {
 		return 0, fmt.Errorf("chronicledb: unsupported checkpoint version %d", version)
 	}
 	off := 5
+	if version >= 3 {
+		// v3 (chain images) adds a flags byte: bit 0 marks a full image.
+		// Decoding doesn't branch on it — every section carries its own
+		// object count, and an incremental image simply lists fewer — but
+		// the byte keeps full/incremental distinguishable for tooling.
+		if len(data) < 14 {
+			return 0, bad("header")
+		}
+		off++
+	}
 	lsn := binary.LittleEndian.Uint64(data[off:])
 	off += 8
 	db.eng.RestoreLSN(lsn)
@@ -372,6 +524,9 @@ func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
 		if !ok {
 			return 0, fmt.Errorf("chronicledb: checkpoint references unknown relation %q", name)
 		}
+		// A chain restore can hit the same relation more than once; each
+		// image's tuple set must replace the previous one, not merge in.
+		r.Reset()
 		for j := uint64(0); j < nTuples; j++ {
 			t, used, err := value.DecodeTuple(data[off:])
 			if err != nil {

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"chronicledb/internal/wal"
 )
 
 func shardedDB(t testing.TB, n int) *DB {
@@ -113,7 +115,12 @@ func TestShardedDurability(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{"wal.manifest", "shard-0000.wal", "shard-0001.wal", "relations.wal"} {
+	for _, f := range []string{
+		"wal.manifest",
+		wal.SegmentFileName(wal.StreamName(0), 1),
+		wal.SegmentFileName(wal.StreamName(1), 1),
+		wal.SegmentFileName(wal.RelationStream, 1),
+	} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("missing %s after sharded run: %v", f, err)
 		}
@@ -187,8 +194,8 @@ func TestShardedReshard(t *testing.T) {
 	if db.Shards() != 0 {
 		t.Errorf("Shards() = %d", db.Shards())
 	}
-	if _, err := os.Stat(filepath.Join(dir, "wal.manifest")); !os.IsNotExist(err) {
-		t.Errorf("manifest still present after unsharded reopen: %v", err)
+	if m, ok, err := wal.ReadManifest(dir); err != nil || !ok || m.Version != 2 || m.Shards != 0 {
+		t.Errorf("manifest after unsharded reopen = %+v %v %v (want v2, 0 shards)", m, ok, err)
 	}
 	mustExec(t, db, `APPEND INTO calls VALUES ('alice', 5, 0.5)`)
 	db.Close()

@@ -1,0 +1,368 @@
+package chronicledb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chronicledb/internal/fault"
+	"chronicledb/internal/wal"
+)
+
+// storageDDL is the small schema the segmented-layout tests share.
+const storageDDL = `
+	CREATE CHRONICLE items (k STRING, n INT);
+	CREATE VIEW totals AS SELECT k, SUM(n) AS total, COUNT(*) AS cnt FROM items GROUP BY k;
+`
+
+func lookupTotals(t *testing.T, db *DB, key string) (total, cnt int64) {
+	t.Helper()
+	row, ok, err := db.Lookup("totals", Str(key))
+	if err != nil || !ok {
+		t.Fatalf("totals(%s) = %v %v %v", key, row, ok, err)
+	}
+	return row[1].AsInt(), row[2].AsInt()
+}
+
+// TestSegmentRotationAndReopen: a small cap forces rotations mid-stream;
+// every segment must land in the manifest and recovery must replay the
+// whole chain back into the exact view state.
+func TestSegmentRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, WALSegmentBytes: 256}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, storageDDL)
+	var want int64
+	for i := int64(1); i <= 100; i++ {
+		if _, err := db.Append("items", Tuple{Str("a"), Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want += i
+	}
+	w := db.WALStats()
+	if !w.Segmented || w.SegmentCap != 256 {
+		t.Fatalf("WALStats segmented gauges = %+v", w)
+	}
+	if w.Rotations == 0 || w.Segments < 2 || w.SealedSegments == 0 {
+		t.Errorf("expected rotations under a 256-byte cap: %+v", w)
+	}
+	if total, cnt := lookupTotals(t, db, "a"); total != want || cnt != 100 {
+		t.Errorf("live totals = %d/%d, want %d/100", total, cnt, want)
+	}
+	db.Close()
+
+	// The manifest must reference exactly the .wal files on disk.
+	m, ok, err := wal.ReadManifest(dir)
+	if err != nil || !ok || m.Version != 2 {
+		t.Fatalf("manifest = %+v %v %v", m, ok, err)
+	}
+	onDisk := map[string]bool{}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			onDisk[e.Name()] = true
+		}
+	}
+	if len(onDisk) != len(m.Live) {
+		t.Errorf("%d .wal files on disk, manifest lists %d", len(onDisk), len(m.Live))
+	}
+	for _, s := range m.Live {
+		if !onDisk[s.Name] {
+			t.Errorf("manifest references missing segment %s", s.Name)
+		}
+	}
+
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if total, cnt := lookupTotals(t, db2, "a"); total != want || cnt != 100 {
+		t.Errorf("recovered totals = %d/%d, want %d/100", total, cnt, want)
+	}
+	// Appends continue on the recovered active segment.
+	if _, err := db2.Append("items", Tuple{Str("a"), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if total, _ := lookupTotals(t, db2, "a"); total != want+1 {
+		t.Errorf("post-recovery append: total = %d", total)
+	}
+}
+
+// TestSegmentedCheckpointChain: incremental checkpoints chain between full
+// folds, the compactor reclaims sealed segments below the tip, and both
+// the chain and the live segment set stay bounded as the workload runs.
+func TestSegmentedCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, WALSegmentBytes: 256, CheckpointFullEvery: 3}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, storageDDL)
+	var want int64
+	var n int64
+	for round := 0; round < 8; round++ {
+		for i := int64(1); i <= 20; i++ {
+			if _, err := db.Append("items", Tuple{Str("a"), Int(i)}); err != nil {
+				t.Fatal(err)
+			}
+			want += i
+			n++
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := db.WALStats()
+	if w.CheckpointsFull < 2 {
+		t.Errorf("CheckpointsFull = %d, want >= 2 (first + folds)", w.CheckpointsFull)
+	}
+	if w.CheckpointsIncremental < 2 {
+		t.Errorf("CheckpointsIncremental = %d, want >= 2", w.CheckpointsIncremental)
+	}
+	if w.CheckpointsFolded == 0 {
+		t.Error("no chain entries folded")
+	}
+	if w.SegmentsReclaimed == 0 || w.ReclaimedBytes == 0 {
+		t.Errorf("compaction reclaimed nothing: %+v", w)
+	}
+	if w.Checkpoints > 3 {
+		t.Errorf("chain length %d not bounded by fold period 3", w.Checkpoints)
+	}
+	// Every record up to the last checkpoint is covered by the chain, so
+	// the live set is only the checkpoint-to-now tail: far fewer segments
+	// than were ever created.
+	created := int(w.Rotations) + 1
+	if w.Segments >= created {
+		t.Errorf("live segments %d not reclaimed (created %d)", w.Segments, created)
+	}
+	if w.LastCheckpointLSN == 0 {
+		t.Error("LastCheckpointLSN = 0 after checkpoints")
+	}
+	db.Close()
+
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if total, cnt := lookupTotals(t, db2, "a"); total != want || cnt != n {
+		t.Errorf("recovered totals = %d/%d, want %d/%d", total, cnt, want, n)
+	}
+	// Incremental images restore chained: another write/checkpoint cycle
+	// on the recovered DB stays consistent.
+	if _, err := db2.Append("items", Tuple{Str("a"), Int(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if total, _ := lookupTotals(t, db2, "a"); total != want+5 {
+		t.Errorf("post-recovery totals = %d, want %d", total, want+5)
+	}
+}
+
+// TestCheckpointSkipsWhenIdle: an incremental checkpoint with nothing
+// dirty writes no chain entry (the periodic ticker on an idle DB must not
+// grow the chain).
+func TestCheckpointSkipsWhenIdle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, CheckpointFullEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, storageDDL)
+	if _, err := db.Append("items", Tuple{Str("a"), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil { // full (first)
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Checkpoint(); err != nil { // idle: must be a no-op
+			t.Fatal(err)
+		}
+	}
+	w := db.WALStats()
+	if w.Checkpoints != 1 || w.CheckpointsIncremental != 0 {
+		t.Errorf("idle checkpoints not skipped: %+v", w)
+	}
+}
+
+// TestLayoutConversions reopens one directory across legacy unsharded,
+// segmented, legacy sharded (v1), and back, checking data survival and
+// that each layout's files fully replace the previous one's.
+func TestLayoutConversions(t *testing.T) {
+	dir := t.TempDir()
+	open := func(shards int, segBytes int64) *DB {
+		t.Helper()
+		db, err := Open(Options{Dir: dir, Shards: shards, WALSegmentBytes: segBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	exists := func(name string) bool {
+		_, err := os.Stat(filepath.Join(dir, name))
+		return err == nil
+	}
+
+	// Legacy unsharded: classic chronicle.wal, no manifest.
+	db := open(0, -1)
+	mustExec(t, db, storageDDL)
+	var want int64
+	for i := int64(1); i <= 30; i++ {
+		if _, err := db.Append("items", Tuple{Str("a"), Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want += i
+	}
+	db.Close()
+	if !exists("chronicle.wal") || exists(wal.ManifestName) {
+		t.Fatal("legacy layout not established")
+	}
+
+	// → segmented: conversion folds everything into a chain checkpoint and
+	// removes the legacy files.
+	db = open(0, 512)
+	if total, cnt := lookupTotals(t, db, "a"); total != want || cnt != 30 {
+		t.Fatalf("after legacy→segmented: %d/%d, want %d/30", total, cnt, want)
+	}
+	if _, err := db.Append("items", Tuple{Str("a"), Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	want += 7
+	db.Close()
+	if exists("chronicle.wal") || exists("checkpoint.bin") {
+		t.Error("legacy files survived conversion to segmented")
+	}
+	if m, ok, _ := wal.ReadManifest(dir); !ok || m.Version != 2 || len(m.Checkpoints) == 0 {
+		t.Errorf("segmented manifest after conversion = %+v %v", m, ok)
+	}
+
+	// → legacy sharded (v1): conversion checkpoints into checkpoint.bin
+	// and replaces the v2 manifest with a v1 one.
+	db = open(2, -1)
+	if total, cnt := lookupTotals(t, db, "a"); total != want || cnt != 31 {
+		t.Fatalf("after segmented→v1: %d/%d, want %d/31", total, cnt, want)
+	}
+	if _, err := db.Append("items", Tuple{Str("a"), Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	want += 3
+	db.Close()
+	if m, ok, _ := wal.ReadManifest(dir); !ok || m.Version != 1 || m.Shards != 2 {
+		t.Errorf("v1 manifest after conversion = %+v %v", m, ok)
+	}
+	if !exists("checkpoint.bin") {
+		t.Error("no checkpoint.bin after conversion to legacy sharded")
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "-0000000") {
+			t.Errorf("segmented file %s survived conversion to v1", e.Name())
+		}
+	}
+
+	// → segmented sharded: v1 folds into a fresh chain.
+	db = open(2, 512)
+	if total, cnt := lookupTotals(t, db, "a"); total != want || cnt != 32 {
+		t.Fatalf("after v1→segmented: %d/%d, want %d/32", total, cnt, want)
+	}
+	db.Close()
+	if exists(wal.SegmentName(0)) || exists(wal.RelationSegment) || exists("checkpoint.bin") {
+		t.Error("v1 files survived conversion to segmented")
+	}
+}
+
+// TestDiskFullDuringRotation (satellite 5): sweep disk capacities so the
+// workload dies at every stage — including inside segment rotation — and
+// assert the degradation contract each time: the first failed append
+// latches the DB read-only with the cause, reads keep serving, no
+// half-registered segment exists (every manifest reference resolves), and
+// a reopen on the recovered disk comes back with all acked appends.
+func TestDiskFullDuringRotation(t *testing.T) {
+	run := func(capacity int64) (acked int64, failure error, disk *fault.Disk) {
+		disk = fault.NewDisk()
+		db, err := Open(Options{Dir: "/data", FS: disk, SyncWAL: true, WALSegmentBytes: 256})
+		if err != nil {
+			t.Fatalf("cap=%d: open: %v", capacity, err)
+		}
+		defer db.Close()
+		if _, err := db.Exec(storageDDL); err != nil {
+			t.Fatalf("cap=%d: ddl: %v", capacity, err)
+		}
+		disk.SetCapacity(capacity) // schema is in; the data phase hits the wall
+		for i := int64(1); i <= 60; i++ {
+			if _, err := db.Append("items", Tuple{Str("a"), Int(i)}); err != nil {
+				failure = err
+				break
+			}
+			acked++
+		}
+		if failure == nil {
+			return acked, nil, disk
+		}
+
+		// Sticky read-only degradation with the original cause.
+		ro, cause := db.ReadOnly()
+		if !ro || cause == nil {
+			t.Errorf("cap=%d: not read-only after disk full (cause %v)", capacity, cause)
+		}
+		if _, err := db.Append("items", Tuple{Str("a"), Int(1)}); err == nil {
+			t.Errorf("cap=%d: append accepted after degradation", capacity)
+		}
+		// Reads keep working.
+		if _, ok, err := db.Lookup("totals", Str("a")); !ok || err != nil {
+			t.Errorf("cap=%d: read failed after degradation: %v", capacity, err)
+		}
+		// No half-registered segment: every manifest reference must exist.
+		m, ok, err := wal.ReadManifestFS(disk, "/data")
+		if err != nil || !ok {
+			t.Fatalf("cap=%d: manifest unreadable after disk full: %v", capacity, err)
+		}
+		for _, s := range m.Live {
+			if _, err := disk.Stat(filepath.Join("/data", s.Name)); err != nil {
+				t.Errorf("cap=%d: manifest references missing segment %s: %v", capacity, s.Name, err)
+			}
+		}
+		return acked, failure, disk
+	}
+
+	sawRotationFailure := false
+	for capacity := int64(600); capacity <= 4000; capacity += 128 {
+		acked, failure, disk := run(capacity)
+		if failure == nil {
+			continue // capacity large enough for the whole workload
+		}
+		if strings.Contains(failure.Error(), "wal: rotate:") {
+			sawRotationFailure = true
+		}
+		// Space freed: reopen must recover every acked append.
+		disk.SetCapacity(0)
+		db, err := Open(Options{Dir: "/data", FS: disk, SyncWAL: true, WALSegmentBytes: 256})
+		if err != nil {
+			t.Fatalf("cap=%d: reopen after disk full: %v", capacity, err)
+		}
+		var cnt int64
+		if acked > 0 {
+			_, cnt = lookupTotals(t, db, "a")
+		}
+		if cnt < acked || cnt > acked+1 {
+			t.Errorf("cap=%d: recovered %d appends, acked %d", capacity, cnt, acked)
+		}
+		if _, err := db.Append("items", Tuple{Str("a"), Int(1)}); err != nil {
+			t.Errorf("cap=%d: append after recovery: %v", capacity, err)
+		}
+		db.Close()
+	}
+	if !sawRotationFailure {
+		t.Error("capacity sweep never failed inside a rotation (fmt: 'wal: rotate:'); widen the sweep")
+	}
+}

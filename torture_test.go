@@ -57,6 +57,14 @@ var tortureOps = []tortureOp{
 	{kind: "append", chron: "events", acct: "a", amt: 2},
 	{kind: "append", chron: "ledger", acct: "b", amt: 3},
 	{kind: "append", chron: "ledger", acct: "a", amt: 7},
+	// Third checkpoint: with CheckpointFullEvery=2 this one folds the
+	// chain (full image, superseded entries deleted) and compacts sealed
+	// segments below the tip — crash points land inside fold + reclaim.
+	{kind: "checkpoint"},
+	{kind: "append", chron: "events", acct: "b", amt: 9},
+	{kind: "upsert", acct: "b", state: "ca"},
+	{kind: "append", chron: "ledger", acct: "b", amt: 2},
+	{kind: "append", chron: "ledger", acct: "c", amt: 6},
 }
 
 // tortureDDL pairs each schema statement with an existence probe so a
@@ -205,6 +213,15 @@ func tortureOptions(disk *fault.Disk, shards int) Options {
 		RelationHistory: true,
 		FS:              disk,
 		Clock:           func() int64 { chronon++; return chronon },
+		// A tiny segment cap forces rotations every few records, and a
+		// fold period of 2 makes the third scripted checkpoint a full one,
+		// so the enumeration crashes inside segment rotation (seal, create,
+		// manifest flip), incremental checkpoint writes, chain folds, and
+		// segment compaction — every fsync/write/rename/remove the rotated
+		// layout added. Disk ops are counted dynamically (clean.Ops()), so
+		// new crash sites are covered automatically.
+		WALSegmentBytes:     512,
+		CheckpointFullEvery: 2,
 	}
 }
 
