@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-allocs bench-reads experiments fuzz examples torture chaos watch-stress clean
+.PHONY: all build test race vet check cover bench bench-allocs bench-reads bench-ckpt experiments fuzz examples torture chaos watch-stress clean
 
 all: check
 
@@ -60,12 +60,22 @@ bench-reads:
 	$(GO) test -count=1 -run 'TestReadAllocGuards' -v .
 	$(GO) test -run=NONE -bench 'BenchmarkReadHotPath' -benchmem -benchtime 200x .
 
+# bench-ckpt is the blocked-checkpoint regression gate: the structural
+# guards pin that an incremental cut re-serializes the dirty block set,
+# not the view (same dirty blocks at 4x the cardinality) and that paged
+# hot-key lookups stay on the lock-free snapshot path's allocation budget;
+# the benchmark prints one incremental cut's wall time with its
+# dirty/total block counts. -count=1 defeats caching — the guards must run.
+bench-ckpt:
+	$(GO) test -count=1 -run 'TestCheckpointBlockGuards' -v .
+	$(GO) test -run=NONE -bench 'BenchmarkBlockedCheckpoint' -benchmem -benchtime 5x .
+
 # check is the gate for every change: static analysis plus the full suite
 # under the race detector (the sharded kernel is concurrent by design),
 # plus the crash-torture enumeration, the network-torture harness, the
 # changefeed fan-out stress, and the allocation-regression guards for both
-# the append and read hot paths.
-check: build vet race torture chaos watch-stress bench-allocs bench-reads
+# the append and read hot paths, and the blocked-checkpoint guards.
+check: build vet race torture chaos watch-stress bench-allocs bench-reads bench-ckpt
 
 cover:
 	$(GO) test -cover ./...
@@ -84,6 +94,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeValue -fuzztime=30s ./internal/value/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/wal/
 	$(GO) test -run=NONE -fuzz=FuzzManifest -fuzztime=30s ./internal/wal/
+	$(GO) test -run=NONE -fuzz=FuzzBlock -fuzztime=30s ./internal/view/
 
 examples:
 	$(GO) run ./examples/quickstart

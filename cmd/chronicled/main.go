@@ -9,6 +9,7 @@
 //	           [-max-inflight N] [-max-queue N] [-retry-after 1s]
 //	           [-dedup-cap N] [-dedup-disabled]
 //	           [-feed] [-feed-tail N] [-max-subscribers N] [-heartbeat 10s]
+//	           [-view-cache-bytes N] [-view-block-bytes N]
 //
 // With -dir, the database is durable: appends hit a rotated, size-capped
 // WAL (segment cap -wal-segment-bytes, default 16 MiB; negative = legacy
@@ -64,6 +65,8 @@ func main() {
 		retryAfter = flag.Duration("retry-after", 0, "Retry-After hint on shed requests (0 = default 1s)")
 		dedupCap   = flag.Int("dedup-cap", 0, "idempotency dedup entries retained per shard (0 = default 65536)")
 		dedupOff   = flag.Bool("dedup-disabled", false, "disable idempotent-append dedup (at-least-once ingestion)")
+		cacheBytes = flag.Int64("view-cache-bytes", 0, "resident-byte budget for blocked B-tree view stores (0 = unbounded; durable mode only)")
+		blockBytes = flag.Int64("view-block-bytes", 0, "blocked view store block size (0 = default 8KiB, negative = whole-image checkpoints)")
 		feed       = flag.Bool("feed", true, "changefeeds: capture view deltas for /watch subscribers")
 		feedTail   = flag.Int("feed-tail", 0, "per-view resume window in frames (0 = default 1024)")
 		maxSubs    = flag.Int("max-subscribers", 0, "concurrent /watch subscribers before 429 shedding (0 = default 4096)")
@@ -87,6 +90,8 @@ func main() {
 		DedupDisabled:       *dedupOff,
 		Feed:                *feed,
 		FeedTailFrames:      *feedTail,
+		ViewCacheBytes:      *cacheBytes,
+		ViewBlockBytes:      *blockBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,7 @@ package chronicledb
 import (
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -67,6 +68,20 @@ type Options struct {
 	// DefaultCheckpointFullEvery; 1 makes every checkpoint full. Ignored
 	// in the legacy layout, where every checkpoint is full.
 	CheckpointFullEvery int
+	// ViewBlockBytes is the target encoded size of one view block in the
+	// blocked persistent view store (segmented layout only): B-tree view
+	// state is partitioned into blocks, checkpoints re-serialize only the
+	// blocks dirtied since the last cut, and the block cache pages cold
+	// blocks from the checkpoint chain. Zero means view.DefaultBlockBytes
+	// (8 KiB); negative disables blocked stores (views stay fully resident
+	// and checkpoint as whole images — the E21 ablation baseline).
+	ViewBlockBytes int64
+	// ViewCacheBytes bounds the bytes of view state resident in memory
+	// across all views and shards; cold clean blocks are evicted (CLOCK)
+	// and fault back in on demand, so total view state can exceed RAM.
+	// Zero means unbounded (blocks are tracked but never evicted). Ignored
+	// when blocked stores are disabled.
+	ViewCacheBytes int64
 	// NoCompact disables segment reclamation: sealed segments wholly below
 	// the checkpoint LSN are kept instead of deleted, and superseded
 	// checkpoint-chain files survive folds. Ablation baseline for E20's
@@ -237,6 +252,14 @@ type DB struct {
 	reclaimedBytes atomic.Int64
 	segsReclaimed  atomic.Int64
 
+	// viewCache is the shared block cache behind every paged view; nil
+	// when blocked view stores are disabled (legacy layout, in-memory DB,
+	// or Options.ViewBlockBytes < 0). ckptDirtyBlocks/ckptTotalBlocks
+	// record the block counts of the last checkpoint cut.
+	viewCache       *view.Cache
+	ckptDirtyBlocks atomic.Int64
+	ckptTotalBlocks atomic.Int64
+
 	// Degradation latch: the first WAL failure flips the DB read-only.
 	readOnly atomic.Bool
 	roMu     sync.Mutex
@@ -272,6 +295,15 @@ func Open(opts Options) (*DB, error) {
 		Clock:            opts.Clock,
 		DedupCap:         opts.DedupCap,
 		DedupDisabled:    opts.DedupDisabled,
+	}
+	if db.segmented() && opts.ViewBlockBytes >= 0 {
+		// Blocked view stores: B-tree views page fixed-size blocks against
+		// one cache shared across shards, faulting cold blocks back from
+		// the checkpoint chain through the db-level fetcher.
+		db.viewCache = view.NewCache(opts.ViewCacheBytes)
+		ecfg.ViewCache = db.viewCache
+		ecfg.BlockFetch = db.blockFetch
+		ecfg.ViewBlockBytes = opts.ViewBlockBytes
 	}
 	if opts.Shards > 0 {
 		r, err := shard.NewRouter(shard.Config{Shards: opts.Shards, Engine: ecfg})
@@ -335,6 +367,26 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.markOpen()
 	return db, nil
+}
+
+// blockFetch reads one durable view block from the checkpoint chain. The
+// manifest invariant (a referenced chain file exists until the flip that
+// drops it, and blocked images only reference files their own chain keeps)
+// makes a missing file genuine corruption rather than a race.
+func (db *DB) blockFetch(ref view.BlockRef) ([]byte, error) {
+	f, err := db.fs.Open(filepath.Join(db.opts.Dir, ref.File))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(ref.Off, io.SeekStart); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, ref.Len)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // markOpen captures the hot-path measurement baselines once recovery and
@@ -690,6 +742,16 @@ type WALStats struct {
 	CheckpointsIncremental int64  // incremental images written since open
 	CheckpointsFolded      int64  // chain entries superseded by folds since open
 	LastCheckpointLSN      uint64 // chain tip LSN (replay skip threshold)
+
+	// Blocked view store gauges (zero when blocked stores are disabled).
+	ViewCacheEnabled   bool
+	ViewCacheHits      int64 // paged reads served from resident blocks
+	ViewCacheMisses    int64 // block faults from the checkpoint chain
+	ViewCacheEvictions int64 // blocks evicted by the CLOCK sweep
+	ViewCacheBytes     int64 // bytes of view state currently resident
+	ViewCacheBudget    int64 // resident-byte budget (0 = unbounded)
+	CkptDirtyBlocks    int64 // blocks re-serialized by the last checkpoint
+	CkptTotalBlocks    int64 // total blocks across paged views at that cut
 }
 
 // WALStats returns the merged durability and hot-path gauges. The
@@ -730,6 +792,16 @@ func (db *DB) WALStats() WALStats {
 		w.CheckpointsIncremental = db.ckptIncr.Load()
 		w.CheckpointsFolded = db.ckptsFolded.Load()
 		w.LastCheckpointLSN = db.lastCkptLSN.Load()
+	}
+	if c := db.viewCache; c != nil {
+		w.ViewCacheEnabled = true
+		w.ViewCacheHits = c.Hits()
+		w.ViewCacheMisses = c.Misses()
+		w.ViewCacheEvictions = c.Evictions()
+		w.ViewCacheBytes = c.UsedBytes()
+		w.ViewCacheBudget = c.Budget()
+		w.CkptDirtyBlocks = db.ckptDirtyBlocks.Load()
+		w.CkptTotalBlocks = db.ckptTotalBlocks.Load()
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

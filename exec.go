@@ -487,6 +487,13 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("checkpoint_incremental_total"), value.Int(ws.CheckpointsIncremental)},
 				{value.Str("checkpoints_folded"), value.Int(ws.CheckpointsFolded)},
 				{value.Str("last_checkpoint_lsn"), value.Int(int64(ws.LastCheckpointLSN))},
+				{value.Str("view_cache_hits"), value.Int(ws.ViewCacheHits)},
+				{value.Str("view_cache_misses"), value.Int(ws.ViewCacheMisses)},
+				{value.Str("view_cache_evictions"), value.Int(ws.ViewCacheEvictions)},
+				{value.Str("view_cache_bytes"), value.Int(ws.ViewCacheBytes)},
+				{value.Str("view_cache_budget"), value.Int(ws.ViewCacheBudget)},
+				{value.Str("ckpt_dirty_blocks"), value.Int(ws.CkptDirtyBlocks)},
+				{value.Str("ckpt_total_blocks"), value.Int(ws.CkptTotalBlocks)},
 				{value.Str("dedup_entries"), value.Int(int64(dedupEntries))},
 				{value.Str("dedup_hits"), value.Int(dedupHits)},
 				{value.Str("dedup_evictions"), value.Int(dedupEvictions)},

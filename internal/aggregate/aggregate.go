@@ -465,3 +465,79 @@ func CloneStates(states []State) []State {
 	}
 	return out
 }
+
+// CopyState overwrites dst in place with src's value. Both must be states
+// of the same function (same concrete type). Every state is a flat struct
+// of immutable values, so a struct copy is a deep copy — this is the
+// allocation-free counterpart of Clone, used by the hash view store to
+// recycle retired entries.
+func CopyState(dst, src State) bool {
+	switch d := dst.(type) {
+	case *countState:
+		s, ok := src.(*countState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	case *sumState:
+		s, ok := src.(*sumState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	case *minState:
+		s, ok := src.(*minState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	case *maxState:
+		s, ok := src.(*maxState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	case *avgState:
+		s, ok := src.(*avgState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	case *firstState:
+		s, ok := src.(*firstState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	case *lastState:
+		s, ok := src.(*lastState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	case *momentState:
+		s, ok := src.(*momentState)
+		if !ok {
+			return false
+		}
+		*d = *s
+	default:
+		return false
+	}
+	return true
+}
+
+// CopyStates copies each src state into the matching dst slot in place,
+// allocation-free. It reports whether every pair matched; on a mismatch the
+// caller should fall back to CloneStates.
+func CopyStates(dst, src []State) bool {
+	if len(dst) != len(src) {
+		return false
+	}
+	for i := range src {
+		if !CopyState(dst[i], src[i]) {
+			return false
+		}
+	}
+	return true
+}

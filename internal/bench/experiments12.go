@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	chronicledb "chronicledb"
+)
+
+// RunE21 — blocked view stores: checkpoint cost vs view cardinality, and
+// reads under a bounded block cache. PR 7's incremental checkpoints skip
+// *clean stores*, but a store with any dirty group still serialized its
+// whole image, so checkpoint cost scaled with view cardinality even when
+// the dirty set was a few hundred groups. The blocked layout (checkpoint
+// format v4) splits a B-tree view into fixed-size blocks with per-block
+// dirty tracking: an incremental cut re-serializes only the dirty blocks
+// and writes byte-cheap refs to the prior chain file for the clean ones.
+//
+// Part one measures that asymptotic: a B-tree view of n groups takes a
+// full baseline checkpoint, then a fixed-size *clustered* dirty set (the
+// same key range at every n) is re-appended and an incremental cut is
+// timed — blocked (default) against the whole-image ablation
+// (ViewBlockBytes = -1). The claim: blocked incremental cost is flat in n
+// (within 2x from the smallest to the largest sweep point), the ablation
+// is linear.
+//
+// Part two bounds memory: a view several times larger than ViewCacheBytes
+// is checkpointed (blocks become clean and evictable), then served — one
+// cold uniform pass over every key (faulting blocks from the chain through
+// CLOCK evictions) and one hot pass over a small working set. Resident
+// block bytes must stay within the budget the whole way and every read
+// must be correct; the hot pass shows the hit ratio and per-read cost the
+// cache preserves for in-cache keys.
+func RunE21(cfg Config) (*Table, error) {
+	sizes := []int{10_000, 100_000, 1_000_000}
+	dirtyN, cuts := 512, 3
+	cacheGroups, cacheBudget, hotKeys, hotReads := 100_000, int64(512<<10), 256, 50_000
+	if cfg.Quick {
+		sizes = []int{2_000, 10_000}
+		dirtyN, cuts = 128, 2
+		cacheGroups, cacheBudget, hotKeys, hotReads = 10_000, 64<<10, 64, 5_000
+	}
+	t := &Table{
+		ID:     "E21",
+		Title:  "blocked view checkpoints: incremental cost vs view cardinality",
+		Claim:  "with per-block dirty tracking, incremental checkpoint time is proportional to the dirty block set, flat in view cardinality; the whole-image baseline re-serializes every group and scales linearly",
+		Header: []string{"mode", "view rows", "blocks", "dirty", "incr ckpt (med)", "full ckpt"},
+	}
+	for _, mode := range []string{"whole-image", "blocked"} {
+		for _, n := range sizes {
+			r, err := e21Checkpoint(mode, n, dirtyN, cuts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(mode, fmtCount(n), fmt.Sprintf("%d", r.totalBlocks),
+				fmt.Sprintf("%d", r.dirtyBlocks), fmtNs(r.incrNs), fmtNs(r.fullNs))
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("dirty set: the same %d-group contiguous key range re-appended before every incremental cut; median of %d cuts; chronicle retention none, so the view dominates the image", dirtyN, cuts),
+		"whole-image cells run the ViewBlockBytes=-1 ablation: v4 still gates on the view's dirty marker, but one dirty group re-serializes every row",
+		"blocked incremental cuts are delta images: only the dirty block runs are serialized, clean blocks contribute nothing — the image is O(dirty set) regardless of cardinality")
+
+	c, err := e21Cache(cacheGroups, cacheBudget, hotKeys, hotReads)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("bounded cache: %s-group view (%s of blocks) under a %s budget: cold uniform pass over every key faulted %s blocks with %s evictions, resident peak %s (within budget: %v), every read correct",
+			fmtCount(c.groups), fmtBytes(c.blockBytes), fmtBytes(c.budget), fmtCount(int(c.coldMisses)), fmtCount(int(c.evictions)), fmtBytes(c.peakResident), c.withinBudget),
+		fmt.Sprintf("hot pass: %s reads over %d keys at %.1f%% hit ratio, %s/read — in-cache reads keep the lock-free path",
+			fmtCount(c.hotReads), c.hotKeys, 100*c.hotHitRatio, fmtNs(c.hotNsPerRead)))
+	return t, nil
+}
+
+type e21CkptResult struct {
+	totalBlocks, dirtyBlocks int64
+	incrNs, fullNs           float64
+}
+
+func e21Checkpoint(mode string, n, dirtyN, cuts int) (e21CkptResult, error) {
+	dir, err := os.MkdirTemp("", "chronbench-e21-")
+	if err != nil {
+		return e21CkptResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	opts := chronicledb.Options{Dir: dir}
+	if mode == "whole-image" {
+		opts.ViewBlockBytes = -1
+	}
+	db, err := chronicledb.Open(opts)
+	if err != nil {
+		return e21CkptResult{}, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT);
+		CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total, COUNT(*) AS n FROM calls GROUP BY acct WITH STORE BTREE;`); err != nil {
+		return e21CkptResult{}, err
+	}
+	if err := e21Load(db, 0, n); err != nil {
+		return e21CkptResult{}, err
+	}
+
+	var res e21CkptResult
+	start := time.Now()
+	if err := db.Checkpoint(); err != nil { // full baseline: everything dirty
+		return e21CkptResult{}, err
+	}
+	res.fullNs = float64(time.Since(start).Nanoseconds())
+
+	samples := make([]float64, cuts)
+	for c := 0; c < cuts; c++ {
+		// Re-dirty the same clustered key range: the fixed-size dirty set
+		// covers the same handful of blocks at every cardinality.
+		if err := e21Load(db, 0, dirtyN); err != nil {
+			return e21CkptResult{}, err
+		}
+		start = time.Now()
+		if err := db.Checkpoint(); err != nil {
+			return e21CkptResult{}, err
+		}
+		samples[c] = float64(time.Since(start).Nanoseconds())
+	}
+	// Median cut: a single fsync stall would dominate a mean of this few
+	// samples and misread as cardinality-dependent cost.
+	sort.Float64s(samples)
+	res.incrNs = samples[len(samples)/2]
+	w := db.WALStats()
+	res.dirtyBlocks, res.totalBlocks = w.CkptDirtyBlocks, w.CkptTotalBlocks
+
+	// Spot-check: the dirtied range accumulated cuts+1 appends per group.
+	row, ok, err := db.Lookup("usage", chronicledb.Str(Acct(0)))
+	if err != nil || !ok || row[2].AsInt() != int64(cuts+1) {
+		return e21CkptResult{}, fmt.Errorf("E21 %s: group 0 count = %v %v %v, want %d", mode, row, ok, err, cuts+1)
+	}
+	return res, nil
+}
+
+// e21Load appends one row per group in [lo, lo+n), in bulk batches.
+func e21Load(db *chronicledb.DB, lo, n int) error {
+	const batch = 4096
+	tuples := make([]chronicledb.Tuple, 0, batch)
+	for i := 0; i < n; i++ {
+		tuples = append(tuples, chronicledb.Tuple{
+			chronicledb.Str(Acct(lo + i)), chronicledb.Int(int64(i%90 + 1))})
+		if len(tuples) == batch || i == n-1 {
+			if _, _, err := db.AppendRows("calls", tuples); err != nil {
+				return err
+			}
+			tuples = tuples[:0]
+		}
+	}
+	return nil
+}
+
+type e21CacheResult struct {
+	groups       int
+	blockBytes   int64 // total block bytes in the view (what "fits in RAM" would cost)
+	budget       int64
+	coldMisses   int64
+	evictions    int64
+	peakResident int64
+	withinBudget bool
+	hotKeys      int
+	hotReads     int
+	hotHitRatio  float64
+	hotNsPerRead float64
+}
+
+func e21Cache(groups int, budget int64, hotKeys, hotReads int) (e21CacheResult, error) {
+	dir, err := os.MkdirTemp("", "chronbench-e21c-")
+	if err != nil {
+		return e21CacheResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := chronicledb.Open(chronicledb.Options{Dir: dir, ViewCacheBytes: budget})
+	if err != nil {
+		return e21CacheResult{}, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT);
+		CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total, COUNT(*) AS n FROM calls GROUP BY acct WITH STORE BTREE;`); err != nil {
+		return e21CacheResult{}, err
+	}
+	if err := e21Load(db, 0, groups); err != nil {
+		return e21CacheResult{}, err
+	}
+	// The cut makes every block clean, hence evictable: from here on the
+	// resident set is the cache's problem, not correctness's.
+	if err := db.Checkpoint(); err != nil {
+		return e21CacheResult{}, err
+	}
+
+	res := e21CacheResult{groups: groups, budget: budget, hotKeys: hotKeys, hotReads: hotReads, withinBudget: true}
+	w0 := db.WALStats()
+	res.blockBytes = w0.CkptTotalBlocks * (8 << 10) // upper bound at the default block size
+	track := func() error {
+		w := db.WALStats()
+		if w.ViewCacheBytes > res.peakResident {
+			res.peakResident = w.ViewCacheBytes
+		}
+		if w.ViewCacheBytes > budget {
+			res.withinBudget = false
+			return fmt.Errorf("E21 cache: resident %d exceeds budget %d", w.ViewCacheBytes, budget)
+		}
+		return nil
+	}
+
+	// Cold pass: every key once, uniformly — each block faults in and is
+	// evicted again long before the pass returns to its neighborhood.
+	for i := 0; i < groups; i++ {
+		row, ok, err := db.Lookup("usage", chronicledb.Str(Acct(i)))
+		if err != nil || !ok || row[2].AsInt() != 1 {
+			return res, fmt.Errorf("E21 cache: cold read %d = %v %v %v", i, row, ok, err)
+		}
+		if i%512 == 0 {
+			if err := track(); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := track(); err != nil {
+		return res, err
+	}
+	w1 := db.WALStats()
+	res.coldMisses = w1.ViewCacheMisses - w0.ViewCacheMisses
+	res.evictions = w1.ViewCacheEvictions - w0.ViewCacheEvictions
+
+	// Hot pass: a working set far under the budget — after the first lap
+	// faults it in, reads are cache hits on the lock-free snapshot path.
+	start := time.Now()
+	for i := 0; i < hotReads; i++ {
+		k := i % hotKeys
+		row, ok, err := db.Lookup("usage", chronicledb.Str(Acct(k)))
+		if err != nil || !ok || row[2].AsInt() != 1 {
+			return res, fmt.Errorf("E21 cache: hot read %d = %v %v %v", k, row, ok, err)
+		}
+	}
+	res.hotNsPerRead = float64(time.Since(start).Nanoseconds()) / float64(hotReads)
+	if err := track(); err != nil {
+		return res, err
+	}
+	w2 := db.WALStats()
+	hits := w2.ViewCacheHits - w1.ViewCacheHits
+	misses := w2.ViewCacheMisses - w1.ViewCacheMisses
+	if hits+misses > 0 {
+		res.hotHitRatio = float64(hits) / float64(hits+misses)
+	} else {
+		res.hotHitRatio = 1 // every read resident: no cache traffic at all
+	}
+	return res, nil
+}

@@ -108,6 +108,7 @@ func All() []Experiment {
 		{"E18", "exactly-once ingestion under network chaos", RunE18},
 		{"E19", "changefeed fan-out: delta delivery to live subscribers", RunE19},
 		{"E20", "recovery and disk vs uptime: segmented vs single-file WAL", RunE20},
+		{"E21", "blocked view checkpoints: dirty-block cost + bounded cache", RunE21},
 	}
 }
 

@@ -527,3 +527,28 @@ func (t *Tree[K, V]) mergeChildren(n *node[K, V], i int) {
 	n.items = append(n.items[:i], n.items[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
 }
+
+// DeleteRange removes every key in the half-open window [lo, hi) and
+// returns how many were removed. hasLo/hasHi mark which bounds are
+// present; an absent bound is unbounded on that side. Keys are collected
+// first and then deleted one by one, so the walk never observes its own
+// mutations — block eviction in the paged view store deletes one block's
+// key run this way.
+func (t *Tree[K, V]) DeleteRange(lo, hi K, hasLo, hasHi bool) int {
+	keys := make([]K, 0, 16)
+	collect := func(k K, _ V) bool { keys = append(keys, k); return true }
+	switch {
+	case hasLo && hasHi:
+		t.AscendRange(lo, hi, collect)
+	case hasLo:
+		t.AscendGreaterOrEqual(lo, collect)
+	case hasHi:
+		t.AscendLessThan(hi, collect)
+	default:
+		t.Ascend(collect)
+	}
+	for _, k := range keys {
+		t.Delete(k)
+	}
+	return len(keys)
+}

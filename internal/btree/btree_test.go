@@ -304,3 +304,45 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(i & (1<<20 - 1))
 	}
 }
+
+func TestDeleteRange(t *testing.T) {
+	newT := func() *Tree[int, int] {
+		tr := New[int, int](func(a, b int) bool { return a < b })
+		for i := 0; i < 100; i++ {
+			tr.Set(i, i)
+		}
+		return tr
+	}
+	tr := newT()
+	if n := tr.DeleteRange(10, 20, true, true); n != 10 {
+		t.Fatalf("DeleteRange[10,20) = %d, want 10", n)
+	}
+	if tr.Len() != 90 {
+		t.Fatalf("Len = %d, want 90", tr.Len())
+	}
+	if _, ok := tr.Get(10); ok {
+		t.Fatal("key 10 survived DeleteRange")
+	}
+	if _, ok := tr.Get(20); !ok {
+		t.Fatal("key 20 (exclusive hi) deleted")
+	}
+	tr = newT()
+	if n := tr.DeleteRange(90, 0, true, false); n != 10 {
+		t.Fatalf("DeleteRange[90,∞) = %d, want 10", n)
+	}
+	tr = newT()
+	if n := tr.DeleteRange(0, 10, false, true); n != 10 {
+		t.Fatalf("DeleteRange(-∞,10) = %d, want 10", n)
+	}
+	tr = newT()
+	if n := tr.DeleteRange(0, 0, false, false); n != 100 || tr.Len() != 0 {
+		t.Fatalf("DeleteRange unbounded = %d len=%d, want 100, 0", n, tr.Len())
+	}
+	// A clone made before the delete is unaffected (COW holds).
+	tr = newT()
+	snap := tr.Clone()
+	tr.DeleteRange(0, 50, true, true)
+	if snap.Len() != 100 {
+		t.Fatalf("clone Len = %d after DeleteRange on source, want 100", snap.Len())
+	}
+}

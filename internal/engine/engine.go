@@ -56,6 +56,17 @@ type Config struct {
 	// apply unconditionally. It exists as the ablation baseline for the E18
 	// experiment (at-least-once delivery) and has no production use.
 	DedupDisabled bool
+	// ViewCache, together with BlockFetch, enables blocked persistent view
+	// stores: every B-tree view created on this engine pages its state in
+	// fixed-size blocks against the shared cache (shards share one budget).
+	// Nil leaves views fully resident.
+	ViewCache *view.Cache
+	// BlockFetch reads a durable view block from the checkpoint chain. The
+	// storage layer binds it to the database directory.
+	BlockFetch view.FetchFunc
+	// ViewBlockBytes is the target encoded size of one view block; ≤0
+	// selects view.DefaultBlockBytes. Only meaningful with ViewCache.
+	ViewBlockBytes int64
 }
 
 // Stats aggregates engine-level counters.
@@ -465,6 +476,11 @@ func (e *Engine) CreateView(def view.Def, kind view.StoreKind, filter pred.Predi
 		delete(e.names, def.Name)
 		return nil, err
 	}
+	// Page B-tree views against the shared block cache before backfill or
+	// publication, so every entry the view ever holds is block-attributed.
+	if e.cfg.ViewCache != nil && e.cfg.BlockFetch != nil {
+		v.EnablePaging(e.cfg.ViewBlockBytes, e.cfg.BlockFetch, e.cfg.ViewCache)
+	}
 	// Fold in any retained history so the view is current from creation.
 	e.backfill(v)
 	e.views[def.Name] = v
@@ -517,6 +533,9 @@ func (e *Engine) DropView(name string) error {
 	e.mu.Lock()
 	switch e.names[name] {
 	case "view":
+		if v := e.views[name]; v != nil {
+			v.ReleasePaging()
+		}
 		delete(e.views, name)
 	case "periodic view":
 		delete(e.periodics, name)

@@ -4,17 +4,33 @@ import (
 	"testing"
 	"time"
 
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/algebra"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/value"
 	"chronicledb/internal/view"
 )
 
-// populateForReads seeds an engine with a B-tree view, a relation, and a
-// few appended rows so every read method has something to return.
+// populateForReads seeds an engine with a B-tree view, a hash view, a
+// relation, and a few appended rows so every read method has something to
+// return.
 func populateForReads(t *testing.T, e *Engine) {
 	t.Helper()
 	c := mustCreateCalls(t, e)
 	if _, err := e.CreateView(usageDef(c), view.StoreBTree, pred.True(), nil); err != nil {
+		t.Fatal(err)
+	}
+	hdef := view.Def{
+		Name:      "usage_hash",
+		Expr:      algebra.NewScan(c),
+		Mode:      view.SummarizeGroupBy,
+		GroupCols: []int{0},
+		Aggs: []aggregate.Spec{
+			{Func: aggregate.Sum, Col: 1, Name: "total"},
+			{Func: aggregate.Count, Col: -1, Name: "n"},
+		},
+	}
+	if _, err := e.CreateView(hdef, view.StoreHash, pred.True(), nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := e.CreateRelation("customers", custSchema(), []int{0}); err != nil {
@@ -59,6 +75,23 @@ func TestReadsDoNotAcquireEngineLock(t *testing.T) {
 		}
 		if err := e.ViewScanDescFunc("usage", func(value.Tuple) bool { return true }); err != nil {
 			t.Errorf("ViewScanDescFunc: %v", err)
+		}
+		// Hash views have no B-tree snapshot; since PR 8 they publish
+		// through an atomic table and must be as lock-free as the rest.
+		if _, ok, err := e.ViewLookup("usage_hash", value.Tuple{value.Str("acct1")}); err != nil || !ok {
+			t.Errorf("hash ViewLookup = %v, %v", ok, err)
+		}
+		if rows, err := e.ViewRows("usage_hash"); err != nil || len(rows) != 1 {
+			t.Errorf("hash ViewRows = %d rows, %v", len(rows), err)
+		}
+		if _, err := e.ViewScanRange("usage_hash", nil, value.Tuple{value.Str("zzz")}); err != nil {
+			t.Errorf("hash ViewScanRange: %v", err)
+		}
+		if err := e.ViewScanFunc("usage_hash", func(value.Tuple) bool { return true }); err != nil {
+			t.Errorf("hash ViewScanFunc: %v", err)
+		}
+		if err := e.ViewScanDescFunc("usage_hash", func(value.Tuple) bool { return true }); err != nil {
+			t.Errorf("hash ViewScanDescFunc: %v", err)
 		}
 		if rows, err := e.RelationRows("customers"); err != nil || len(rows) != 1 {
 			t.Errorf("RelationRows = %d rows, %v", len(rows), err)

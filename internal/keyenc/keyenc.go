@@ -147,3 +147,28 @@ func appendSortableInt(dst []byte, i int64) []byte {
 	binary.BigEndian.PutUint64(buf[:], uint64(i)^(1<<63))
 	return append(dst, buf[:]...)
 }
+
+// Separator returns a short key s with a < s ≤ b (byte-wise), appended to
+// dst. It is the shortest prefix of b that still exceeds a, in the spirit
+// of an SSTable index separator: blocked view stores use it as the lower
+// boundary of a block whose first key is b when the previous block ends at
+// a, keeping block indexes small. The result is a comparison key only — a
+// proper prefix of an encoding is not itself a decodable encoding. When
+// a ≥ b (degenerate input) it returns b whole.
+func Separator(dst, a, b []byte) []byte {
+	c := 0
+	for c < len(a) && c < len(b) && a[c] == b[c] {
+		c++
+	}
+	switch {
+	case c == len(b):
+		// b is a prefix of a (or equal): no prefix of b exceeds a.
+		return append(dst, b...)
+	case c == len(a):
+		// a is a proper prefix of b: one extra byte breaks the tie.
+		return append(dst, b[:c+1]...)
+	default:
+		// First divergent byte decides; b[c] > a[c] whenever a < b.
+		return append(dst, b[:c+1]...)
+	}
+}

@@ -186,3 +186,28 @@ func TestPrefixRangeSemantics(t *testing.T) {
 		}
 	}
 }
+
+func TestSeparator(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"apple", "banana"},
+		{"app", "apple"},
+		{"abc", "abd"},
+		{"abczzz", "abd"},
+		{"", "a"},
+		{"a", "ab"},
+		{"aa", "ab"},
+	}
+	for _, c := range cases {
+		s := Separator(nil, []byte(c.a), []byte(c.b))
+		if !(bytes.Compare([]byte(c.a), s) < 0 && bytes.Compare(s, []byte(c.b)) <= 0) {
+			t.Errorf("Separator(%q, %q) = %q, want a < s <= b", c.a, c.b, s)
+		}
+		if len(s) > len(c.b) {
+			t.Errorf("Separator(%q, %q) = %q longer than b", c.a, c.b, s)
+		}
+	}
+	// Degenerate: a >= b returns b verbatim.
+	if s := Separator(nil, []byte("zz"), []byte("a")); !bytes.Equal(s, []byte("a")) {
+		t.Errorf("degenerate Separator = %q, want %q", s, "a")
+	}
+}

@@ -556,6 +556,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"checkpoint_incremental_total": ws.CheckpointsIncremental,
 		"checkpoints_folded":           ws.CheckpointsFolded,
 		"last_checkpoint_lsn":          ws.LastCheckpointLSN,
+		// Blocked view stores: block-cache traffic and how much of the last
+		// checkpoint was actually re-serialized (dirty blocks vs total).
+		"view_cache_enabled":   ws.ViewCacheEnabled,
+		"view_cache_hits":      ws.ViewCacheHits,
+		"view_cache_misses":    ws.ViewCacheMisses,
+		"view_cache_evictions": ws.ViewCacheEvictions,
+		"view_cache_bytes":     ws.ViewCacheBytes,
+		"view_cache_budget":    ws.ViewCacheBudget,
+		"ckpt_dirty_blocks":    ws.CkptDirtyBlocks,
+		"ckpt_total_blocks":    ws.CkptTotalBlocks,
 	}
 	if ro, cause := s.db.ReadOnly(); ro {
 		body["read_only"] = true
@@ -581,11 +591,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// and recovery time is climbing.
 	liveBytes := strconv.FormatInt(ws.LiveBytes, 10)
 	ckptLSN := strconv.FormatUint(ws.LastCheckpointLSN, 10)
+	// Blocked-view gauges: resident block-cache bytes (alarm if it tracks
+	// toward the budget with a rising miss rate) and the dirty/total block
+	// split of the last checkpoint cut.
+	cacheBytes := strconv.FormatInt(ws.ViewCacheBytes, 10)
+	dirtyBlocks := strconv.FormatInt(ws.CkptDirtyBlocks, 10) + "/" + strconv.FormatInt(ws.CkptTotalBlocks, 10)
 	if ro, cause := s.db.ReadOnly(); ro {
 		body := map[string]string{
 			"status": "degraded", "shed_total": shed,
 			"feed_subscribers": subs, "watch_shed_total": watchShed,
 			"wal_live_bytes": liveBytes, "last_checkpoint_lsn": ckptLSN,
+			"view_cache_bytes": cacheBytes, "ckpt_dirty_blocks": dirtyBlocks,
 		}
 		if cause != nil {
 			body["error"] = cause.Error()
@@ -608,6 +624,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status": "ok", "shed_total": shed,
 		"feed_subscribers": subs, "watch_shed_total": watchShed,
 		"wal_live_bytes": liveBytes, "last_checkpoint_lsn": ckptLSN,
+		"view_cache_bytes": cacheBytes, "ckpt_dirty_blocks": dirtyBlocks,
 	})
 }
 

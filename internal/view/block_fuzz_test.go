@@ -1,0 +1,86 @@
+package view
+
+import (
+	"bytes"
+	"testing"
+
+	"chronicledb/internal/aggregate"
+	"chronicledb/internal/value"
+)
+
+// fuzzAggs matches the minutes_per_acct fixture: SUM + COUNT over int col 1.
+var fuzzAggs = []aggregate.Spec{
+	{Func: aggregate.Sum, Col: 1, Name: "total"},
+	{Func: aggregate.Count, Col: -1, Name: "n"},
+}
+
+// sealTestBlock encodes entries the way encodeBlockRun does.
+func sealTestBlock(entries []*entry) []byte {
+	var body []byte
+	for _, e := range entries {
+		body = appendBlockEntry(body, e, fuzzAggs)
+	}
+	return sealBlock(nil, body, len(entries))
+}
+
+func fuzzEntry(acct string, total, n int64) *entry {
+	sum := aggregate.NewState(aggregate.Sum)
+	cnt := aggregate.NewState(aggregate.Count)
+	for i := int64(0); i < n; i++ {
+		share := total / n
+		if i == 0 {
+			share += total % n
+		}
+		sum.Step(value.Int(share))
+		cnt.Step(value.Int(share))
+	}
+	return &entry{
+		vals:   value.Tuple{value.Str(acct)},
+		count:  n,
+		states: []aggregate.State{sum, cnt},
+	}
+}
+
+// FuzzBlock: decodeBlock must never panic on arbitrary bytes; payloads it
+// accepts must re-encode to the identical payload (lossless round-trip);
+// and any torn or bit-flipped variant of a valid payload must be rejected
+// by the CRC trailer, never half-applied.
+func FuzzBlock(f *testing.F) {
+	f.Add(sealTestBlock(nil))
+	f.Add(sealTestBlock([]*entry{fuzzEntry("acct0001", 30, 2)}))
+	f.Add(sealTestBlock([]*entry{
+		fuzzEntry("a", 1, 1),
+		fuzzEntry("acct0042", 9000, 7),
+		fuzzEntry("zzz", -5, 3),
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeBlock(data, SummarizeGroupBy, fuzzAggs)
+		if err != nil {
+			return
+		}
+		// Accepted: the payload must round-trip byte-for-byte.
+		re := sealTestBlock(entries)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted block does not round-trip:\n in  %x\n out %x", data, re)
+		}
+		// Torn writes (any truncation) must be rejected.
+		for _, cut := range []int{1, 4, len(data) / 2} {
+			if cut < len(data) {
+				if _, err := decodeBlock(data[:len(data)-cut], SummarizeGroupBy, fuzzAggs); err == nil {
+					t.Fatalf("torn block (%d bytes cut) decoded without error", cut)
+				}
+			}
+		}
+		// Any single bit flip must fail the CRC.
+		if len(data) > 0 {
+			flipped := bytes.Clone(data)
+			flipped[len(flipped)/2] ^= 0x10
+			if _, err := decodeBlock(flipped, SummarizeGroupBy, fuzzAggs); err == nil {
+				t.Fatal("bit-flipped block decoded without error")
+			}
+		}
+	})
+}

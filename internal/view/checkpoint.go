@@ -27,25 +27,34 @@ const (
 
 // Checkpoint serializes the view's materialized state. It holds the view
 // read lock, so it sees batch boundaries only, never a half-applied
-// maintenance batch.
+// maintenance batch. A paged view serializes from a fully-faulted COW
+// snapshot instead, so the image covers evicted blocks too and stays
+// complete even if eviction runs mid-encode.
 func (v *View) Checkpoint() []byte {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
 	var b []byte
 	b = append(b, checkpointMagic...)
 	b = append(b, checkpointVersion)
 	b = binary.LittleEndian.AppendUint64(b, v.def.Expr.Schema().Fingerprint())
 	b = append(b, byte(v.def.Mode))
 	b = binary.AppendUvarint(b, uint64(len(v.def.Aggs)))
-	b = binary.AppendUvarint(b, uint64(v.store.len()))
-	v.store.ascend(func(_ []byte, e *entry) bool {
+	appendEntry := func(_ []byte, e *entry) bool {
 		b = value.AppendTuple(b, e.vals)
 		b = binary.AppendUvarint(b, uint64(e.count))
 		for i, st := range e.states {
 			b = aggregate.AppendState(b, v.def.Aggs[i].Func, st)
 		}
 		return true
-	})
+	}
+	if v.pg.Load() != nil {
+		s := v.scanSnap(nil, nil)
+		b = binary.AppendUvarint(b, uint64(s.tree.Len()))
+		s.tree.Ascend(appendEntry)
+		return b
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	b = binary.AppendUvarint(b, uint64(v.store.len()))
+	v.store.ascend(appendEntry)
 	return b
 }
 
@@ -118,7 +127,35 @@ func (v *View) RestoreCheckpoint(data []byte) error {
 		return fmt.Errorf("view %s: %d trailing checkpoint bytes", v.def.Name, len(data)-off)
 	}
 	v.mu.Lock()
-	v.store = fresh
+	if cur, ok := v.store.(*hashStore); ok {
+		// Hash readers reach the table through v.store without any lock,
+		// so the store pointer must never change once published: install
+		// the fresh entries and adopt the new table in place.
+		f := fresh.(*hashStore)
+		f.publish()
+		cur.adopt(f)
+	} else {
+		v.store = fresh
+	}
+	if p := v.pg.Load(); p != nil {
+		// A whole-image restore (legacy checkpoint during conversion)
+		// collapses the pager to one resident dirty block spanning the
+		// key space; the next blocked checkpoint re-cuts it.
+		p.cache.dropView(v)
+		b := &blockMeta{resident: true}
+		v.store.ascend(func(k []byte, e *entry) bool {
+			b.n++
+			b.bytes += estEntryBytes(k, e)
+			return true
+		})
+		p.mark++
+		b.dirtyMark = p.mark
+		b.hot.Store(true)
+		p.blocks = []*blockMeta{b}
+		p.nonResident.Store(0)
+		p.total.Store(int64(b.n))
+		p.cache.addResident(v, b)
+	}
 	v.publishLocked()
 	v.mu.Unlock()
 	return nil

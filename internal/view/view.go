@@ -86,9 +86,12 @@ type snapshot struct {
 // serialized by the engine and takes mu exclusively. B-tree views publish
 // an immutable copy-on-write snapshot after every maintenance batch;
 // Lookup/Scan/ScanRange read the latest snapshot with zero locks. Hash
-// views (the zero-allocation maintenance fast path) have no ordered
-// snapshot; their readers take mu.RLock, which still never touches the
-// engine-wide lock.
+// views (the zero-allocation maintenance fast path) publish through an
+// atomically installed open-addressing table of frozen entries, so their
+// readers are lock-free too — maintenance mutates batch-local clones and
+// installs them at publish (see hashStore). The one deliberate exception
+// is ScanAt on hash views, which takes mu.RLock to pair the scanned image
+// with an exact applied LSN for the changefeed splice.
 type View struct {
 	def    Def
 	schema *value.Schema
@@ -96,8 +99,9 @@ type View struct {
 	info   algebra.Info
 	stats  Stats
 
-	// mu guards the live store, stats, and scratch. Writers (maintenance,
-	// restore) hold it exclusively; only hash-store readers need RLock.
+	// mu guards the live store's maintenance state, stats, and scratch.
+	// Writers (maintenance, restore) hold it exclusively; readers are
+	// lock-free except ScanAt on hash views (exact-LSN splice).
 	mu sync.RWMutex
 	// snap is the latest published snapshot; nil for hash stores. Entries
 	// reachable from it are frozen: the maintenance path clones an entry
@@ -109,6 +113,10 @@ type View struct {
 	// cow reports whether the store is a B-tree that publishes snapshots
 	// and therefore needs entry-level copy-on-write.
 	cow bool
+	// pg is the blocked-store pager, set by EnablePaging before the view
+	// is visible to concurrent readers; nil for unpaged views. Stored
+	// atomically so hot read paths can consult it without locks.
+	pg atomic.Pointer[pager]
 
 	// Hot-path scratch, reused across maintenance batches. keyBuf holds the
 	// encoded group key being probed (the store copies it only on insert);
@@ -188,17 +196,19 @@ func New(def Def, kind StoreKind) (*View, error) {
 	return v, nil
 }
 
-// publishLocked snapshots the live B-tree store and publishes it for
-// lock-free readers, then opens a new write epoch so the next mutation of
-// any published entry copies it first. Callers must hold mu exclusively
-// (or have sole ownership, as in New). Hash stores publish nothing.
+// publishLocked makes the maintenance batch visible to lock-free readers.
+// B-tree stores publish an immutable copy-on-write snapshot and open a new
+// write epoch so the next mutation of any published entry copies it first;
+// hash stores install their batch-local clones into the atomic table.
+// Callers must hold mu exclusively (or have sole ownership, as in New).
 func (v *View) publishLocked() {
-	ts, ok := v.store.(*treeStore)
-	if !ok {
-		return
+	switch s := v.store.(type) {
+	case *treeStore:
+		v.snap.Store(&snapshot{tree: s.t.Clone(), at: time.Now().UnixNano(), lsn: v.appliedLSN})
+		v.epoch++
+	case *hashStore:
+		s.publish()
 	}
-	v.snap.Store(&snapshot{tree: ts.t.Clone(), at: time.Now().UnixNano(), lsn: v.appliedLSN})
-	v.epoch++
 }
 
 // SnapshotUnixNano returns the publication time of the current snapshot,
@@ -238,10 +248,19 @@ func (v *View) Stats() Stats {
 }
 
 // Len returns the number of rows currently in the view. B-tree views
-// answer from the published snapshot without locking.
+// answer from the published snapshot, hash views from the published entry
+// count — neither takes a lock.
 func (v *View) Len() int {
+	if p := v.pg.Load(); p != nil {
+		// The live tree and snapshot only hold resident blocks' entries;
+		// the pager tracks the logical count across all blocks.
+		return int(p.total.Load())
+	}
 	if s := v.snap.Load(); s != nil {
 		return s.tree.Len()
+	}
+	if h, ok := v.store.(*hashStore); ok {
+		return int(h.count.Load())
 	}
 	v.mu.RLock()
 	defer v.mu.RUnlock()
@@ -274,7 +293,16 @@ func (v *View) Delta(d algebra.BatchDelta) []chronicle.Row {
 // applied state.
 func (v *View) ApplyRows(rows []chronicle.Row) {
 	v.mu.Lock()
-	defer v.mu.Unlock()
+	p := v.pg.Load()
+	v.applyRowsLocked(p, rows)
+	v.mu.Unlock()
+	if p != nil {
+		// Outside mu: the CLOCK sweep takes victims' view locks itself.
+		p.cache.maintain()
+	}
+}
+
+func (v *View) applyRowsLocked(p *pager, rows []chronicle.Row) {
 	v.stats.Applies++
 	v.stats.DeltaRows += int64(len(rows))
 	for _, r := range rows {
@@ -288,10 +316,19 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 			// Encode the key straight from the source columns; the projected
 			// tuple is only materialized when the entry does not exist yet.
 			v.keyBuf = keyenc.AppendCols(v.keyBuf[:0], r.Vals, v.def.Cols)
+			var blk *blockMeta
+			if p != nil {
+				// Writes require residency: fault the covering block so the
+				// next checkpoint can re-encode it from the live tree.
+				blk = v.ensureWrite(p, v.keyBuf)
+			}
 			e, ok := v.store.get(v.keyBuf)
 			if !ok {
 				e = &entry{vals: r.Vals.Project(v.def.Cols), epoch: v.epoch}
 				v.store.set(v.keyBuf, e)
+				if p != nil {
+					v.noteInsert(p, blk, v.keyBuf, e)
+				}
 			} else if v.cow && e.epoch != v.epoch {
 				// First touch this epoch: the entry is frozen in the
 				// published snapshot; mutate a copy instead.
@@ -304,6 +341,10 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 	case SummarizeGroupBy:
 		for _, r := range rows {
 			v.keyBuf = keyenc.AppendCols(v.keyBuf[:0], r.Vals, v.def.GroupCols)
+			var blk *blockMeta
+			if p != nil {
+				blk = v.ensureWrite(p, v.keyBuf)
+			}
 			e, ok := v.store.get(v.keyBuf)
 			if !ok {
 				e = &entry{
@@ -312,6 +353,9 @@ func (v *View) ApplyRows(rows []chronicle.Row) {
 					epoch:  v.epoch,
 				}
 				v.store.set(v.keyBuf, e)
+				if p != nil {
+					v.noteInsert(p, blk, v.keyBuf, e)
+				}
 			} else if v.cow && e.epoch != v.epoch {
 				e = e.clone(v.epoch)
 				v.store.replace(v.keyBuf, e)
@@ -337,6 +381,26 @@ func (v *View) Lookup(key value.Tuple) (value.Tuple, bool) {
 	if s := v.snap.Load(); s != nil {
 		// Lock-free: the snapshot tree and every entry in it are frozen.
 		e, ok := s.tree.Get(*buf)
+		if ok && e.count != 0 {
+			if p := v.pg.Load(); p != nil {
+				p.cache.hits.Add(1)
+			}
+			return v.rowOf(e), true
+		}
+		if p := v.pg.Load(); p != nil && p.nonResident.Load() > 0 {
+			// The key may live in an evicted block: fault it in and probe
+			// the live tree. Fully-resident paged views never get here.
+			return v.pagedLookup(*buf)
+		}
+		return nil, false
+	}
+	if h, ok := v.store.(*hashStore); ok {
+		// Lock-free: published hash entries are frozen (maintenance mutates
+		// clones and re-installs atomically); the readers count keeps the
+		// entry out of the freelist while we materialize the row.
+		h.readers.Add(1)
+		defer h.readers.Add(-1)
+		e, ok := h.rget(*buf)
 		if !ok || e.count == 0 {
 			return nil, false
 		}
@@ -363,10 +427,23 @@ func (v *View) ScanRange(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 	loKey := keyenc.AppendTuple(*loBuf, lo)
 	hiKey := keyenc.AppendTuple(*hiBuf, hi)
 	*loBuf, *hiBuf = loKey, hiKey
-	if s := v.snap.Load(); s != nil {
-		// Lock-free ordered range scan over the frozen snapshot.
+	if s := v.scanSnap(loKey, hiKey); s != nil {
+		// Lock-free ordered range scan over the frozen snapshot; for paged
+		// views scanSnap faulted the window resident first, and the COW
+		// snapshot stays complete even if eviction runs mid-scan.
 		s.tree.AscendRange(loKey, hiKey, func(_ []byte, e *entry) bool {
 			if e.count == 0 {
+				return true
+			}
+			return fn(v.rowOf(e))
+		})
+		return
+	}
+	if h, ok := v.store.(*hashStore); ok {
+		h.readers.Add(1)
+		defer h.readers.Add(-1)
+		h.ascend(func(k []byte, e *entry) bool {
+			if e.count == 0 || bytes.Compare(k, loKey) < 0 || bytes.Compare(k, hiKey) >= 0 {
 				return true
 			}
 			return fn(v.rowOf(e))
@@ -394,7 +471,7 @@ func (v *View) ScanRangeDesc(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 	loKey := keyenc.AppendTuple(*loBuf, lo)
 	hiKey := keyenc.AppendTuple(*hiBuf, hi)
 	*loBuf, *hiBuf = loKey, hiKey
-	if s := v.snap.Load(); s != nil {
+	if s := v.scanSnap(loKey, hiKey); s != nil {
 		s.tree.DescendRange(loKey, hiKey, func(_ []byte, e *entry) bool {
 			if e.count == 0 {
 				return true
@@ -409,7 +486,7 @@ func (v *View) ScanRangeDesc(lo, hi value.Tuple, fn func(value.Tuple) bool) {
 // ScanDesc visits every view row in descending group-key order until fn
 // returns false.
 func (v *View) ScanDesc(fn func(value.Tuple) bool) {
-	if s := v.snap.Load(); s != nil {
+	if s := v.scanSnap(nil, nil); s != nil {
 		s.tree.Descend(func(_ []byte, e *entry) bool {
 			if e.count == 0 {
 				return true
@@ -422,11 +499,17 @@ func (v *View) ScanDesc(fn func(value.Tuple) bool) {
 }
 
 // descendFallback emulates a descending scan on a store without ordered
-// iteration by materializing the keys in order and walking them backwards
-// under the read lock.
+// iteration by materializing the keys in order and walking them backwards.
+// Hash stores run it lock-free against the published table; unknown stores
+// fall back to the read lock.
 func (v *View) descendFallback(loKey, hiKey []byte, bounded bool, fn func(value.Tuple) bool) {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
+	if h, ok := v.store.(*hashStore); ok {
+		h.readers.Add(1)
+		defer h.readers.Add(-1)
+	} else {
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+	}
 	var rows []*entry
 	v.store.ascend(func(k []byte, e *entry) bool {
 		if e.count == 0 {
@@ -445,11 +528,11 @@ func (v *View) descendFallback(loKey, hiKey []byte, bounded bool, fn func(value.
 	}
 }
 
-// Scan visits every view row until fn returns false. The B-tree store
-// yields group-key order; the hash store yields an arbitrary but complete
-// order.
+// Scan visits every view row until fn returns false. Both store kinds
+// yield key order and both run lock-free: the B-tree from its frozen
+// snapshot, the hash store from its published atomic table.
 func (v *View) Scan(fn func(value.Tuple) bool) {
-	if s := v.snap.Load(); s != nil {
+	if s := v.scanSnap(nil, nil); s != nil {
 		s.tree.Ascend(func(_ []byte, e *entry) bool {
 			if e.count == 0 {
 				return true
@@ -458,8 +541,13 @@ func (v *View) Scan(fn func(value.Tuple) bool) {
 		})
 		return
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
+	if h, ok := v.store.(*hashStore); ok {
+		h.readers.Add(1)
+		defer h.readers.Add(-1)
+	} else {
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+	}
 	v.store.ascend(func(_ []byte, e *entry) bool {
 		if e.count == 0 {
 			return true
@@ -476,7 +564,7 @@ func (v *View) Scan(fn func(value.Tuple) bool) {
 // the frozen snapshot; hash views scan under the read lock, which excludes
 // maintenance, so the live appliedLSN is exact for the scanned state.
 func (v *View) ScanAt(fn func(value.Tuple) bool) uint64 {
-	if s := v.snap.Load(); s != nil {
+	if s := v.scanSnap(nil, nil); s != nil {
 		s.tree.Ascend(func(_ []byte, e *entry) bool {
 			if e.count == 0 {
 				return true
@@ -516,7 +604,7 @@ func (v *View) SetAppliedLSN(lsn uint64) {
 
 // Rows materializes the view contents as a slice (tests and small queries).
 func (v *View) Rows() []value.Tuple {
-	out := make([]value.Tuple, 0, v.store.len())
+	out := make([]value.Tuple, 0, v.Len())
 	v.Scan(func(t value.Tuple) bool {
 		out = append(out, t)
 		return true

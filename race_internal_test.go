@@ -1,0 +1,8 @@
+//go:build race
+
+package chronicledb
+
+// raceEnabledInternal mirrors raceEnabled (norace_test.go) for the
+// internal test package: AllocsPerRun guards skip under -race because
+// instrumentation adds allocations the production build does not have.
+const raceEnabledInternal = true

@@ -13,6 +13,7 @@ import (
 	"chronicledb/internal/engine"
 	"chronicledb/internal/sqlparse"
 	"chronicledb/internal/value"
+	"chronicledb/internal/view"
 	"chronicledb/internal/wal"
 )
 
@@ -101,7 +102,7 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 			if err != nil {
 				return fmt.Errorf("chronicledb: checkpoint chain %s: %w", c.Name, err)
 			}
-			lsn, err := db.restoreCheckpoint(data)
+			lsn, err := db.restoreCheckpoint(data, c.Name)
 			if err != nil {
 				return fmt.Errorf("chronicledb: checkpoint chain %s: %w", c.Name, err)
 			}
@@ -111,7 +112,7 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 	} else {
 		ckptPath := filepath.Join(db.opts.Dir, "checkpoint.bin")
 		if data, err := db.fs.ReadFile(ckptPath); err == nil {
-			lsn, err := db.restoreCheckpoint(data)
+			lsn, err := db.restoreCheckpoint(data, "checkpoint.bin")
 			if err != nil {
 				return err
 			}
@@ -232,7 +233,10 @@ func (db *DB) Checkpoint() error {
 		if db.segmented() {
 			return db.writeSegmentedCheckpoint()
 		}
-		data, _, _, _ := db.buildCheckpointImage(2, true)
+		data, _, _, _, _, err := db.buildCheckpointImage(2, true)
+		if err != nil {
+			return fmt.Errorf("chronicledb: checkpoint: %w", err)
+		}
 		final := filepath.Join(db.opts.Dir, "checkpoint.bin")
 		if err := wal.WriteFileAtomicFS(db.fs, final, data); err != nil {
 			return fmt.Errorf("chronicledb: checkpoint: %w", err)
@@ -256,6 +260,21 @@ func (db *DB) Checkpoint() error {
 	return write()
 }
 
+// blockCommit carries one paged view's pending block refs out of
+// buildCheckpointImage: once the image's chain file is durable and the
+// manifest flip has made it authoritative, the storage layer calls
+// CommitBlockRefs so the blocks' durable locations (and clean marks) point
+// at the new file. base is the view's blocked image offset within the
+// checkpoint image (== within the chain file, which holds the image at
+// offset 0). dirty/total are the block counts at the cut, for stats.
+type blockCommit struct {
+	v     *view.View
+	base  int64
+	pend  []view.PendingBlock
+	dirty int
+	total int
+}
+
 // buildCheckpointImage serializes database state into db.ckptBuf, which it
 // reuses across checkpoints (callers hold db.mu, and the image is fully
 // consumed — written to disk — before the next checkpoint starts).
@@ -271,13 +290,22 @@ func (db *DB) Checkpoint() error {
 // durably referenced. dirty counts the objects an incremental image
 // includes, so an unchanged database can skip the chain entry entirely.
 //
+// version 4 keeps v3's framing and changes only the view payloads: each is
+// prefixed by a subformat byte — 0 for a v1 whole image (unpaged views), 1
+// for a self-contained blocked image (full cuts inline every block so the
+// chain can fold), 2 for a blocked delta (incremental cuts carry only the
+// dirty block runs; restore merges them into the index from earlier chain
+// images, so incremental cost is flat in view cardinality). The returned
+// commits must be applied after the manifest flip that makes the image
+// authoritative.
+//
 // The markers are monotonic mutation counters, recomputed from the objects
 // themselves: chronicle Total+Dropped (either moves on any append or
 // retention drop), relation Updates, view Applies, periodic-view Applies.
 // DDL (drop, or drop-and-recreate, which could leave a fresh object behind
 // an unchanged marker) is handled by the caller forcing a full image via
 // db.ddlDirty instead.
-func (db *DB) buildCheckpointImage(version byte, full bool) (data []byte, lsn uint64, marks map[string]uint64, dirty int) {
+func (db *DB) buildCheckpointImage(version byte, full bool) (data []byte, lsn uint64, marks map[string]uint64, dirty int, commits []blockCommit, err error) {
 	old := db.ckptMarks
 	marks = make(map[string]uint64)
 	include := func(key string, cur uint64) bool {
@@ -371,9 +399,41 @@ func (db *DB) buildCheckpointImage(version byte, full bool) (data []byte, lsn ui
 	b = binary.AppendUvarint(b, uint64(len(incl)))
 	for _, name := range incl {
 		v, _ := db.eng.View(name)
-		snap := v.Checkpoint()
 		b = appendName(b, name)
-		b = binary.AppendUvarint(b, uint64(len(snap)))
+		if version >= 4 && v.Paged() {
+			var (
+				snap           []byte
+				pend           []view.PendingBlock
+				dirtyB, totalB int
+				cerr           error
+				sub            byte
+			)
+			if full {
+				sub = 1 // self-contained blocked image: the chain can fold
+				snap, pend, dirtyB, totalB, cerr = v.CheckpointBlocked(true)
+			} else {
+				sub = 2 // blocked delta: dirty runs only, merged at restore
+				snap, pend, dirtyB, totalB, cerr = v.CheckpointBlockedDelta()
+			}
+			if cerr != nil {
+				db.ckptBuf = b
+				return nil, 0, nil, 0, nil, fmt.Errorf("chronicledb: checkpoint view %s: %w", name, cerr)
+			}
+			b = binary.AppendUvarint(b, uint64(len(snap)+1))
+			b = append(b, sub)
+			commits = append(commits, blockCommit{
+				v: v, base: int64(len(b)), pend: pend, dirty: dirtyB, total: totalB,
+			})
+			b = append(b, snap...)
+			continue
+		}
+		snap := v.Checkpoint()
+		if version >= 4 {
+			b = binary.AppendUvarint(b, uint64(len(snap)+1))
+			b = append(b, 0) // subformat: v1 whole image
+		} else {
+			b = binary.AppendUvarint(b, uint64(len(snap)))
+		}
 		b = append(b, snap...)
 	}
 
@@ -403,12 +463,14 @@ func (db *DB) buildCheckpointImage(version byte, full bool) (data []byte, lsn ui
 	// refreshes duplicates in place, so later chain files win.
 	b = dedup.AppendEntries(b, db.eng.DedupEntries())
 	db.ckptBuf = b
-	return b, lsn, marks, dirty
+	return b, lsn, marks, dirty, commits, nil
 }
 
 // restoreCheckpoint rebuilds state from a checkpoint image and returns
-// the LSN the checkpoint was cut at (the replay skip threshold).
-func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
+// the LSN the checkpoint was cut at (the replay skip threshold). fileName
+// is the chain file holding the image; version-4 blocked view sections
+// resolve their inline block payloads relative to it.
+func (db *DB) restoreCheckpoint(data []byte, fileName string) (uint64, error) {
 	bad := func(what string) error {
 		return fmt.Errorf("chronicledb: corrupt checkpoint (%s)", what)
 	}
@@ -416,7 +478,7 @@ func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
 		return 0, bad("header")
 	}
 	version := data[4]
-	if version != 1 && version != 2 && version != 3 {
+	if version < 1 || version > 4 {
 		return 0, fmt.Errorf("chronicledb: unsupported checkpoint version %d", version)
 	}
 	off := 5
@@ -560,7 +622,36 @@ func (db *DB) restoreCheckpoint(data []byte) (uint64, error) {
 		if !ok {
 			return 0, fmt.Errorf("chronicledb: checkpoint references unknown view %q", name)
 		}
-		if err := v.RestoreCheckpoint(data[off : off+int(snapLen)]); err != nil {
+		payload := data[off : off+int(snapLen)]
+		if version >= 4 {
+			// v4 view payloads carry a subformat byte: 0 = v1 whole image,
+			// 1 = blocked image (lazy block index for paged views, eager
+			// fetch-and-decode for views reopened unpaged), 2 = blocked
+			// delta (dirty runs merged into the index restored from earlier
+			// chain images).
+			if snapLen == 0 {
+				return 0, bad("view subformat")
+			}
+			sub, body := payload[0], payload[1:]
+			switch sub {
+			case 0:
+				if err := v.RestoreCheckpoint(body); err != nil {
+					return 0, err
+				}
+			case 1:
+				base := int64(off) + 1 // body's offset within the chain file
+				if err := v.RestoreBlocked(body, fileName, base, db.blockFetch); err != nil {
+					return 0, err
+				}
+			case 2:
+				base := int64(off) + 1
+				if err := v.RestoreBlockedDelta(body, fileName, base); err != nil {
+					return 0, err
+				}
+			default:
+				return 0, bad("view subformat")
+			}
+		} else if err := v.RestoreCheckpoint(payload); err != nil {
 			return 0, err
 		}
 		off += int(snapLen)

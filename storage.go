@@ -108,6 +108,11 @@ func (db *DB) openSegmented(old wal.Manifest, hadManifest bool) error {
 		man = old.Clone()
 	}
 
+	// Deferred from the conversion checkpoint below: blocked view refs may
+	// only be committed once the manifest flip references their file.
+	var ckptCommits []blockCommit
+	var ckptName string
+
 	// Create the active segment of any stream that lacks one, durably,
 	// BEFORE the manifest flip that will reference it. Truncation clears a
 	// leftover with the same name (a conversion can reuse a file name from
@@ -148,7 +153,10 @@ func (db *DB) openSegmented(old wal.Manifest, hadManifest bool) error {
 		// starts with an empty chain. Open is single-threaded, so no
 		// barrier or quiesce is needed for an exact cut.
 		if db.catalogSynced || hadManifest || db.eng.LSN() > 0 {
-			data, lsn, marks, _ := db.buildCheckpointImage(3, true)
+			data, lsn, marks, _, commits, err := db.buildCheckpointImage(4, true)
+			if err != nil {
+				return fmt.Errorf("chronicledb: conversion checkpoint: %w", err)
+			}
 			name := wal.CheckpointFileName(1)
 			if err := wal.WriteFileAtomicFS(db.fs, filepath.Join(dir, name), data); err != nil {
 				return fmt.Errorf("chronicledb: conversion checkpoint: %w", err)
@@ -157,6 +165,8 @@ func (db *DB) openSegmented(old wal.Manifest, hadManifest bool) error {
 			db.ckptMarks = marks
 			db.lastCkptLSN.Store(lsn)
 			db.ckptFull.Add(1)
+			ckptCommits = commits
+			ckptName = name
 			// Catalog replay runs through ddlDone, which flags DDL; this
 			// full image just captured all of it.
 			db.ddlDirty.Store(false)
@@ -171,6 +181,7 @@ func (db *DB) openSegmented(old wal.Manifest, hadManifest bool) error {
 		}
 	}
 	db.man = man
+	db.commitBlockRefs(ckptName, ckptCommits)
 
 	if convert {
 		// The flip dropped the old layout; its files are now unreferenced.
@@ -229,6 +240,28 @@ func (db *DB) openSegmented(old wal.Manifest, hadManifest bool) error {
 		db.logs = append(db.logs, log)
 	}
 	return nil
+}
+
+// commitBlockRefs applies the pending block-ref commits of a just-flipped
+// checkpoint and records the cut's block counts for stats. A nil/empty
+// commits list (no paged views, or a legacy-format image) resets nothing.
+func (db *DB) commitBlockRefs(file string, commits []blockCommit) {
+	if len(commits) == 0 {
+		return
+	}
+	var dirty, total int64
+	for _, bc := range commits {
+		bc.v.CommitBlockRefs(file, bc.base, bc.pend)
+		dirty += int64(bc.dirty)
+		total += int64(bc.total)
+	}
+	db.ckptDirtyBlocks.Store(dirty)
+	db.ckptTotalBlocks.Store(total)
+	// The cut just turned the write burst's dirty blocks clean (hence
+	// evictable); shed to budget now instead of waiting for a read fault.
+	if db.viewCache != nil {
+		db.viewCache.Maintain()
+	}
 }
 
 // rotateManifest is the segment-rotation hook: called by a log, under its
@@ -322,7 +355,11 @@ func (db *DB) writeSegmentedCheckpoint() error {
 			db.ddlDirty.Store(true)
 		}
 	}
-	data, lsn, marks, dirty := db.buildCheckpointImage(3, full)
+	data, lsn, marks, dirty, commits, err := db.buildCheckpointImage(4, full)
+	if err != nil {
+		restoreDDL()
+		return err
+	}
 	if !full && dirty == 0 && lsn == db.lastCkptLSN.Load() {
 		// Nothing moved since the last cut; skip the no-op chain entry
 		// (periodic checkpoint tickers on idle databases hit this).
@@ -373,6 +410,10 @@ func (db *DB) writeSegmentedCheckpoint() error {
 		return fmt.Errorf("chronicledb: checkpoint: %w", err)
 	}
 	db.man = newMan
+	// The flip made the new image authoritative: install the blocked views'
+	// durable refs now, before the compactor deletes any superseded chain
+	// file a pre-commit ref might still point at.
+	db.commitBlockRefs(name, commits)
 
 	if !db.opts.NoCompact && len(drop) > 0 {
 		removed := false

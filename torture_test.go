@@ -86,16 +86,23 @@ var tortureDDL = []struct {
 		func(db *DB) bool { _, ok := db.View("balance"); return ok }},
 	{`CREATE VIEW by_state AS SELECT state, SUM(amt) AS total FROM ledger JOIN customers ON ledger.acct = customers.acct GROUP BY state`,
 		func(db *DB) bool { _, ok := db.View("by_state"); return ok }},
+	// A B-tree twin of balance: B-tree views checkpoint in blocks (dirty
+	// tracking, per-block CRCs, refs into prior chain files), so the crash
+	// enumeration lands inside block writes, between the image write and the
+	// manifest flip, and across copy-forward during chain folds.
+	{`CREATE VIEW balance_bt AS SELECT acct, SUM(amt) AS total, COUNT(*) AS n FROM ledger GROUP BY acct WITH STORE BTREE`,
+		func(db *DB) bool { _, ok := db.View("balance_bt"); return ok }},
 }
 
 // snapshot is a canonical rendering of all durable state: chronicle
 // contents in sequence order, the relation, and both views.
 type snapshot struct {
-	Ledger  []string // ordered "acct/amt"
-	Events  []string
-	Cust    []string // sorted "acct=state"
-	Balance []string // sorted "acct:total:n"
-	ByState []string // sorted "state:total"
+	Ledger    []string // ordered "acct/amt"
+	Events    []string
+	Cust      []string // sorted "acct=state"
+	Balance   []string // sorted "acct:total:n"
+	ByState   []string // sorted "state:total"
+	BalanceBT []string // balance via the blocked B-tree store; must match Balance
 }
 
 // refSim replays ops[:k] through a pure-Go model of the schema. Join-view
@@ -147,6 +154,7 @@ func refSim(k int) snapshot {
 	sort.Strings(s.Cust)
 	sort.Strings(s.Balance)
 	sort.Strings(s.ByState)
+	s.BalanceBT = s.Balance
 	return s
 }
 
@@ -192,15 +200,17 @@ func joinParts(parts []string, sep string) string {
 func dbSnapshot(t *testing.T, db *DB) snapshot {
 	t.Helper()
 	s := snapshot{
-		Ledger:  selCols(t, db, "ledger", "/", "acct", "amt"),
-		Events:  selCols(t, db, "events", "/", "acct", "amt"),
-		Cust:    selCols(t, db, "customers", "=", "acct", "state"),
-		Balance: selCols(t, db, "balance", ":", "acct", "total", "n"),
-		ByState: selCols(t, db, "by_state", ":", "state", "total"),
+		Ledger:    selCols(t, db, "ledger", "/", "acct", "amt"),
+		Events:    selCols(t, db, "events", "/", "acct", "amt"),
+		Cust:      selCols(t, db, "customers", "=", "acct", "state"),
+		Balance:   selCols(t, db, "balance", ":", "acct", "total", "n"),
+		ByState:   selCols(t, db, "by_state", ":", "state", "total"),
+		BalanceBT: selCols(t, db, "balance_bt", ":", "acct", "total", "n"),
 	}
 	sort.Strings(s.Cust)
 	sort.Strings(s.Balance)
 	sort.Strings(s.ByState)
+	sort.Strings(s.BalanceBT)
 	return s
 }
 
@@ -222,6 +232,11 @@ func tortureOptions(disk *fault.Disk, shards int) Options {
 		// new crash sites are covered automatically.
 		WALSegmentBytes:     512,
 		CheckpointFullEvery: 2,
+		// Tiny blocks split the B-tree view's image into several blocks per
+		// checkpoint, and a tight cache budget forces the recovered reads in
+		// verifyRecovered to fault blocks back through the healed disk.
+		ViewBlockBytes: 64,
+		ViewCacheBytes: 512,
 	}
 }
 
