@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-allocs bench-reads bench-ckpt experiments fuzz examples torture chaos watch-stress clean
+.PHONY: all build test race vet check cover bench bench-allocs bench-reads bench-ckpt bench-maint maint-stress experiments fuzz examples torture chaos watch-stress clean
 
 all: check
 
@@ -70,12 +70,32 @@ bench-ckpt:
 	$(GO) test -count=1 -run 'TestCheckpointBlockGuards' -v .
 	$(GO) test -run=NONE -bench 'BenchmarkBlockedCheckpoint' -benchmem -benchtime 5x .
 
+# maint-stress is the shared-delta pipeline gate: concurrent appenders
+# race parallel per-view folds (MaintWorkers > 1) and WATCH subscribers
+# with mid-run checkpoints, asserting per-view delta conservation and
+# strictly increasing feed LSNs — a fold that dropped, duplicated, or
+# reordered a task would break either. -count=1 defeats caching: this is
+# the gate for maintenance-pipeline changes and must actually run.
+maint-stress:
+	$(GO) test -race -count=1 -run 'TestMaintParallelStress' -v .
+
+# bench-maint is the maintenance fan-out regression gate: the alloc guard
+# pins that appending with 64 views sharing one σ prefix stays on the
+# single-view allocation budget (the shared-delta fan-out adds zero
+# allocs/op) and that the shared plan's hit counter grows ≥ V-1 per
+# batch; the benchmark prints maint-ns/append across view counts for the
+# shared vs duplicated shapes. -count=1 defeats caching — the guard must run.
+bench-maint:
+	$(GO) test -count=1 -run 'TestMaintAllocGuards' -v .
+	$(GO) test -run=NONE -bench 'BenchmarkMaintainFanout' -benchmem -benchtime 50x .
+
 # check is the gate for every change: static analysis plus the full suite
 # under the race detector (the sharded kernel is concurrent by design),
 # plus the crash-torture enumeration, the network-torture harness, the
-# changefeed fan-out stress, and the allocation-regression guards for both
-# the append and read hot paths, and the blocked-checkpoint guards.
-check: build vet race torture chaos watch-stress bench-allocs bench-reads bench-ckpt
+# changefeed fan-out stress, the parallel-maintenance stress, and the
+# allocation-regression guards for the append and read hot paths, the
+# blocked-checkpoint guards, and the shared-delta maintenance guards.
+check: build vet race torture chaos watch-stress maint-stress bench-allocs bench-reads bench-ckpt bench-maint
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,122 @@
+// Maintenance fan-out benchmarks and guards for the shared-delta pipeline.
+// The claim under test (E22): when V views share expression structure, the
+// per-append maintenance cost of computing their deltas is the cost of the
+// DISTINCT subexpressions, not Σ(per-view tree cost) — the shared plan
+// computes each common prefix once per batch and fans the rows out. The
+// alloc guard pins the second half of the claim: the shared-delta path adds
+// zero steady-state allocations over the classic per-view apply.
+// `make bench-maint` (wired into `make check`) runs both.
+package chronicledb_test
+
+import (
+	"fmt"
+	"testing"
+
+	chronicledb "chronicledb"
+)
+
+// fanoutDB builds an in-memory DB with V summary views over one chronicle.
+// shape "shared" gives every view the identical σ prefix (one plan node
+// serves all V); shape "duplicated" gives each view its own constant, so
+// every view evaluates its own σ — same fold work per view (the probe
+// tuple passes every filter), different delta-computation sharing.
+func fanoutDB(tb testing.TB, shape string, V int) *chronicledb.DB {
+	tb.Helper()
+	db, err := chronicledb.Open(chronicledb.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT)`); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < V; i++ {
+		where := "minutes >= 0"
+		if shape == "duplicated" {
+			where = fmt.Sprintf("minutes >= %d", i)
+		}
+		stmt := fmt.Sprintf(`CREATE VIEW v%d AS SELECT acct, SUM(minutes) AS m
+			FROM calls WHERE %s GROUP BY acct`, i, where)
+		if _, err := db.Exec(stmt); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return db
+}
+
+// fanoutTuple passes every filter of both shapes (minutes = 1000 ≥ 255), so
+// shared and duplicated runs fold identical rows into identical view states
+// and differ only in delta computation.
+var fanoutTuple = chronicledb.Tuple{chronicledb.Str("acct-fan"), chronicledb.Int(1000)}
+
+func BenchmarkMaintainFanout(b *testing.B) {
+	for _, shape := range []string{"shared", "duplicated"} {
+		for _, V := range []int{1, 4, 16, 64, 256} {
+			b.Run(fmt.Sprintf("%s/views=%d", shape, V), func(b *testing.B) {
+				db := fanoutDB(b, shape, V)
+				defer db.Close()
+				for i := 0; i < 50; i++ { // warm scratch, plan buffers, stores
+					if _, err := db.Append("calls", fanoutTuple); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Append("calls", fanoutTuple); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := db.Stats()
+				b.ReportMetric(float64(st.MaintenanceNs)/float64(st.Appends), "maint-ns/append")
+				b.ReportMetric(float64(st.SharedHits)/float64(st.Appends), "shared-hits/append")
+			})
+		}
+	}
+}
+
+// TestMaintAllocGuards pins the allocation behavior of the shared-delta
+// fan-out: appending with 64 views sharing one σ prefix stays on the same
+// fixed budget as the single-view append — sharing adds nothing — and the
+// shared plan's hit counter proves the prefix was computed once per batch.
+func TestMaintAllocGuards(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	measure := func(V int) (allocs float64, db *chronicledb.DB) {
+		db = fanoutDB(t, "shared", V)
+		for i := 0; i < 200; i++ {
+			if _, err := db.Append("calls", fanoutTuple); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs = testing.AllocsPerRun(500, func() {
+			if _, err := db.Append("calls", fanoutTuple); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs, db
+	}
+
+	one, db1 := measure(1)
+	defer db1.Close()
+	many, db64 := measure(64)
+	defer db64.Close()
+	t.Logf("allocs/append: 1 view = %.1f, 64 shared views = %.1f", one, many)
+	// Same end-to-end budget as the engine-append guard: the fan-out path
+	// must not allocate per view.
+	if many > 2 {
+		t.Errorf("64-view shared append: %.1f allocs/op, budget 2", many)
+	}
+	if many-one > 0.5 {
+		t.Errorf("shared fan-out adds %.1f allocs/op over a single view, want 0", many-one)
+	}
+
+	// Shared-hit accounting: every batch evaluates the common σ prefix once
+	// and serves the other 63 views (plus the scan leaf) from the cache, so
+	// hits grow by ≥ V-1 per append.
+	st := db64.Stats()
+	if min := st.Appends * 63; st.SharedHits < min {
+		t.Errorf("SharedHits = %d over %d appends, want ≥ %d", st.SharedHits, st.Appends, min)
+	}
+}

@@ -67,6 +67,7 @@ func main() {
 		dedupOff   = flag.Bool("dedup-disabled", false, "disable idempotent-append dedup (at-least-once ingestion)")
 		cacheBytes = flag.Int64("view-cache-bytes", 0, "resident-byte budget for blocked B-tree view stores (0 = unbounded; durable mode only)")
 		blockBytes = flag.Int64("view-block-bytes", 0, "blocked view store block size (0 = default 8KiB, negative = whole-image checkpoints)")
+		maintWk    = flag.Int("maint-workers", 0, "view-maintenance fold goroutines per shard engine (0 = GOMAXPROCS, 1 = serial)")
 		feed       = flag.Bool("feed", true, "changefeeds: capture view deltas for /watch subscribers")
 		feedTail   = flag.Int("feed-tail", 0, "per-view resume window in frames (0 = default 1024)")
 		maxSubs    = flag.Int("max-subscribers", 0, "concurrent /watch subscribers before 429 shedding (0 = default 4096)")
@@ -92,6 +93,7 @@ func main() {
 		FeedTailFrames:      *feedTail,
 		ViewCacheBytes:      *cacheBytes,
 		ViewBlockBytes:      *blockBytes,
+		MaintWorkers:        *maintWk,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,10 +6,12 @@ import (
 	"io"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"chronicledb/internal/algebra"
 	"chronicledb/internal/calendar"
 	"chronicledb/internal/chronicle"
 	"chronicledb/internal/dedup"
@@ -129,6 +131,13 @@ type Options struct {
 	// backpressure the append path. Zero means feed.DefaultRing (256).
 	// Ignored without Feed.
 	FeedRing int
+	// MaintWorkers bounds per-append view-maintenance parallelism: once the
+	// shared-delta plan has computed every affected view's delta, the folds
+	// into independent view stores run across up to this many goroutines
+	// (per shard engine, counting the appending one). 1 forces the serial
+	// path; 0 selects GOMAXPROCS — which on a single-core host is 1, so
+	// parallel maintenance turns on exactly where it can pay.
+	MaintWorkers int
 }
 
 // Retention re-exports the chronicle retention policy.
@@ -179,6 +188,8 @@ type Kernel interface {
 
 	Stats() engine.Stats
 	MaintenanceLatency() stats.Snapshot
+	MaintWorkers() int
+	ViewSharedPlan(name string) ([]algebra.PlanNodeInfo, bool)
 	LSN() uint64
 	RestoreLSN(lsn uint64)
 
@@ -295,6 +306,7 @@ func Open(opts Options) (*DB, error) {
 		Clock:            opts.Clock,
 		DedupCap:         opts.DedupCap,
 		DedupDisabled:    opts.DedupDisabled,
+		MaintWorkers:     opts.MaintWorkers,
 	}
 	if db.segmented() && opts.ViewBlockBytes >= 0 {
 		// Blocked view stores: B-tree views page fixed-size blocks against
@@ -628,10 +640,16 @@ func (db *DB) normalizeLayout(old wal.Manifest, hadManifest bool) error {
 	return db.fs.SyncDir(db.opts.Dir)
 }
 
-// stopKernel stops shard writers (no-op for the single-engine kernel).
+// stopKernel stops shard writers and the maintenance fold pools. The
+// router stops its engines' pools itself after draining the writers; the
+// single-engine kernel stops its pool here (callers hold db.mu, so no
+// mutation — and hence no maintenance batch — is in flight).
 func (db *DB) stopKernel() {
 	if db.router != nil {
 		db.router.Close()
+	}
+	if db.uno != nil {
+		db.uno.StopMaintenance()
 	}
 }
 
@@ -937,6 +955,44 @@ type ReadStats = engine.ReadStats
 // ReadStats reports read traffic: lookup and scan counts plus the
 // end-to-end read latency distribution, merged across shards when sharded.
 func (db *DB) ReadStats() ReadStats { return db.eng.ReadStats() }
+
+// ViewMaintStat attributes maintenance cost to one persistent view.
+type ViewMaintStat struct {
+	Name      string
+	Applies   int64 // maintenance invocations
+	DeltaRows int64 // expression delta rows folded in
+	ApplyNs   int64 // wall time inside ApplyRows (fold + snapshot publish)
+}
+
+// MaintWorkers reports the resolved per-engine maintenance parallelism.
+func (db *DB) MaintWorkers() int { return db.eng.MaintWorkers() }
+
+// MaintAttribution returns the k slowest persistent views by accumulated
+// apply time — where per-append maintenance cost actually goes. k ≤ 0
+// returns all views. Ties and ordering are by ApplyNs descending, then
+// name, so repeated calls are stable.
+func (db *DB) MaintAttribution(k int) []ViewMaintStat {
+	names := db.eng.ViewNames()
+	out := make([]ViewMaintStat, 0, len(names))
+	for _, n := range names {
+		v, ok := db.eng.View(n)
+		if !ok {
+			continue
+		}
+		st := v.Stats()
+		out = append(out, ViewMaintStat{Name: n, Applies: st.Applies, DeltaRows: st.DeltaRows, ApplyNs: st.ApplyNs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ApplyNs != out[j].ApplyNs {
+			return out[i].ApplyNs > out[j].ApplyNs
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
 
 // SnapshotAge reports how long ago the oldest live view snapshot was
 // published — the staleness bound of the lock-free read path. Zero means

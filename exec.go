@@ -373,7 +373,7 @@ func matchesAll(preds []pred.Predicate, r Row) bool {
 func (db *DB) explain(name string) (*Result, error) {
 	if v, ok := db.eng.View(name); ok {
 		info := v.Info()
-		return &Result{
+		res := &Result{
 			Columns: []string{"property", "value"},
 			Rows: []Row{
 				{value.Str("expression"), value.Str(v.Def().Expr.String())},
@@ -384,7 +384,20 @@ func (db *DB) explain(name string) (*Result, error) {
 				{value.Str("joins_j"), value.Int(int64(info.Joins))},
 				{value.Str("rows"), value.Int(int64(v.Len()))},
 			},
-		}, nil
+		}
+		// Shared-delta plan: the view's interned node ids (post-order, root
+		// last) with each node's cross-view consumer count, so CSE grouping
+		// is inspectable from SQL — two views listing the same node id share
+		// that subexpression's delta.
+		if nodes, ok := db.eng.ViewSharedPlan(name); ok {
+			for _, n := range nodes {
+				res.Rows = append(res.Rows, Row{
+					value.Str(fmt.Sprintf("plan_node_%d", n.ID)),
+					value.Str(fmt.Sprintf("consumers=%d %s", n.Consumers, n.Expr)),
+				})
+			}
+		}
+		return res, nil
 	}
 	if pv, ok := db.eng.PeriodicView(name); ok {
 		return &Result{
@@ -457,7 +470,7 @@ func (db *DB) show(what string) (*Result, error) {
 		if age := db.SnapshotAge(); age > 0 {
 			snapAge = fmt.Sprintf("%.1fms", float64(age)/1e6)
 		}
-		return &Result{
+		res := &Result{
 			Columns: []string{"stat", "value"},
 			Rows: []Row{
 				{value.Str("appends"), value.Int(st.Appends)},
@@ -466,6 +479,8 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("views_maintained"), value.Int(st.ViewsMaintained)},
 				{value.Str("maintenance_ns"), value.Int(st.MaintenanceNs)},
 				{value.Str("maintenance_latency"), value.Str(lat.String())},
+				{value.Str("maint_shared_hits"), value.Int(st.SharedHits)},
+				{value.Str("maint_workers"), value.Int(int64(db.eng.MaintWorkers()))},
 				{value.Str("read_lookups"), value.Int(rs.Lookups)},
 				{value.Str("read_scans"), value.Int(rs.Scans)},
 				{value.Str("read_latency"), value.Str(rs.Latency.String())},
@@ -506,7 +521,17 @@ func (db *DB) show(what string) (*Result, error) {
 				{value.Str("feed_catchups_snapshot"), value.Int(int64(fs.CatchupsSnapshot))},
 				{value.Str("feed_evicted"), value.Int(int64(fs.Evicted))},
 			},
-		}, nil
+		}
+		// Per-view maintenance attribution: the top-5 slowest views by
+		// accumulated fold time, so "where does maintenance_ns go" is
+		// answerable without profiling.
+		for i, vs := range db.MaintAttribution(5) {
+			res.Rows = append(res.Rows, Row{
+				value.Str(fmt.Sprintf("maint_top_%d", i+1)),
+				value.Str(fmt.Sprintf("%s apply_ns=%d delta_rows=%d applies=%d", vs.Name, vs.ApplyNs, vs.DeltaRows, vs.Applies)),
+			})
+		}
+		return res, nil
 	default:
 		return nil, fmt.Errorf("chronicledb: cannot SHOW %s", what)
 	}

@@ -61,24 +61,9 @@ func Delta(n Node, d BatchDelta) []chronicle.Row {
 	case *GroupBySN:
 		return groupBySN(n, Delta(n.In, d))
 	case *CrossRel:
-		in := Delta(n.In, d)
-		var out []chronicle.Row
-		for _, r := range in {
-			n.R.ScanAsOf(r.LSN, func(rt value.Tuple) bool {
-				out = append(out, concatRow(r, rt))
-				return true
-			})
-		}
-		return out
+		return deltaCrossRel(n, Delta(n.In, d))
 	case *JoinRel:
-		in := Delta(n.In, d)
-		var out []chronicle.Row
-		for _, r := range in {
-			for _, rt := range relMatches(n, r) {
-				out = append(out, concatRow(r, rt))
-			}
-		}
-		return out
+		return deltaJoinRel(n, Delta(n.In, d))
 	default:
 		panic(fmt.Sprintf("algebra: unknown node %T", n))
 	}
@@ -118,6 +103,31 @@ func DeltaInto(n Node, d BatchDelta, scratch []chronicle.Row) (rows, keep []chro
 	default:
 		return Delta(n, d), scratch
 	}
+}
+
+// deltaCrossRel pairs each input delta row with the relation version at the
+// row's instant (Δ(E × R) = ΔE × R@t).
+func deltaCrossRel(n *CrossRel, in []chronicle.Row) []chronicle.Row {
+	var out []chronicle.Row
+	for _, r := range in {
+		n.R.ScanAsOf(r.LSN, func(rt value.Tuple) bool {
+			out = append(out, concatRow(r, rt))
+			return true
+		})
+	}
+	return out
+}
+
+// deltaJoinRel joins each input delta row against the relation version at
+// the row's instant (per-Δ-tuple key lookup when the join is on the key).
+func deltaJoinRel(n *JoinRel, in []chronicle.Row) []chronicle.Row {
+	var out []chronicle.Row
+	for _, r := range in {
+		for _, rt := range relMatches(n, r) {
+			out = append(out, concatRow(r, rt))
+		}
+	}
+	return out
 }
 
 // relMatches returns the relation tuples joining with row r, honoring the

@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"E19", "changefeed fan-out: delta delivery to live subscribers", RunE19},
 		{"E20", "recovery and disk vs uptime: segmented vs single-file WAL", RunE20},
 		{"E21", "blocked view checkpoints: dirty-block cost + bounded cache", RunE21},
+		{"E22", "shared-delta maintenance: CSE fan-out + parallel apply", RunE22},
 	}
 }
 

@@ -21,7 +21,8 @@ import (
 )
 
 // Target is a maintenance target (typically a persistent view, or one
-// periodic-view family).
+// periodic-view family). A Target belongs to at most one Dispatcher: the
+// dedup stamps below are scoped to a single dispatcher's call sequence.
 type Target struct {
 	// ID names the target (unique per dispatcher).
 	ID string
@@ -37,6 +38,27 @@ type Target struct {
 	// chronon (periodic views are maintained only inside their intervals).
 	// nil means always active.
 	ActiveAt func(chronon int64) bool
+
+	// seenSeq dedups within one Affected call; stampSeq dedups across
+	// Affected calls of one maintenance batch (see Stamp). Both are plain
+	// sequence stamps rather than membership maps: comparing an integer per
+	// target replaces a map insert on the append hot path. Serialized by the
+	// caller along with Affected itself.
+	seenSeq  uint64
+	stampSeq uint64
+}
+
+// Stamp marks the target as claimed for sequence seq and reports whether it
+// had already been claimed for that sequence. Callers that gather affected
+// targets across several Affected calls (a multi-chronicle batch touches
+// one chronicle per call) use a fresh seq per batch to dedup without a
+// membership map. Stamp requires the same serialization as Affected.
+func (t *Target) Stamp(seq uint64) (already bool) {
+	if t.stampSeq == seq {
+		return true
+	}
+	t.stampSeq = seq
+	return false
 }
 
 // Dispatcher routes appends to affected targets.
@@ -59,9 +81,11 @@ type Dispatcher struct {
 	// Affected scratch, reused across calls: the engine serializes appends,
 	// so at most one Affected runs at a time. The returned slice is valid
 	// only until the next call.
-	outScratch  []*Target
-	seenScratch map[*Target]bool
-	keyScratch  []byte
+	outScratch []*Target
+	keyScratch []byte
+	// callSeq stamps targets emitted by the current Affected call (dedup
+	// without a map; see Target.seenSeq).
+	callSeq uint64
 }
 
 // New creates a dispatcher. indexed selects whether equality filters are
@@ -73,7 +97,6 @@ func New(indexed bool) *Dispatcher {
 		eqIndex:     make(map[*chronicle.Chronicle]map[int]map[string][]*Target),
 		unindexed:   make(map[*chronicle.Chronicle][]*Target),
 		ids:         make(map[string]bool),
-		seenScratch: make(map[*Target]bool),
 	}
 }
 
@@ -161,13 +184,12 @@ func (d *Dispatcher) Unregister(id string) bool {
 // reusable scratch: it is valid only until the next Affected call.
 func (d *Dispatcher) Affected(c *chronicle.Chronicle, rows []chronicle.Row, chronon int64) []*Target {
 	out := d.outScratch[:0]
-	seen := d.seenScratch
-	clear(seen)
+	d.callSeq++
 	emit := func(t *Target) {
-		if seen[t] {
+		if t.seenSeq == d.callSeq {
 			return
 		}
-		seen[t] = true
+		t.seenSeq = d.callSeq
 		if t.ActiveAt != nil && !t.ActiveAt(chronon) {
 			return
 		}

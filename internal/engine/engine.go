@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,12 @@ type Config struct {
 	// ViewBlockBytes is the target encoded size of one view block; ≤0
 	// selects view.DefaultBlockBytes. Only meaningful with ViewCache.
 	ViewBlockBytes int64
+	// MaintWorkers bounds the per-batch view-maintenance parallelism: after
+	// the shared plan has computed every affected view's delta, the folds
+	// into the view stores run across up to MaintWorkers goroutines
+	// (including the appending one). 1 serializes maintenance (the classic
+	// path); 0 selects GOMAXPROCS.
+	MaintWorkers int
 }
 
 // Stats aggregates engine-level counters.
@@ -77,6 +84,7 @@ type Stats struct {
 	MaintenanceNs   int64 // total time spent maintaining persistent views
 	ViewsMaintained int64 // view-maintenance invocations
 	DedupHits       int64 // idempotent appends answered from the dedup table
+	SharedHits      int64 // node deltas served from the shared plan's batch cache
 }
 
 // Engine is the chronicle database system kernel.
@@ -143,6 +151,14 @@ type Engine struct {
 	feedDoor    *feed.Door
 	feedDefer   bool
 	pendingFeed *feed.Batch
+
+	// Maintenance pipeline. maintWorkers is the resolved parallelism bound;
+	// pool (nil when maintWorkers == 1) holds the persistent fold workers.
+	// batchSeq numbers maintenance batches for the dispatch-target stamp
+	// dedup; it only advances under e.mu.
+	maintWorkers int
+	pool         *maintPool
+	batchSeq     uint64
 }
 
 // catalog is one immutable generation of the engine's name tables. A new
@@ -154,6 +170,12 @@ type catalog struct {
 	relations  map[string]*relation.Relation
 	views      map[string]*view.View
 	periodics  map[string]*calendar.PeriodicView
+	// plan is the shared-delta plan over every persistent view in this
+	// generation: structurally, it belongs to the catalog (rebuilt on DDL,
+	// immutable thereafter), while its per-batch caches are owned by the
+	// maintenance path under e.mu — a published generation is only ever
+	// evaluated by the engine that built it.
+	plan *algebra.SharedPlan
 }
 
 // publishCatalogLocked snapshots the mutable catalog maps into a fresh
@@ -182,6 +204,19 @@ func (e *Engine) publishCatalogLocked() {
 	for n, pv := range e.periodics {
 		c.periodics[n] = pv
 	}
+	// Rebuild the shared-delta plan: hash-cons every view expression so
+	// common subexpressions compute their delta once per batch. Sorted view
+	// order keeps plan-node IDs deterministic across restarts (EXPLAIN shows
+	// them).
+	c.plan = algebra.NewSharedPlan()
+	names := make([]string, 0, len(e.views))
+	for n := range e.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c.plan.AddView(n, e.views[n].Def().Expr)
+	}
 	e.cat.Store(c)
 }
 
@@ -192,7 +227,7 @@ type appendScratch struct {
 	rows   []chronicle.Row                          // stored-row accumulator
 	batch  []chronicle.BatchPart                    // resolved batch parts
 	deltas map[*chronicle.Chronicle][]chronicle.Row // maintain input
-	seen   map[string]bool                          // maintain dedup
+	tasks  []maintTask                              // per-batch fold work list
 }
 
 // Mutation describes one durable engine mutation, in replayable form.
@@ -245,14 +280,42 @@ func New(cfg Config) *Engine {
 		names:      make(map[string]string),
 		scratch: appendScratch{
 			deltas: make(map[*chronicle.Chronicle][]chronicle.Row),
-			seen:   make(map[string]bool),
 		},
+	}
+	e.maintWorkers = cfg.MaintWorkers
+	if e.maintWorkers <= 0 {
+		e.maintWorkers = runtime.GOMAXPROCS(0)
+	}
+	if e.maintWorkers > 1 {
+		e.pool = newMaintPool(e.maintWorkers - 1)
 	}
 	if !cfg.DedupDisabled {
 		e.dedup = dedup.NewTable(cfg.DedupCap)
 	}
 	e.publishCatalogLocked()
 	return e
+}
+
+// MaintWorkers reports the resolved maintenance parallelism bound.
+func (e *Engine) MaintWorkers() int { return e.maintWorkers }
+
+// StopMaintenance terminates the maintenance worker pool (no-op for serial
+// engines). Call after the last mutation; idempotent.
+func (e *Engine) StopMaintenance() {
+	if e.pool != nil {
+		e.pool.stop()
+	}
+}
+
+// ViewSharedPlan lists the shared-plan nodes of one view's expression in
+// post-order (root last), with each node's cross-view consumer count — the
+// EXPLAIN readout of delta sharing. ok is false for unknown views.
+func (e *Engine) ViewSharedPlan(name string) (nodes []algebra.PlanNodeInfo, ok bool) {
+	cat := e.cat.Load()
+	if _, exists := cat.views[name]; !exists {
+		return nil, false
+	}
+	return cat.plan.ViewNodes(name), true
 }
 
 // SetRecorder installs the durable-mutation observer (the WAL hook).
@@ -938,41 +1001,66 @@ func (e *Engine) DedupStats() (entries int, hits int64, evictions int64) {
 }
 
 // maintain dispatches one append's deltas to every affected persistent and
-// periodic view. lsn is the mutation's logical sequence number; with a
-// changefeed installed each persistent view's expression delta is captured
-// under it before being folded into the materialization.
+// periodic view: the shared-delta pipeline. Phase 1 (compute, serial under
+// e.mu) walks the affected targets, pulls each persistent view's expression
+// delta from the shared plan — so a subexpression common to several views
+// is evaluated once per batch — and, with a changefeed installed, captures
+// the delta under the mutation's lsn before any fold starts: capture order
+// is fixed here, under e.mu, regardless of fold scheduling. Phase 2 (fold)
+// applies the precomputed rows to the views, in parallel across the worker
+// pool when one is configured; it completes before maintain returns, since
+// the plan's buffers and the batch's stored rows are reused by the next
+// mutation. Periodic views are few and stateful, so they apply inline in
+// phase 1.
+//
+// Catalog access goes through the published snapshot (e.cat.Load()), the
+// same generation the read path sees, so maintenance and DDL agree on the
+// view set by construction rather than by lock-ordering subtlety.
 func (e *Engine) maintain(deltas map[*chronicle.Chronicle][]chronicle.Row, chronon int64, lsn uint64) {
 	start := time.Now()
 	batch := algebra.BatchDelta(deltas)
-	seen := e.scratch.seen
-	clear(seen)
+	cat := e.cat.Load()
+	plan := cat.plan
+	plan.BeginBatch()
+	e.batchSeq++
+	tasks := e.scratch.tasks[:0]
 	for c, rows := range deltas {
 		for _, t := range e.disp.Affected(c, rows, chronon) {
-			if seen[t.ID] {
-				continue
+			if t.Stamp(e.batchSeq) {
+				continue // already claimed via another chronicle's delta
 			}
-			seen[t.ID] = true
-			if v, ok := e.views[t.ID]; ok {
-				if e.feed != nil {
-					drows := v.Delta(batch)
-					v.ApplyRows(drows)
-					if len(drows) > 0 {
-						if e.pendingFeed == nil {
-							e.pendingFeed = e.feed.Begin(e.feedDoor)
-						}
-						e.pendingFeed.Capture(t.ID, lsn, drows)
-					}
-				} else {
-					v.Apply(batch)
+			if v, ok := cat.views[t.ID]; ok {
+				drows, planned := plan.DeltaFor(t.ID, batch)
+				if !planned {
+					// The published plan predates this view (not reachable
+					// today — CreateView republishes before any append sees
+					// the target — but cheap to keep correct).
+					drows = v.Delta(batch)
 				}
+				if e.feed != nil && len(drows) > 0 {
+					if e.pendingFeed == nil {
+						e.pendingFeed = e.feed.Begin(e.feedDoor)
+					}
+					e.pendingFeed.Capture(t.ID, lsn, drows)
+				}
+				tasks = append(tasks, maintTask{v: v, rows: drows})
 				e.stats.ViewsMaintained++
-			} else if pv, ok := e.periodics[t.ID]; ok {
+			} else if pv, ok := cat.periodics[t.ID]; ok {
 				// Apply error only occurs for invalid defs, which New vetted.
 				_ = pv.Apply(batch, chronon)
 				e.stats.ViewsMaintained++
 			}
 		}
 	}
+	if e.pool != nil && len(tasks) > 1 {
+		e.pool.run(tasks)
+	} else {
+		for _, t := range tasks {
+			t.v.ApplyRows(t.rows)
+		}
+	}
+	e.scratch.tasks = tasks
+	e.stats.SharedHits += plan.TakeHits()
 	elapsed := time.Since(start)
 	e.stats.MaintenanceNs += elapsed.Nanoseconds()
 	e.maintLat.Observe(elapsed)

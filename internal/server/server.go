@@ -521,6 +521,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"maintenance_p50_ns":     int64(lat.P50),
 		"maintenance_p99_ns":     int64(lat.P99),
 		"maintenance_max_ns":     int64(lat.Max),
+		// Shared-delta maintenance pipeline: cache hits in the cross-view
+		// CSE plan, the fold parallelism bound, and the top-5 slowest views
+		// by accumulated apply time (per-view attribution).
+		"maint_shared_hits": st.SharedHits,
+		"maint_workers":     s.db.MaintWorkers(),
+		"maint_top_views":   maintTop(s.db),
 		// Read-path traffic: lookups and scans served off view snapshots,
 		// their latency distribution, and the worst-case snapshot staleness.
 		"read_lookups":    rs.Lookups,
@@ -574,6 +580,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// maintTop renders the per-view maintenance attribution for /stats.
+func maintTop(db *chronicledb.DB) []map[string]any {
+	att := db.MaintAttribution(5)
+	out := make([]map[string]any, len(att))
+	for i, vs := range att {
+		out[i] = map[string]any{
+			"view":       vs.Name,
+			"apply_ns":   vs.ApplyNs,
+			"delta_rows": vs.DeltaRows,
+			"applies":    vs.Applies,
+		}
+	}
+	return out
 }
 
 // handleHealth answers 200 while the database accepts writes, 429 while

@@ -122,6 +122,11 @@ func (r *Router) Close() {
 		close(s.reqs)
 	}
 	r.wg.Wait()
+	// Writers are drained: no maintenance batch can be in flight, so the
+	// per-engine fold pools can retire.
+	for _, s := range r.shards {
+		s.eng.StopMaintenance()
+	}
 }
 
 // Barrier quiesces every shard's in-flight batches, runs fn with the
@@ -611,6 +616,7 @@ func (r *Router) Stats() engine.Stats {
 		out.MaintenanceNs += st.MaintenanceNs
 		out.ViewsMaintained += st.ViewsMaintained
 		out.DedupHits += st.DedupHits
+		out.SharedHits += st.SharedHits
 	}
 	out.RelationUpdates += r.relUpdates.Load()
 	return out
@@ -770,6 +776,20 @@ func (r *Router) View(name string) (*view.View, bool) {
 	}
 	return s.eng.View(name)
 }
+
+// ViewSharedPlan lists a view's shared-plan nodes from its home shard
+// (sharing is per shard: views co-located with their group share deltas).
+func (r *Router) ViewSharedPlan(name string) ([]algebra.PlanNodeInfo, bool) {
+	s, ok := r.homeOfView(name)
+	if !ok {
+		return nil, false
+	}
+	return s.eng.ViewSharedPlan(name)
+}
+
+// MaintWorkers reports the per-shard maintenance parallelism bound (every
+// shard engine resolves the same configuration).
+func (r *Router) MaintWorkers() int { return r.shards[0].eng.MaintWorkers() }
 
 // PeriodicView returns a periodic view family by name.
 func (r *Router) PeriodicView(name string) (*calendar.PeriodicView, bool) {

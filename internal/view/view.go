@@ -68,6 +68,7 @@ type Stats struct {
 	Applies   int64 // maintenance invocations (appends seen)
 	DeltaRows int64 // expression delta rows folded in
 	Touched   int64 // view entries created or updated
+	ApplyNs   int64 // wall time spent inside ApplyRows (fold + publish)
 }
 
 // snapshot is an immutable, atomically published image of a B-tree view
@@ -291,10 +292,22 @@ func (v *View) Delta(d algebra.BatchDelta) []chronicle.Row {
 // the whole batch visible to lock-free readers atomically: a reader holds
 // either the pre-batch snapshot or the post-batch one, never a partially
 // applied state.
+//
+// Concurrency contract for the parallel maintenance pipeline: ApplyRows on
+// DISTINCT views is safe to call concurrently — each view's state is
+// guarded by its own mu, and the shared block cache's CLOCK sweep runs
+// outside it. Calls on one view must be serialized by the caller (the
+// engine holds its mutation lock across the whole batch), because rows may
+// alias caller-owned scratch that is reused after the call returns, and
+// because appliedLSN ordering assumes batches arrive in LSN order. The
+// rows themselves are read-only here: they may be shared with other views
+// consuming the same precomputed delta.
 func (v *View) ApplyRows(rows []chronicle.Row) {
+	start := time.Now()
 	v.mu.Lock()
 	p := v.pg.Load()
 	v.applyRowsLocked(p, rows)
+	v.stats.ApplyNs += time.Since(start).Nanoseconds()
 	v.mu.Unlock()
 	if p != nil {
 		// Outside mu: the CLOCK sweep takes victims' view locks itself.

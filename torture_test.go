@@ -92,6 +92,14 @@ var tortureDDL = []struct {
 	// manifest flip, and across copy-forward during chain folds.
 	{`CREATE VIEW balance_bt AS SELECT acct, SUM(amt) AS total, COUNT(*) AS n FROM ledger GROUP BY acct WITH STORE BTREE`,
 		func(db *DB) bool { _, ok := db.View("balance_bt"); return ok }},
+	// A twin pair sharing a σ prefix (amt >= 5): the shared-delta plan
+	// computes the filter once per batch and fans the rows into both views,
+	// so the crash enumeration covers recovery rebuilding the sharing DAG
+	// and replay re-folding through it.
+	{`CREATE VIEW big_credit AS SELECT acct, SUM(amt) AS total FROM ledger WHERE amt >= 5 GROUP BY acct`,
+		func(db *DB) bool { _, ok := db.View("big_credit"); return ok }},
+	{`CREATE VIEW big_credit_n AS SELECT acct, COUNT(*) AS n FROM ledger WHERE amt >= 5 GROUP BY acct`,
+		func(db *DB) bool { _, ok := db.View("big_credit_n"); return ok }},
 }
 
 // snapshot is a canonical rendering of all durable state: chronicle
@@ -103,6 +111,8 @@ type snapshot struct {
 	Balance   []string // sorted "acct:total:n"
 	ByState   []string // sorted "state:total"
 	BalanceBT []string // balance via the blocked B-tree store; must match Balance
+	BigCredit []string // sorted "acct:total" over amt >= 5 (shared σ prefix)
+	BigCredN  []string // sorted "acct:n" over the same shared prefix
 }
 
 // refSim replays ops[:k] through a pure-Go model of the schema. Join-view
@@ -117,6 +127,7 @@ func refSim(k int) snapshot {
 		cust           = map[string]string{}
 		balance        = map[string]*bal{}
 		byState        = map[string]int64{}
+		bigCredit      = map[string]*bal{}
 	)
 	for _, o := range tortureOps[:k] {
 		switch o.kind {
@@ -136,6 +147,15 @@ func refSim(k int) snapshot {
 				if st, ok := cust[o.acct]; ok {
 					byState[st] += o.amt
 				}
+				if o.amt >= 5 {
+					bc := bigCredit[o.acct]
+					if bc == nil {
+						bc = &bal{}
+						bigCredit[o.acct] = bc
+					}
+					bc.total += o.amt
+					bc.n++
+				}
 			} else {
 				events = append(events, row)
 			}
@@ -151,9 +171,15 @@ func refSim(k int) snapshot {
 	for st, tot := range byState {
 		s.ByState = append(s.ByState, fmt.Sprintf("%s:%d", st, tot))
 	}
+	for a, b := range bigCredit {
+		s.BigCredit = append(s.BigCredit, fmt.Sprintf("%s:%d", a, b.total))
+		s.BigCredN = append(s.BigCredN, fmt.Sprintf("%s:%d", a, b.n))
+	}
 	sort.Strings(s.Cust)
 	sort.Strings(s.Balance)
 	sort.Strings(s.ByState)
+	sort.Strings(s.BigCredit)
+	sort.Strings(s.BigCredN)
 	s.BalanceBT = s.Balance
 	return s
 }
@@ -206,11 +232,15 @@ func dbSnapshot(t *testing.T, db *DB) snapshot {
 		Balance:   selCols(t, db, "balance", ":", "acct", "total", "n"),
 		ByState:   selCols(t, db, "by_state", ":", "state", "total"),
 		BalanceBT: selCols(t, db, "balance_bt", ":", "acct", "total", "n"),
+		BigCredit: selCols(t, db, "big_credit", ":", "acct", "total"),
+		BigCredN:  selCols(t, db, "big_credit_n", ":", "acct", "n"),
 	}
 	sort.Strings(s.Cust)
 	sort.Strings(s.Balance)
 	sort.Strings(s.ByState)
 	sort.Strings(s.BalanceBT)
+	sort.Strings(s.BigCredit)
+	sort.Strings(s.BigCredN)
 	return s
 }
 
