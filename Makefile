@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-allocs bench-reads bench-ckpt bench-maint maint-stress experiments fuzz examples torture chaos watch-stress clean
+.PHONY: all build test race vet check cover bench bench-allocs bench-reads bench-ckpt bench-maint maint-stress experiments fuzz examples torture chaos repl-chaos watch-stress clean
 
 all: check
 
@@ -35,6 +35,17 @@ torture:
 chaos:
 	$(GO) test -race -count=1 -run 'TestNetworkChaos' -v .
 
+# repl-chaos is the replication failover gate: the E18 harness pointed at
+# a sync-ack primary + follower pair — concurrent retrying clients through
+# the chaos proxy and fault-injecting transport, a mid-run primary
+# power-cut, POST /promote on the follower, proxy retarget — asserting the
+# acked SN ranges tile exactly on the promoted database (zero lost, zero
+# duplicated acks), plus the stream/bootstrap/sync-ack/staleness suite.
+# -count=1 defeats caching: this is the gate for replication changes and
+# must actually run.
+repl-chaos:
+	$(GO) test -race -count=1 -run 'TestReplChaosFailover|TestReplBasic|TestReplSnapshotBootstrap|TestReplSyncAck|TestReplStaleReads|TestReplPromoteFailover|TestRetryable503Codes' -v .
+
 # watch-stress is the changefeed fan-out gate: many SSE subscribers and
 # concurrent appenders race under the race detector while every delivered
 # stream must conserve the append total with strictly increasing LSNs,
@@ -49,7 +60,7 @@ watch-stress:
 # paths, a small fixed budget end-to-end), and the append benchmarks print
 # the allocs/op trend. -count=1 defeats caching — the guards must run.
 bench-allocs:
-	$(GO) test -count=1 -run 'TestAllocGuards' -v .
+	$(GO) test -count=1 -run 'TestAllocGuards|TestReplAllocGuards' -v .
 	$(GO) test -run=NONE -bench 'BenchmarkAppendHotPath' -benchmem -benchtime 200x .
 
 # bench-reads is the read-path regression gate: the alloc guards pin the
@@ -92,10 +103,11 @@ bench-maint:
 # check is the gate for every change: static analysis plus the full suite
 # under the race detector (the sharded kernel is concurrent by design),
 # plus the crash-torture enumeration, the network-torture harness, the
-# changefeed fan-out stress, the parallel-maintenance stress, and the
-# allocation-regression guards for the append and read hot paths, the
-# blocked-checkpoint guards, and the shared-delta maintenance guards.
-check: build vet race torture chaos watch-stress maint-stress bench-allocs bench-reads bench-ckpt bench-maint
+# replication failover harness, the changefeed fan-out stress, the
+# parallel-maintenance stress, and the allocation-regression guards for
+# the append, read, and follower-apply hot paths, the blocked-checkpoint
+# guards, and the shared-delta maintenance guards.
+check: build vet race torture chaos repl-chaos watch-stress maint-stress bench-allocs bench-reads bench-ckpt bench-maint
 
 cover:
 	$(GO) test -cover ./...
@@ -115,6 +127,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRecord -fuzztime=30s ./internal/wal/
 	$(GO) test -run=NONE -fuzz=FuzzManifest -fuzztime=30s ./internal/wal/
 	$(GO) test -run=NONE -fuzz=FuzzBlock -fuzztime=30s ./internal/view/
+	$(GO) test -run=NONE -fuzz=FuzzReplFrame -fuzztime=30s ./internal/repl/
 
 examples:
 	$(GO) run ./examples/quickstart

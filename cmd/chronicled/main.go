@@ -10,6 +10,8 @@
 //	           [-dedup-cap N] [-dedup-disabled]
 //	           [-feed] [-feed-tail N] [-max-subscribers N] [-heartbeat 10s]
 //	           [-view-cache-bytes N] [-view-block-bytes N]
+//	           [-replica-of URL] [-follower-id ID] [-ack async|sync]
+//	           [-ack-timeout 2s] [-max-staleness D] [-repl-heartbeat 500ms]
 //
 // With -dir, the database is durable: appends hit a rotated, size-capped
 // WAL (segment cap -wal-segment-bytes, default 16 MiB; negative = legacy
@@ -19,6 +21,15 @@
 // also compacts: sealed segments wholly below the checkpoint LSN are
 // deleted (disable with -compact=false to keep every segment for external
 // archiving). Without -dir, the database is in-memory.
+//
+// With -replica-of, the process starts as a read-only follower of the
+// named primary: it streams committed WAL frames, applies them through
+// the recovery path, serves reads and /watch with an advertised staleness
+// bound (-max-staleness turns lag past the bound into 503s), and becomes
+// a writable primary on POST /promote. On a primary, -ack sync holds each
+// append ack until some follower confirms the LSN durable (bounded by
+// -ack-timeout, after which the write acks anyway and the degraded-ack
+// counter ticks).
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
 // drains in-flight requests (bounded by -drain-timeout), flushes and syncs
@@ -72,6 +83,12 @@ func main() {
 		feedTail   = flag.Int("feed-tail", 0, "per-view resume window in frames (0 = default 1024)")
 		maxSubs    = flag.Int("max-subscribers", 0, "concurrent /watch subscribers before 429 shedding (0 = default 4096)")
 		heartbeat  = flag.Duration("heartbeat", 0, "keep-alive cadence on idle /watch streams (0 = default 10s)")
+		replicaOf  = flag.String("replica-of", "", "primary base URL; start as a read-only follower (e.g. http://primary:7457)")
+		followerID = flag.String("follower-id", "", "stable follower identity for ack tracking (default: generated)")
+		ackMode    = flag.String("ack", "async", "replication ack mode on the primary: async or sync")
+		ackTimeout = flag.Duration("ack-timeout", 0, "sync-ack wait bound before degrading to async (0 = default 2s)")
+		maxStale   = flag.Duration("max-staleness", 0, "advertised replica staleness bound; reads past it answer 503 (0 = never stale)")
+		replHB     = flag.Duration("repl-heartbeat", 0, "cursor heartbeat cadence on idle /repl/stream connections (0 = default 500ms)")
 	)
 	flag.Parse()
 
@@ -94,6 +111,11 @@ func main() {
 		ViewCacheBytes:      *cacheBytes,
 		ViewBlockBytes:      *blockBytes,
 		MaintWorkers:        *maintWk,
+		ReplicaOf:           *replicaOf,
+		FollowerID:          *followerID,
+		AckMode:             *ackMode,
+		SyncAckTimeout:      *ackTimeout,
+		MaxStaleness:        *maxStale,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -135,7 +157,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("chronicled listening on %s (dir=%q retain=%s shards=%d)", *addr, *dir, *retain, *shards)
+	log.Printf("chronicled listening on %s (dir=%q retain=%s shards=%d role=%s)", *addr, *dir, *retain, *shards, db.Role())
 	srv := server.NewWith(db, server.Config{
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTimeout,
@@ -144,6 +166,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		MaxSubscribers: *maxSubs,
 		Heartbeat:      *heartbeat,
+		ReplHeartbeat:  *replHB,
 	})
 	err = server.Serve(ctx, ln, srv, *reqTimeout, *drain)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -20,6 +20,7 @@ import (
 	"chronicledb/internal/feed"
 	"chronicledb/internal/pred"
 	"chronicledb/internal/relation"
+	"chronicledb/internal/repl"
 	"chronicledb/internal/shard"
 	"chronicledb/internal/stats"
 	"chronicledb/internal/value"
@@ -32,6 +33,11 @@ import (
 // working; writes fail fast rather than risk acking records the log
 // cannot make durable.
 var ErrReadOnly = errors.New("chronicledb: database is read-only after a WAL failure")
+
+// ErrNotPrimary is wrapped by every write rejected on a replica: followers
+// serve reads and apply the replication stream, and only a promotion
+// (DB.Promote, POST /promote) turns one into a writable primary.
+var ErrNotPrimary = errors.New("chronicledb: replica is read-only; send writes to the primary")
 
 // FS re-exports the filesystem abstraction so callers can inject a
 // fault.Disk (crash-torture tests) via Options.FS.
@@ -138,6 +144,37 @@ type Options struct {
 	// path; 0 selects GOMAXPROCS — which on a single-core host is 1, so
 	// parallel maintenance turns on exactly where it can pay.
 	MaintWorkers int
+	// ReplicaOf makes this database a follower of the primary at the given
+	// base URL (e.g. "http://10.0.0.1:7457"): it opens read-only for
+	// clients, tails the primary's replication stream, and applies every
+	// frame through the recovery paths, so reads, scans, and Watch serve
+	// the primary's state within the replication lag. Empty means primary.
+	ReplicaOf string
+	// FollowerID identifies this follower in the primary's ack table and
+	// stream handler. Empty generates a random id at Open; set it to keep a
+	// stable identity across restarts (the id is only advisory — catch-up
+	// position comes from LSNs, not the id).
+	FollowerID string
+	// AckMode selects when a primary acknowledges a write: "async" (or
+	// empty) acks at local durability; "sync" additionally waits — bounded
+	// by SyncAckTimeout — until at least one follower has acknowledged the
+	// write's LSN, so the write survives the loss of the primary. On
+	// timeout or with no followers attached the write is still acked and a
+	// degraded-acks counter increments: availability degrades before the
+	// write path wedges.
+	AckMode string
+	// SyncAckTimeout bounds the AckMode "sync" wait (default 2s).
+	SyncAckTimeout time.Duration
+	// MaxStaleness bounds follower reads: when the replica has not been
+	// caught up to the primary's advertised cursor within this duration,
+	// DB.Stale reports true and the server fails reads with 503
+	// "stale-replica" rather than serve arbitrarily old state. Zero means
+	// no bound (reads always served). Ignored on a primary.
+	MaxStaleness time.Duration
+	// ReplBuffer is the per-follower live fan-out buffer in frames; a
+	// follower that falls further behind is dropped to disk catch-up.
+	// Zero means 1024.
+	ReplBuffer int
 }
 
 // Retention re-exports the chronicle retention policy.
@@ -286,6 +323,21 @@ type DB struct {
 	// ckptBuf is buildCheckpoint's reusable serialization buffer (guarded
 	// by mu: checkpoints are serialized).
 	ckptBuf []byte
+
+	// Replication state. replSrc is the primary-side stream source, wired
+	// into every log's tap (nil unless the layout is durable + segmented —
+	// the legacy layout truncates its WAL at checkpoints and cannot serve
+	// backlog catch-up). replica is the follower loop (nil on a primary).
+	// replicaMode latches while the role is replica; Promote clears it.
+	// ddlSeq counts applied DDL statements — the catalog index space shared
+	// by primary and follower. degradedAcks counts sync-mode writes acked
+	// without a follower ack (timeout or no followers).
+	replSrc      *repl.Source
+	replMu       sync.Mutex // guards the replica pointer handoff (Close/Promote)
+	replica      *repl.Replica
+	replicaMode  atomic.Bool
+	ddlSeq       atomic.Uint64
+	degradedAcks atomic.Int64
 }
 
 // Open creates or reopens a database. With Options.Dir set, Open replays
@@ -297,6 +349,17 @@ func Open(opts Options) (*DB, error) {
 	db := &DB{opts: opts, fs: opts.FS}
 	if db.fs == nil {
 		db.fs = fault.OS
+	}
+	switch opts.AckMode {
+	case "", "async", "sync":
+	default:
+		return nil, fmt.Errorf("chronicledb: unknown AckMode %q (want \"async\" or \"sync\")", opts.AckMode)
+	}
+	if opts.ReplicaOf != "" {
+		db.replicaMode.Store(true)
+		if db.opts.FollowerID == "" {
+			db.opts.FollowerID = fmt.Sprintf("follower-%d", time.Now().UnixNano())
+		}
 	}
 	ecfg := engine.Config{
 		DefaultRetention: opts.DefaultRetention,
@@ -340,6 +403,9 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.Dir == "" {
 		db.markOpen()
+		if opts.ReplicaOf != "" {
+			db.startReplica()
+		}
 		return db, nil
 	}
 	if err := db.fs.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -377,7 +443,22 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	if db.segmented() {
+		// Tap every log for replication fan-out. The source exists on
+		// followers too: applied frames land in the follower's own WAL, so a
+		// promoted primary (or a cascading follower) can serve the stream
+		// from the LSNs it inherited.
+		src := repl.NewSource(len(db.logs), db.eng.LSN())
+		for i, l := range db.logs {
+			onAppend, onDurable := src.Tap(i)
+			l.SetTap(onAppend, onDurable)
+		}
+		db.replSrc = src
+	}
 	db.markOpen()
+	if opts.ReplicaOf != "" {
+		db.startReplica()
+	}
 	return db, nil
 }
 
@@ -667,6 +748,10 @@ func (db *DB) closeLogs() error {
 // Close drains shard writers and flushes and closes the WAL. The in-memory
 // state stays usable for reads but further updates will fail.
 func (db *DB) Close() error {
+	// Stop the replica loop before taking db.mu: its apply goroutine may be
+	// inside a DDL apply that needs db.mu, and it must quiesce before the
+	// logs close underneath it.
+	db.stopReplica()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.stopKernel()
@@ -853,7 +938,14 @@ func (db *DB) Append(chronicleName string, tuples ...value.Tuple) (int64, error)
 	if err := db.writeGate(); err != nil {
 		return 0, err
 	}
-	return db.eng.Append(chronicleName, tuples)
+	if err := db.roleGate(); err != nil {
+		return 0, err
+	}
+	sn, err := db.eng.Append(chronicleName, tuples)
+	if err == nil {
+		db.ackWait()
+	}
+	return sn, err
 }
 
 // AppendRows bulk-ingests tuples into a chronicle, one transaction (own
@@ -863,7 +955,14 @@ func (db *DB) AppendRows(chronicleName string, tuples []value.Tuple) (first, las
 	if err := db.writeGate(); err != nil {
 		return 0, 0, err
 	}
-	return db.eng.AppendEach(chronicleName, tuples)
+	if err := db.roleGate(); err != nil {
+		return 0, 0, err
+	}
+	first, last, err = db.eng.AppendEach(chronicleName, tuples)
+	if err == nil {
+		db.ackWait()
+	}
+	return first, last, err
 }
 
 // AppendRowsIdem is AppendRows with exactly-once semantics: a request
@@ -883,7 +982,17 @@ func (db *DB) AppendRowsIdem(chronicleName string, tuples []value.Tuple, clientI
 	if clientID == "" || requestID == "" {
 		return 0, 0, false, fmt.Errorf("chronicledb: idempotent append needs a client id and request id")
 	}
-	return db.eng.AppendEachIdem(chronicleName, tuples, clientID, requestID)
+	if err := db.roleGate(); err != nil {
+		return 0, 0, false, err
+	}
+	first, last, deduped, err = db.eng.AppendEachIdem(chronicleName, tuples, clientID, requestID)
+	if err == nil && !deduped {
+		// A deduped retry's rows were acked (and, under sync mode, waited
+		// on) by the original delivery — don't pay the follower round trip
+		// twice.
+		db.ackWait()
+	}
+	return first, last, deduped, err
 }
 
 // DedupStats reports the idempotency table's observability counters
@@ -897,7 +1006,14 @@ func (db *DB) Upsert(relationName string, t value.Tuple) error {
 	if err := db.writeGate(); err != nil {
 		return err
 	}
-	return db.eng.Upsert(relationName, t)
+	if err := db.roleGate(); err != nil {
+		return err
+	}
+	if err := db.eng.Upsert(relationName, t); err != nil {
+		return err
+	}
+	db.ackWait()
+	return nil
 }
 
 // Lookup answers a summary query from a persistent view by group key. The

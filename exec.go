@@ -27,7 +27,7 @@ func (db *DB) Exec(src string) (*Result, error) {
 	}
 	var res *Result
 	for _, s := range stmts {
-		res, err = db.execOne(s, true)
+		res, err = db.execOne(s, execLive)
 		if err != nil {
 			return nil, err
 		}
@@ -35,16 +35,39 @@ func (db *DB) Exec(src string) (*Result, error) {
 	return res, nil
 }
 
-// execOne executes one statement. logDDL controls whether schema statements
-// are persisted to catalog.sql (recovery replays with logDDL=false).
-func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
-	if logDDL { // live execution (not recovery): reject writes once degraded
+// execMode distinguishes the three statement execution contexts.
+type execMode uint8
+
+const (
+	// execLive is normal client execution: writes are gated (read-only
+	// latch and replica role), DDL is persisted to the catalog and staged
+	// for replication.
+	execLive execMode = iota
+	// execRecovery replays the catalog and WAL tail at open: no gates, no
+	// catalog writes (the statement came from the catalog), but the DDL
+	// counter still advances so it ends equal to the catalog length.
+	execRecovery
+	// execReplica applies a replicated DDL frame on a follower: the role
+	// gate is skipped (the stream is the follower's only writer) but the
+	// statement is appended to the follower's own catalog — and staged to
+	// its own source, for cascading followers and post-promotion serving.
+	execReplica
+)
+
+// execOne executes one statement in the given mode.
+func (db *DB) execOne(s sqlparse.Statement, mode execMode) (*Result, error) {
+	if mode != execRecovery { // reject writes once degraded
 		switch s.(type) {
 		case *sqlparse.CreateGroup, *sqlparse.CreateChronicle, *sqlparse.CreateRelation,
 			*sqlparse.CreateView, *sqlparse.DropView, *sqlparse.Append,
 			*sqlparse.Upsert, *sqlparse.Delete:
 			if err := db.writeGate(); err != nil {
 				return nil, err
+			}
+			if mode == execLive {
+				if err := db.roleGate(); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -53,7 +76,7 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 		if _, err := db.eng.CreateGroup(s.Name); err != nil {
 			return nil, err
 		}
-		return db.ddlDone(s, logDDL, "group %s created", s.Name)
+		return db.ddlDone(s, mode, "group %s created", s.Name)
 
 	case *sqlparse.CreateChronicle:
 		schema, err := schemaOf(s.Cols)
@@ -74,7 +97,7 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 				return nil, err
 			}
 		}
-		return db.ddlDone(s, logDDL, "chronicle %s created", s.Name)
+		return db.ddlDone(s, mode, "chronicle %s created", s.Name)
 
 	case *sqlparse.CreateRelation:
 		schema, err := schemaOf(s.Cols)
@@ -92,7 +115,7 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 		if _, err := db.eng.CreateRelation(s.Name, schema, keyCols); err != nil {
 			return nil, err
 		}
-		return db.ddlDone(s, logDDL, "relation %s created", s.Name)
+		return db.ddlDone(s, mode, "relation %s created", s.Name)
 
 	case *sqlparse.CreateView:
 		plan, err := sqlparse.PlanView(db, s)
@@ -105,13 +128,13 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			return db.ddlDone(s, logDDL, "periodic view %s created (%s, %s)",
+			return db.ddlDone(s, mode, "periodic view %s created (%s, %s)",
 				s.Name, plan.Info.Lang, plan.Info.IMClass())
 		}
 		if _, err := db.eng.CreateView(plan.Def, plan.Store, plan.Filter, plan.FilterChronicle); err != nil {
 			return nil, err
 		}
-		return db.ddlDone(s, logDDL, "view %s created (%s, %s)", s.Name, plan.Info.Lang, plan.Info.IMClass())
+		return db.ddlDone(s, mode, "view %s created (%s, %s)", s.Name, plan.Info.Lang, plan.Info.IMClass())
 
 	case *sqlparse.Append:
 		total := 0
@@ -124,6 +147,9 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 			sn, err := db.eng.Append(part.Chronicle, tuples)
 			if err != nil {
 				return nil, err
+			}
+			if mode == execLive {
+				db.ackWait()
 			}
 			return &Result{Message: fmt.Sprintf("appended %d tuple(s) at sequence number %d", len(tuples), sn)}, nil
 		}
@@ -140,6 +166,9 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if mode == execLive {
+			db.ackWait()
+		}
 		return &Result{Message: fmt.Sprintf("appended %d tuple(s) across %d chronicles at sequence number %d",
 			total, len(parts), sn)}, nil
 
@@ -148,10 +177,10 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 			return nil, err
 		}
 		db.ddlDirty.Store(true) // force the next checkpoint full (see ddlDone)
-		if logDDL && db.catalogPath != "" {
-			if err := db.appendCatalog(fmt.Sprintf("DROP VIEW %s", s.Name)); err != nil {
-				return nil, err
-			}
+		if mode == execRecovery {
+			db.ddlSeq.Add(1)
+		} else if err := db.commitDDL(fmt.Sprintf("DROP VIEW %s", s.Name)); err != nil {
+			return nil, err
 		}
 		return &Result{Message: fmt.Sprintf("view %s dropped", s.Name)}, nil
 
@@ -160,6 +189,9 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 			if err := db.eng.Upsert(s.Relation, value.Tuple(r)); err != nil {
 				return nil, err
 			}
+		}
+		if mode == execLive {
+			db.ackWait()
 		}
 		return &Result{Message: fmt.Sprintf("upserted %d tuple(s)", len(s.Rows))}, nil
 
@@ -170,6 +202,9 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 		}
 		if !deleted {
 			return &Result{Message: "no such key"}, nil
+		}
+		if mode == execLive {
+			db.ackWait()
 		}
 		return &Result{Message: "deleted 1 tuple"}, nil
 
@@ -197,37 +232,53 @@ func (db *DB) execOne(s sqlparse.Statement, logDDL bool) (*Result, error) {
 // markers cannot see a drop (or a drop-and-recreate that resets a counter
 // behind an unchanged name), so the next checkpoint after any DDL is
 // written full.
-func (db *DB) ddlDone(s sqlparse.Statement, logDDL bool, format string, args ...any) (*Result, error) {
+func (db *DB) ddlDone(s sqlparse.Statement, mode execMode, format string, args ...any) (*Result, error) {
 	db.ddlDirty.Store(true)
-	if logDDL && db.catalogPath != "" {
-		if err := db.appendCatalog(renderDDL(s)); err != nil {
-			return nil, err
-		}
+	if mode == execRecovery {
+		// The statement came from the catalog (or a legacy WAL DDL record);
+		// count it so ddlSeq ends equal to the catalog length without
+		// rewriting the file it was read from.
+		db.ddlSeq.Add(1)
+	} else if err := db.commitDDL(renderDDL(s)); err != nil {
+		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf(format, args...)}, nil
 }
 
-func (db *DB) appendCatalog(stmt string) error {
+// commitDDL makes one DDL statement durable and replicable: it appends the
+// statement to catalog.sql (fsynced), assigns it the next catalog index,
+// and stages it for the replication stream stamped with the engine's
+// current LSN frontier — the record order it must follow on a follower.
+// Index assignment, the catalog append, and staging all happen under db.mu
+// so concurrent DDL cannot interleave catalog order and stream order
+// differently.
+func (db *DB) commitDDL(stmt string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	f, err := db.fs.OpenFile(db.catalogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("chronicledb: catalog: %w", err)
-	}
-	defer f.Close()
-	if _, err := fmt.Fprintf(f, "%s;\n", stmt); err != nil {
-		return fmt.Errorf("chronicledb: catalog: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("chronicledb: catalog: %w", err)
-	}
-	// The first append creates catalog.sql; sync its directory entry so
-	// the schema cannot vanish in a power cut after the DDL was acked.
-	if !db.catalogSynced {
-		if err := db.fs.SyncDir(db.opts.Dir); err != nil {
+	if db.catalogPath != "" {
+		f, err := db.fs.OpenFile(db.catalogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
 			return fmt.Errorf("chronicledb: catalog: %w", err)
 		}
-		db.catalogSynced = true
+		defer f.Close()
+		if _, err := fmt.Fprintf(f, "%s;\n", stmt); err != nil {
+			return fmt.Errorf("chronicledb: catalog: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("chronicledb: catalog: %w", err)
+		}
+		// The first append creates catalog.sql; sync its directory entry so
+		// the schema cannot vanish in a power cut after the DDL was acked.
+		if !db.catalogSynced {
+			if err := db.fs.SyncDir(db.opts.Dir); err != nil {
+				return fmt.Errorf("chronicledb: catalog: %w", err)
+			}
+			db.catalogSynced = true
+		}
+	}
+	idx := db.ddlSeq.Add(1) - 1
+	if db.replSrc != nil {
+		db.replSrc.StageDDL(idx, db.eng.LSN(), stmt)
 	}
 	return nil
 }

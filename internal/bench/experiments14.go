@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/fault"
+	"chronicledb/internal/server"
+)
+
+// RunE23 — log-shipping replication. Three cells:
+//
+//   - reads: aggregate Lookup throughput as converged followers join the
+//     fleet. Followers serve the same lock-free snapshot path as the
+//     primary, so each replica adds a full read head (on this 1-core
+//     container the cells time-share one CPU, so the table shows per-
+//     member parity rather than aggregate scaling — same caveat as E22).
+//   - failover: wall time from primary death to the first acknowledged
+//     write on the promoted follower through a multi-endpoint client
+//     (endpoint rotation + POST /promote inside the measured window).
+//   - lag: follower staleness (LSN distance behind the primary's released
+//     cursor) while the primary appends at a paced rate, plus the
+//     catch-up time after the burst ends. The WAL tap stages frames on
+//     the append path and releases them post-fsync, so lag stays bounded
+//     by fan-out latency, not by batch accumulation.
+func RunE23(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E23",
+		Title:  "log-shipping replication: follower reads, failover, lag",
+		Claim:  "followers serve reads at primary parity from replicated state, failover to a promoted follower completes in tens of milliseconds, and replication lag stays within a heartbeat of zero at paced append rates",
+		Header: []string{"cell", "setup", "metric", "value", "detail"},
+	}
+
+	// -- reads: throughput vs replica count ------------------------------
+	preload, readDur := 5000, 300*time.Millisecond
+	followerCounts := []int{0, 1, 2}
+	if cfg.Quick {
+		preload, readDur = 1000, 120*time.Millisecond
+		followerCounts = []int{0, 1}
+	}
+	for _, nf := range followerCounts {
+		rps, err := e23ReadCell(nf, preload, readDur)
+		if err != nil {
+			return nil, fmt.Errorf("reads(%d followers): %w", nf, err)
+		}
+		t.AddRow("reads", fmt.Sprintf("%d follower(s)", nf), "lookups/s",
+			fmt.Sprintf("%.0f", rps),
+			fmt.Sprintf("4 readers round-robin over %d member(s), %d rows preloaded", nf+1, preload))
+	}
+
+	// -- failover: primary death -> first promoted ack -------------------
+	trials := 3
+	if cfg.Quick {
+		trials = 1
+	}
+	var times []time.Duration
+	for i := 0; i < trials; i++ {
+		d, err := e23FailoverCell()
+		if err != nil {
+			return nil, fmt.Errorf("failover trial %d: %w", i, err)
+		}
+		times = append(times, d)
+	}
+	t.AddRow("failover", fmt.Sprintf("median of %d", trials), "ms to first ack",
+		fmt.Sprintf("%.1f", float64(medianDur(times))/1e6),
+		"kill primary server -> POST /promote -> client rotates endpoints and retries")
+
+	// -- lag: staleness vs append rate -----------------------------------
+	burst := 2000
+	rates := []int{1000, 5000, 0} // rows/s; 0 = unpaced
+	if cfg.Quick {
+		burst = 400
+		rates = []int{2000, 0}
+	}
+	for _, rate := range rates {
+		maxLag, catchup, err := e23LagCell(rate, burst)
+		if err != nil {
+			return nil, fmt.Errorf("lag(rate=%d): %w", rate, err)
+		}
+		setup := "unpaced burst"
+		if rate > 0 {
+			setup = fmt.Sprintf("%d rows/s paced", rate)
+		}
+		t.AddRow("lag", setup, "max lag (LSN) / catch-up",
+			fmt.Sprintf("%d / %.1fms", maxLag, float64(catchup)/1e6),
+			fmt.Sprintf("%d appends, follower sampled every 200µs against released cursor", burst))
+	}
+
+	t.Notes = append(t.Notes,
+		"single-core container: the reads cells time-share one CPU, so aggregate lookups/s shows per-member parity, not linear scaling; each follower is an independent read head on multi-core hosts",
+		"failover time includes the promote round-trip and the client's endpoint rotation backoff; the replicated dedup table makes the post-failover retry exactly-once (repl_chaos_test.go asserts the tiling)",
+	)
+	return t, nil
+}
+
+// e23Primary opens a primary on its own simulated disk with the standard
+// calls/usage schema and an HTTP server with a fast heartbeat.
+func e23Primary(ackMode string) (*chronicledb.DB, *httptest.Server, error) {
+	db, err := chronicledb.Open(chronicledb.Options{
+		Dir: "/data", SyncWAL: true, FS: fault.NewDisk(), Shards: 2,
+		AckMode: ackMode,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ddl := range []string{
+		`CREATE CHRONICLE calls (acct STRING, minutes INT) RETAIN ALL`,
+		`CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct`,
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+	}
+	ts := httptest.NewServer(server.NewWith(db, server.Config{ReplHeartbeat: 20 * time.Millisecond}))
+	return db, ts, nil
+}
+
+// e23Follower opens a follower of primaryURL on its own simulated disk.
+func e23Follower(primaryURL, id string) (*chronicledb.DB, error) {
+	return chronicledb.Open(chronicledb.Options{
+		Dir: "/data", SyncWAL: true, FS: fault.NewDisk(), Shards: 2,
+		ReplicaOf: primaryURL, FollowerID: id,
+	})
+}
+
+// e23WaitCaughtUp blocks until the follower has applied the primary's
+// released cursor.
+func e23WaitCaughtUp(primary, follower *chronicledb.DB, deadline time.Duration) error {
+	cursor := primary.ReplSource().Cursor()
+	end := time.Now().Add(deadline)
+	for {
+		if st, ok := follower.ReplState(); ok && st.AppliedLSN >= cursor {
+			return nil
+		}
+		if time.Now().After(end) {
+			st, _ := follower.ReplState()
+			return fmt.Errorf("follower stuck at LSN %d, want %d", st.AppliedLSN, cursor)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func e23ReadCell(nFollowers, preload int, dur time.Duration) (float64, error) {
+	db, ts, err := e23Primary("async")
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	defer ts.Close()
+	const accts = 64
+	for i := 0; i < preload; i++ {
+		if _, err := db.Append("calls", chronicledb.Tuple{
+			chronicledb.Str(fmt.Sprintf("acct-%03d", i%accts)), chronicledb.Int(1)}); err != nil {
+			return 0, err
+		}
+	}
+	members := []*chronicledb.DB{db}
+	for i := 0; i < nFollowers; i++ {
+		f, err := e23Follower(ts.URL, fmt.Sprintf("e23-read-%d", i))
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if err := e23WaitCaughtUp(db, f, 10*time.Second); err != nil {
+			return 0, err
+		}
+		members = append(members, f)
+	}
+
+	var (
+		count atomic.Int64
+		fails atomic.Int64
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+	)
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; !stop.Load(); i++ {
+				m := members[i%len(members)]
+				key := chronicledb.Str(fmt.Sprintf("acct-%03d", i%accts))
+				if _, ok, err := m.Lookup("usage", key); err != nil || !ok {
+					fails.Add(1)
+					return
+				}
+				count.Add(1)
+			}
+		}(r)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	if fails.Load() > 0 {
+		return 0, fmt.Errorf("%d lookups failed", fails.Load())
+	}
+	return float64(count.Load()) / dur.Seconds(), nil
+}
+
+func e23FailoverCell() (time.Duration, error) {
+	db, ts, err := e23Primary("sync")
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	f, err := e23Follower(ts.URL, "e23-standby")
+	if err != nil {
+		ts.Close()
+		return 0, err
+	}
+	defer f.Close()
+	ts2 := httptest.NewServer(server.NewWith(f, server.Config{}))
+	defer ts2.Close()
+
+	c := server.NewClientWith(ts.URL, server.ClientConfig{
+		Endpoints:   []string{ts2.URL},
+		ClientID:    "e23-failover",
+		Timeout:     500 * time.Millisecond,
+		MaxAttempts: 2,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	// Warm: 200 sync-acked writes, so the standby is attached and current.
+	rows := [][]any{{"acct-e23", 1}}
+	for i := 0; i < 200; i++ {
+		if _, err := c.AppendRowsIdem("calls", rows, fmt.Sprintf("w%d", i)); err != nil {
+			return 0, fmt.Errorf("warm append: %w", err)
+		}
+	}
+	if err := e23WaitCaughtUp(db, f, 10*time.Second); err != nil {
+		return 0, err
+	}
+
+	// Primary dies (CloseClientConnections severs the standby's stream so
+	// Close cannot block on it); the measured window covers the operator
+	// promote plus the client noticing, rotating, and getting an ack.
+	start := time.Now()
+	ts.CloseClientConnections()
+	ts.Close()
+	resp, err := http.Post(ts2.URL+"/promote", "application/json", nil)
+	if err != nil {
+		return 0, fmt.Errorf("promote: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("promote: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.AppendRowsIdem("calls", rows, "post-failover"); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			return 0, fmt.Errorf("no ack after failover: %w", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	// Sanity: the promoted member holds every acked row (200 warm + 1).
+	row, ok, err := f.Lookup("usage", chronicledb.Str("acct-e23"))
+	if err != nil || !ok || row[1].AsInt() != 201 {
+		return 0, fmt.Errorf("promoted usage = %v %v %v, want 201", row, ok, err)
+	}
+	return elapsed, nil
+}
+
+func e23LagCell(rate, burst int) (maxLag uint64, catchup time.Duration, err error) {
+	db, ts, err := e23Primary("async")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer db.Close()
+	defer ts.Close()
+	f, err := e23Follower(ts.URL, "e23-lag")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	if err := e23WaitCaughtUp(db, f, 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+
+	var (
+		stop atomic.Bool
+		max  atomic.Uint64
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			cursor := db.ReplSource().Cursor()
+			if st, ok := f.ReplState(); ok && cursor > st.AppliedLSN {
+				if lag := cursor - st.AppliedLSN; lag > max.Load() {
+					max.Store(lag)
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		if rate > 0 {
+			if d := time.Until(start.Add(time.Duration(i) * (time.Second / time.Duration(rate)))); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if _, err := db.Append("calls", chronicledb.Tuple{
+			chronicledb.Str(fmt.Sprintf("acct-%03d", i%64)), chronicledb.Int(1)}); err != nil {
+			return 0, 0, err
+		}
+	}
+	burstEnd := time.Now()
+	if err := e23WaitCaughtUp(db, f, 10*time.Second); err != nil {
+		return 0, 0, err
+	}
+	catchup = time.Since(burstEnd)
+	stop.Store(true)
+	wg.Wait()
+	return max.Load(), catchup, nil
+}
+
+func medianDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

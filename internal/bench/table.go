@@ -110,6 +110,7 @@ func All() []Experiment {
 		{"E20", "recovery and disk vs uptime: segmented vs single-file WAL", RunE20},
 		{"E21", "blocked view checkpoints: dirty-block cost + bounded cache", RunE21},
 		{"E22", "shared-delta maintenance: CSE fan-out + parallel apply", RunE22},
+		{"E23", "log-shipping replication: follower reads, failover, lag", RunE23},
 	}
 }
 

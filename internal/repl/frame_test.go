@@ -1,0 +1,150 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte{7, 1, 2, 3, 4, 5}
+	var stream []byte
+	stream = AppendRecordFrame(stream, payload)
+	stream = AppendHeartbeatFrame(stream, 42)
+	stream = AppendDDLFrame(stream, 3, 17, "CREATE CHRONICLE c (a INT)")
+
+	// Single-buffer decoder.
+	b := stream
+	typ, p, n, err := DecodeFrame(b)
+	if err != nil || typ != FrameRecord || !bytes.Equal(p, payload) {
+		t.Fatalf("record frame: typ=%d p=%v err=%v", typ, p, err)
+	}
+	b = b[n:]
+	typ, p, n, err = DecodeFrame(b)
+	if err != nil || typ != FrameHeartbeat {
+		t.Fatalf("heartbeat frame: typ=%d err=%v", typ, err)
+	}
+	lsn, err := DecodeHeartbeatFrame(p)
+	if err != nil || lsn != 42 {
+		t.Fatalf("heartbeat lsn=%d err=%v", lsn, err)
+	}
+	b = b[n:]
+	typ, p, n, err = DecodeFrame(b)
+	if err != nil || typ != FrameDDL {
+		t.Fatalf("ddl frame: typ=%d err=%v", typ, err)
+	}
+	idx, dlsn, stmt, err := DecodeDDLFrame(p)
+	if err != nil || idx != 3 || dlsn != 17 || stmt != "CREATE CHRONICLE c (a INT)" {
+		t.Fatalf("ddl decode: idx=%d lsn=%d stmt=%q err=%v", idx, dlsn, stmt, err)
+	}
+	if len(b[n:]) != 0 {
+		t.Fatalf("trailing bytes: %d", len(b[n:]))
+	}
+
+	// Streaming decoder must agree frame for frame.
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i, want := range []byte{FrameRecord, FrameHeartbeat, FrameDDL} {
+		typ, _, err := fr.Next()
+		if err != nil || typ != want {
+			t.Fatalf("frame %d: typ=%d want=%d err=%v", i, typ, want, err)
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestFrameReaderCorruption(t *testing.T) {
+	frame := AppendRecordFrame(nil, []byte{1, 2, 3})
+
+	// A flipped payload byte is a checksum mismatch, never silent.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, err := NewFrameReader(bytes.NewReader(bad)).Next(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt payload: err=%v", err)
+	}
+	if _, _, _, err := DecodeFrame(bad); err == nil {
+		t.Fatal("DecodeFrame accepted corrupt payload")
+	}
+
+	// Truncation inside the header or the payload is an error, not EOF:
+	// replication streams have no legitimate torn frames.
+	for cut := 1; cut < len(frame); cut++ {
+		if _, _, err := NewFrameReader(bytes.NewReader(frame[:cut])).Next(); err == nil || err == io.EOF {
+			t.Fatalf("truncated at %d: err=%v", cut, err)
+		}
+		if _, _, _, err := DecodeFrame(frame[:cut]); err == nil {
+			t.Fatalf("DecodeFrame accepted truncation at %d", cut)
+		}
+	}
+
+	// An absurd length prefix is corruption, not an allocation request.
+	huge := make([]byte, 8)
+	binary.LittleEndian.PutUint32(huge, uint32(maxFrame+1))
+	if _, _, err := NewFrameReader(bytes.NewReader(huge)).Next(); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	zero := make([]byte, 8)
+	if _, _, _, err := DecodeFrame(zero); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+// FuzzReplFrame drives the stream decoder with arbitrary bytes: it must
+// never panic, never over-read, and must agree with the single-buffer
+// decoder on every frame it accepts.
+func FuzzReplFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecordFrame(nil, []byte{1, 2, 3, 4}))
+	f.Add(AppendHeartbeatFrame(nil, 123456789))
+	f.Add(AppendDDLFrame(nil, 0, 9, "CREATE CHRONICLE t (x INT)"))
+	f.Add(append(AppendHeartbeatFrame(nil, 7), 0xde, 0xad, 0xbe))
+	long := bytes.Repeat([]byte{0x5a}, 300)
+	f.Add(AppendRecordFrame(AppendDDLFrame(nil, 1, 2, "DROP VIEW v"), long))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Single-buffer walk: consume frames until error or exhaustion.
+		rest := data
+		var kinds []byte
+		for {
+			typ, payload, n, err := DecodeFrame(rest)
+			if err != nil {
+				break
+			}
+			if n <= 8 || n > len(rest) {
+				t.Fatalf("DecodeFrame consumed %d of %d", n, len(rest))
+			}
+			if len(payload) != n-8-1 {
+				t.Fatalf("payload %d bytes for frame of %d", len(payload), n)
+			}
+			switch typ {
+			case FrameHeartbeat:
+				DecodeHeartbeatFrame(payload)
+			case FrameDDL:
+				if idx, lsn, stmt, err := DecodeDDLFrame(payload); err == nil {
+					// Accepted DDL bodies must re-encode losslessly.
+					re := AppendDDLFrame(nil, idx, lsn, stmt)
+					if _, p2, _, err := DecodeFrame(re); err != nil || !bytes.Equal(p2[len(p2)-len(stmt):], []byte(stmt)) {
+						t.Fatalf("ddl re-encode mismatch: %v", err)
+					}
+				}
+			}
+			kinds = append(kinds, typ)
+			rest = rest[n:]
+		}
+
+		// The streaming reader must accept exactly the same prefix.
+		fr := NewFrameReader(bytes.NewReader(data))
+		for i, want := range kinds {
+			typ, _, err := fr.Next()
+			if err != nil || typ != want {
+				t.Fatalf("reader frame %d: typ=%d want=%d err=%v", i, typ, want, err)
+			}
+		}
+		if _, _, err := fr.Next(); err == nil {
+			t.Fatal("reader accepted a frame the single-buffer decoder rejected")
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+// drain pulls everything currently buffered on sub.
+func drain(sub *Sub) []Frame {
+	var out []Frame
+	for {
+		select {
+		case f, ok := <-sub.C:
+			if !ok {
+				return out
+			}
+			out = append(out, f)
+		default:
+			return out
+		}
+	}
+}
+
+// TestSourceReleaseOrder: appends across shard logs become durable out of
+// LSN order; the source must withhold the later LSN until the gap fills,
+// then release in global LSN order.
+func TestSourceReleaseOrder(t *testing.T) {
+	s := NewSource(2, 0)
+	app0, dur0 := s.Tap(0)
+	app1, dur1 := s.Tap(1)
+	sub := s.Subscribe(16)
+	if sub.StartLSN != 0 {
+		t.Fatalf("StartLSN=%d want 0", sub.StartLSN)
+	}
+
+	app0([]byte{1}, 1, 1, 100) // log0 holds LSN 1
+	app1([]byte{2}, 2, 1, 200) // log1 holds LSN 2
+	dur1(200)                  // LSN 2 durable first: must NOT release
+	if got := drain(sub); len(got) != 0 {
+		t.Fatalf("released %d frames across a durability gap", len(got))
+	}
+	if s.Cursor() != 0 {
+		t.Fatalf("cursor=%d want 0", s.Cursor())
+	}
+	dur0(100) // gap filled: both release, in LSN order
+	got := drain(sub)
+	if len(got) != 2 || got[0].LSN != 1 || got[1].LSN != 2 {
+		t.Fatalf("release order: %+v", got)
+	}
+	if s.Cursor() != 2 {
+		t.Fatalf("cursor=%d want 2", s.Cursor())
+	}
+}
+
+// TestSourceSpans: a multi-tuple record (RecAppendEach) occupies a span of
+// LSNs; the next record releases only at LSN+span.
+func TestSourceSpans(t *testing.T) {
+	s := NewSource(1, 0)
+	app, dur := s.Tap(0)
+	sub := s.Subscribe(16)
+
+	app([]byte{1}, 1, 3, 1) // LSNs 1..3
+	app([]byte{2}, 4, 1, 2)
+	dur(2)
+	got := drain(sub)
+	if len(got) != 2 || got[0].LSN != 1 || got[0].Span != 3 || got[1].LSN != 4 {
+		t.Fatalf("span release: %+v", got)
+	}
+	if s.Cursor() != 4 {
+		t.Fatalf("cursor=%d want 4", s.Cursor())
+	}
+}
+
+// TestSourceDDLOrdering: a DDL annotation stamped at LSN L rides after the
+// record that allocated L and before the record at L+1.
+func TestSourceDDLOrdering(t *testing.T) {
+	s := NewSource(1, 0)
+	app, dur := s.Tap(0)
+	sub := s.Subscribe(16)
+
+	app([]byte{1}, 1, 1, 1)
+	s.StageDDL(0, 1, "CREATE VIEW v AS SELECT a FROM c") // waits for record 1
+	if got := drain(sub); len(got) != 0 {
+		t.Fatalf("DDL released before its record: %+v", got)
+	}
+	dur(1)
+	got := drain(sub)
+	if len(got) != 2 || got[0].Type != FrameRecord || got[1].Type != FrameDDL {
+		t.Fatalf("DDL ordering: %+v", got)
+	}
+	idx, lsn, stmt, err := DecodeDDLFrame(got[1].Payload)
+	if err != nil || idx != 0 || lsn != 1 || stmt != "CREATE VIEW v AS SELECT a FROM c" {
+		t.Fatalf("DDL body: idx=%d lsn=%d stmt=%q err=%v", idx, lsn, stmt, err)
+	}
+
+	// A DDL at the released frontier (no pending record) releases at once.
+	s.StageDDL(1, 1, "DROP VIEW v")
+	if got := drain(sub); len(got) != 1 || got[0].Type != FrameDDL {
+		t.Fatalf("frontier DDL: %+v", got)
+	}
+}
+
+// TestSourceOverflowShed: a subscriber that cannot drain its buffer is
+// removed and its channel closed rather than wedging the release path.
+func TestSourceOverflowShed(t *testing.T) {
+	s := NewSource(1, 0)
+	app, dur := s.Tap(0)
+	slow := s.Subscribe(1)
+	fast := s.Subscribe(16)
+
+	for i := uint64(1); i <= 3; i++ {
+		app([]byte{byte(i)}, i, 1, i)
+	}
+	dur(3)
+
+	got := drain(slow)
+	closed := false
+	if _, ok := <-slow.C; !ok {
+		closed = true
+	}
+	if !closed || len(got) != 1 {
+		t.Fatalf("slow sub: closed=%v delivered=%d", closed, len(got))
+	}
+	if got := drain(fast); len(got) != 3 {
+		t.Fatalf("fast sub lost frames: %d", len(got))
+	}
+	if s.Stats().Overflows != 1 {
+		t.Fatalf("overflows=%d want 1", s.Stats().Overflows)
+	}
+	s.Unsubscribe(slow) // idempotent after a shed
+	s.Unsubscribe(fast)
+}
+
+func TestWaitAcked(t *testing.T) {
+	s := NewSource(1, 0)
+
+	// No follower attached: degrade immediately, not after the timeout.
+	start := time.Now()
+	if s.WaitAcked(5, time.Second) {
+		t.Fatal("acked with no followers")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("WaitAcked blocked with no followers attached")
+	}
+
+	s.Attach("f1")
+	defer s.Detach("f1")
+
+	// Already-acked LSN returns without blocking.
+	s.Ack("f1", 5)
+	if !s.WaitAcked(5, time.Millisecond) {
+		t.Fatal("not acked at 5")
+	}
+	// Timeout path.
+	if s.WaitAcked(10, 10*time.Millisecond) {
+		t.Fatal("acked at 10 without an ack")
+	}
+	// Any-follower semantics: a second follower's ack satisfies the wait.
+	s.Attach("f2")
+	defer s.Detach("f2")
+	done := make(chan bool, 1)
+	go func() { done <- s.WaitAcked(10, 2*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	s.Ack("f2", 12)
+	if !<-done {
+		t.Fatal("waiter missed the wake")
+	}
+
+	fa := s.Followers()
+	if len(fa) != 2 {
+		t.Fatalf("followers=%d want 2", len(fa))
+	}
+}

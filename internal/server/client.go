@@ -23,10 +23,21 @@ var (
 	// Transient — the client retries it (honoring Retry-After) until the
 	// attempt or time budget runs out.
 	ErrOverloaded = errors.New("server overloaded")
-	// ErrReadOnly wraps every 503: the database degraded to read-only
-	// after a WAL failure. Permanent until an operator intervenes, so the
-	// client does not retry it.
+	// ErrReadOnly wraps a 503 whose code is "read-only" (or carries no
+	// code): the database degraded to read-only after a WAL failure.
+	// Permanent until an operator intervenes, so the client never retries
+	// it — not even against another endpoint, since the degradation is a
+	// durability failure, not a routing mistake.
 	ErrReadOnly = errors.New("server is read-only or unavailable")
+	// ErrNotPrimary wraps a 503 whose code is "not-primary": the endpoint
+	// is a replica rejecting a write. The request is fine — it reached the
+	// wrong member — so the client rotates to the next endpoint and
+	// retries.
+	ErrNotPrimary = errors.New("endpoint is a replica, not the primary")
+	// ErrStaleReplica wraps a 503 whose code is "stale-replica": a
+	// follower past its staleness bound declining reads. Retried against
+	// the next endpoint.
+	ErrStaleReplica = errors.New("replica is stale beyond its staleness bound")
 	// ErrCircuitOpen means the client's circuit breaker is open after too
 	// many consecutive failures; calls fail fast without touching the
 	// network until the cooldown elapses.
@@ -61,6 +72,15 @@ type ClientConfig struct {
 	// random id per Client (fresh process = fresh id, which is correct: a
 	// new process cannot be retrying the old one's requests).
 	ClientID string
+	// Endpoints lists additional base URLs behind the same logical
+	// database (the other members of a replicated deployment). The client
+	// sticks to its current endpoint until a dial-shaped error, a
+	// mid-flight transport failure on an idempotent request, or a 503
+	// whose code says "wrong member" (not-primary, stale-replica) rotates
+	// it to the next — the failover path after a primary dies and a
+	// follower is promoted. Idempotency ids make the cross-endpoint retry
+	// exactly-once: the promoted follower inherited the dedup table.
+	Endpoints []string
 	// Transport overrides the HTTP transport (fault injection, pooling).
 	Transport http.RoundTripper
 
@@ -193,8 +213,12 @@ func (b *breaker) onFailure() {
 // that crosses a timeout, a duplicated delivery, or a server restart can
 // never double-apply.
 type Client struct {
-	base string
-	http *http.Client
+	// endpoints are the candidate base URLs; cur indexes the one in use.
+	// Rotation advances cur so every request (including reconnecting
+	// watches) follows the client to the member that answers.
+	endpoints []string
+	cur       atomic.Int64
+	http      *http.Client
 	// stream shares http's transport but carries no overall timeout: a
 	// /watch subscription is supposed to stay open indefinitely, and the
 	// request-shaped client's Timeout would sever it at the deadline.
@@ -224,11 +248,19 @@ func NewClientWith(base string, cfg ClientConfig) *Client {
 			IdleConnTimeout:       60 * time.Second,
 		}
 	}
+	endpoints := make([]string, 0, 1+len(cfg.Endpoints))
+	if base != "" {
+		endpoints = append(endpoints, base)
+	}
+	endpoints = append(endpoints, cfg.Endpoints...)
+	if len(endpoints) == 0 {
+		endpoints = []string{""}
+	}
 	c := &Client{
-		base:   base,
-		http:   &http.Client{Transport: transport, Timeout: cfg.Timeout},
-		stream: &http.Client{Transport: transport},
-		cfg:    cfg,
+		endpoints: endpoints,
+		http:      &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		stream:    &http.Client{Transport: transport},
+		cfg:       cfg,
 	}
 	c.brk = breaker{
 		threshold: cfg.BreakerThreshold,
@@ -241,9 +273,28 @@ func NewClientWith(base string, cfg ClientConfig) *Client {
 // ClientID returns the idempotency client id requests are tagged with.
 func (c *Client) ClientID() string { return c.cfg.ClientID }
 
+// baseURL returns the endpoint currently in use.
+func (c *Client) baseURL() string {
+	return c.endpoints[int(c.cur.Load())%len(c.endpoints)]
+}
+
+// Endpoint reports the endpoint currently in use (observability/tests).
+func (c *Client) Endpoint() string { return c.baseURL() }
+
+// rotate advances to the next endpoint; a no-op with a single endpoint.
+func (c *Client) rotate() {
+	if len(c.endpoints) > 1 {
+		c.cur.Add(1)
+	}
+}
+
 // statusError converts a non-200 response to an error, wrapping the typed
-// sentinel for the statuses callers branch on.
-func statusError(code int, msg string) error {
+// sentinel for the statuses callers branch on. errCode is the response
+// body's code field, which splits the 503 space: a replica rejecting
+// writes (not-primary) and a follower past its staleness bound
+// (stale-replica) are routing outcomes worth retrying elsewhere; read-only
+// (or an old server sending no code) is a durability failure and final.
+func statusError(code int, errCode, msg string) error {
 	if msg == "" {
 		msg = fmt.Sprintf("HTTP %d", code)
 	}
@@ -251,15 +302,29 @@ func statusError(code int, msg string) error {
 	case http.StatusTooManyRequests:
 		return fmt.Errorf("server: %w: %s", ErrOverloaded, msg)
 	case http.StatusServiceUnavailable:
-		return fmt.Errorf("server: %w: %s", ErrReadOnly, msg)
+		switch errCode {
+		case codeNotPrimary:
+			return fmt.Errorf("server: %w: %s", ErrNotPrimary, msg)
+		case codeStaleReplica:
+			return fmt.Errorf("server: %w: %s", ErrStaleReplica, msg)
+		default:
+			return fmt.Errorf("server: %w: %s", ErrReadOnly, msg)
+		}
 	default:
 		return fmt.Errorf("server: %s", msg)
 	}
 }
 
+// retryableElsewhere reports whether a 503 names a wrong-member condition
+// that a different endpoint may not share.
+func retryableElsewhere(errCode string) bool {
+	return errCode == codeNotPrimary || errCode == codeStaleReplica
+}
+
 // attemptResult carries one attempt's outcome through the retry loop.
 type attemptResult struct {
 	status     int           // HTTP status (0 on transport error)
+	code       string        // error body's code field (503 flavors)
 	body       []byte        // response body (200s only)
 	err        error         // final-form error, nil on success
 	retryAfter time.Duration // server's Retry-After hint (429)
@@ -277,7 +342,7 @@ func (c *Client) attempt(method, path string, body []byte) attemptResult {
 	} else {
 		rdr = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL()+path, rdr)
 	if err != nil {
 		return attemptResult{err: fmt.Errorf("server: %w", err), transport: true, dialErr: true}
 	}
@@ -294,7 +359,7 @@ func (c *Client) attempt(method, path string, body []byte) attemptResult {
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		json.NewDecoder(resp.Body).Decode(&eb)
-		res := attemptResult{status: resp.StatusCode, err: statusError(resp.StatusCode, eb.Error)}
+		res := attemptResult{status: resp.StatusCode, code: eb.Code, err: statusError(resp.StatusCode, eb.Code, eb.Error)}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			res.retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.cfg.now())
 		}
@@ -389,8 +454,16 @@ func (c *Client) do(method, path string, body []byte, idempotent bool, out any) 
 			c.brk.onFailure()
 			continue // transient shed: back off (honoring Retry-After) and retry
 		case last.status == http.StatusServiceUnavailable:
-			// Read-only degradation is permanent until operator action;
-			// retrying burns the budget for nothing.
+			// 503 is never retryable against the answering endpoint. Two of
+			// its codes are wrong-member conditions — a replica rejecting a
+			// write, a follower too stale to read — that another endpoint
+			// may not share: rotate and retry there. Read-only (or no code)
+			// is a durability failure every retry would just re-observe.
+			if retryableElsewhere(last.code) && len(c.endpoints) > 1 {
+				c.brk.onFailure()
+				c.rotate()
+				continue
+			}
 			c.brk.onFailure()
 			return last.err
 		case last.status != 0:
@@ -400,7 +473,13 @@ func (c *Client) do(method, path string, body []byte, idempotent bool, out any) 
 			c.brk.onSuccess()
 			return last.err
 		case last.transport && (last.dialErr || idempotent):
+			// The endpoint is unreachable (or died mid-flight on an
+			// idempotent call): rotate so the retry — and every later call —
+			// tries the next member. This is the failover path after a
+			// primary power cut: the retry lands on the promoted follower,
+			// whose replicated dedup table turns it into the original ack.
 			c.brk.onFailure()
+			c.rotate()
 			continue
 		default:
 			// Mid-flight transport failure on a non-idempotent call: the

@@ -99,7 +99,7 @@ func (c *Client) Watch(ctx context.Context, view string, fromLSN uint64, hasFrom
 				return err
 			}
 		}
-		url := c.base + "/watch?view=" + neturl.QueryEscape(view)
+		url := c.baseURL() + "/watch?view=" + neturl.QueryEscape(view)
 		if haveCursor {
 			url += "&from_lsn=" + strconv.FormatUint(cursor, 10)
 		}
@@ -112,6 +112,10 @@ func (c *Client) Watch(ctx context.Context, view string, fromLSN uint64, hasFrom
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+			// Unreachable endpoint: rotate so the reconnect tries the next
+			// member — a watch survives a failover by resuming its cursor
+			// against the promoted follower's replicated feed.
+			c.rotate()
 			fails++
 			lastErr = fmt.Errorf("server: %w", err)
 			continue
@@ -120,11 +124,19 @@ func (c *Client) Watch(ctx context.Context, view string, fromLSN uint64, hasFrom
 			var eb errorBody
 			json.NewDecoder(resp.Body).Decode(&eb)
 			resp.Body.Close()
-			serr := statusError(resp.StatusCode, eb.Error)
+			serr := statusError(resp.StatusCode, eb.Code, eb.Error)
 			if resp.StatusCode == http.StatusTooManyRequests {
 				// Admission shed (watcher slots full): transient, back off
 				// honoring the server's hint and try again.
 				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.cfg.now())
+				fails++
+				lastErr = serr
+				continue
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable && retryableElsewhere(eb.Code) && len(c.endpoints) > 1 {
+				// Wrong member (stale follower): resubscribe elsewhere with
+				// the same cursor.
+				c.rotate()
 				fails++
 				lastErr = serr
 				continue

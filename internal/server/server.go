@@ -64,10 +64,22 @@ type Response struct {
 	Message string   `json:"message,omitempty"`
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Code distinguishes 503 flavors so
+// clients can pick the right recovery: "read-only" is permanent until
+// operator action, "not-primary" and "stale-replica" mean this endpoint is
+// the wrong (or lagging) member of a replicated deployment — retry against
+// another endpoint.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
+
+// 503 error codes.
+const (
+	codeReadOnly     = "read-only"
+	codeNotPrimary   = "not-primary"
+	codeStaleReplica = "stale-replica"
+)
 
 // Config tunes the HTTP surface.
 type Config struct {
@@ -96,6 +108,10 @@ type Config struct {
 	// the 10 s default. Each heartbeat carries the subscriber's cursor so a
 	// reconnect after silence still resumes at the right LSN.
 	Heartbeat time.Duration
+	// ReplHeartbeat is the cadence of /repl/stream heartbeats carrying the
+	// primary's durable cursor — the clock followers measure staleness
+	// against; 0 means the 500 ms default.
+	ReplHeartbeat time.Duration
 }
 
 const (
@@ -106,6 +122,7 @@ const (
 	defaultRetryAfter     = time.Second
 	defaultMaxSubs        = 4096
 	defaultHeartbeat      = 10 * time.Second
+	defaultReplHeartbeat  = 500 * time.Millisecond
 	maxPollWait           = 30 * time.Second
 )
 
@@ -142,6 +159,8 @@ type Server struct {
 	// its cursor instead of hanging until a timeout kills the connection.
 	drainCh   chan struct{}
 	drainOnce sync.Once
+	// replHeartbeat is the /repl/stream cursor-advertisement cadence.
+	replHeartbeat time.Duration
 }
 
 // New wraps db in an HTTP handler with default limits.
@@ -170,6 +189,10 @@ func NewWith(db *chronicledb.DB, cfg Config) *Server {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = defaultHeartbeat
 	}
+	if cfg.ReplHeartbeat <= 0 {
+		cfg.ReplHeartbeat = defaultReplHeartbeat
+	}
+	s.replHeartbeat = cfg.ReplHeartbeat
 	s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	s.maxQueue = int64(cfg.MaxQueue)
 	s.retryAfter = cfg.RetryAfter
@@ -186,6 +209,17 @@ func NewWith(db *chronicledb.DB, cfg Config) *Server {
 	s.mux.HandleFunc("GET /latest", s.handleLatest)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Replication: the stream/snapshot/ack surface exists whenever this
+	// database can serve as a log-shipping source (durable segmented
+	// layout) — a follower registers it too, so a promoted follower serves
+	// its surviving peers without a restart. /promote always exists; on a
+	// primary it is an idempotent no-op.
+	if db.ReplSource() != nil {
+		s.mux.HandleFunc("GET /repl/stream", s.handleReplStream)
+		s.mux.HandleFunc("GET /repl/snapshot", s.handleReplSnapshot)
+		s.mux.HandleFunc("POST /repl/ack", s.handleReplAck)
+	}
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
 	// Live profiling of the serving process: allocation and CPU profiles of
 	// the append hot path without stopping the server.
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -293,7 +327,11 @@ func Serve(ctx context.Context, ln net.Listener, s *Server, requestTimeout, drai
 	// itself with a per-event write deadline instead.
 	timed := http.TimeoutHandler(s, requestTimeout, `{"error":"request timed out"}`)
 	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/watch" {
+		// /repl/stream is a long-lived frame stream and /repl/snapshot can
+		// exceed any per-request bound on a big database; both guard
+		// themselves (per-write deadlines; snapshot sends Content-Length)
+		// instead of using the timeout wrapper.
+		if r.URL.Path == "/watch" || r.URL.Path == "/repl/stream" || r.URL.Path == "/repl/snapshot" {
 			s.ServeHTTP(w, r)
 			return
 		}
@@ -337,6 +375,9 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing stmt"))
 		return
 	}
+	if !s.staleGate(w) {
+		return // follower past its staleness bound: no reads either
+	}
 	res, err := s.db.Exec(req.Stmt)
 	if err != nil {
 		writeError(w, execStatus(err), err)
@@ -356,13 +397,28 @@ func decodeStatus(err error) int {
 }
 
 // execStatus maps an execution failure to its status: a degraded
-// (read-only) database serves 503 so clients and load balancers back off;
-// everything else is the statement's fault, 422.
+// (read-only) database and a replica rejecting writes both serve 503 so
+// clients and load balancers redirect; everything else is the statement's
+// fault, 422. The 503 flavors stay distinguishable via errorBody.Code.
 func execStatus(err error) int {
-	if errors.Is(err, chronicledb.ErrReadOnly) {
+	if errors.Is(err, chronicledb.ErrReadOnly) || errors.Is(err, chronicledb.ErrNotPrimary) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity
+}
+
+// staleGate fails a follower read with 503 "stale-replica" when the
+// replica has exceeded its configured staleness bound — clients retry
+// another endpoint instead of reading arbitrarily old state. Returns true
+// when the read may proceed.
+func (s *Server) staleGate(w http.ResponseWriter) bool {
+	if !s.db.Stale() {
+		return true
+	}
+	lagLSN, lagAge := s.db.ReplLag()
+	writeErrorCode(w, http.StatusServiceUnavailable, codeStaleReplica,
+		fmt.Errorf("replica lag (%d lsn, %s) exceeds the staleness bound", lagLSN, lagAge.Round(time.Millisecond)))
+	return false
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -470,6 +526,9 @@ func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		n = parsed
+	}
+	if !s.staleGate(w) {
+		return
 	}
 	v, ok := s.db.View(name)
 	if !ok {
@@ -579,6 +638,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			body["read_only_cause"] = cause.Error()
 		}
 	}
+	// Replication: the role, the follower's advertised staleness bound
+	// inputs (replica_lag_*), and the primary-side stream source gauges.
+	body["role"] = s.db.Role()
+	body["degraded_acks"] = s.db.DegradedAcks()
+	if st, ok := s.db.ReplState(); ok {
+		lagLSN, lagAge := s.db.ReplLag()
+		body["replica_lag_lsn"] = lagLSN
+		body["replica_lag_ns"] = int64(lagAge)
+		body["replica_applied_lsn"] = st.AppliedLSN
+		body["replica_primary_lsn"] = st.PrimaryLSN
+		body["replica_connected"] = st.Connected
+		body["replica_resyncs"] = st.Resyncs
+		body["replica_frames_applied"] = st.FramesApplied
+		body["replica_stale"] = s.db.Stale()
+	}
+	if src := s.db.ReplSource(); src != nil {
+		rs := src.Stats()
+		body["repl_cursor"] = rs.Cursor
+		body["repl_frames_staged"] = rs.Staged
+		body["repl_frames_emitted"] = rs.Emitted
+		body["repl_overflows"] = rs.Overflows
+		body["repl_followers"] = rs.Followers
+		body["repl_follower_acks"] = src.Followers()
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -617,6 +700,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// split of the last checkpoint cut.
 	cacheBytes := strconv.FormatInt(ws.ViewCacheBytes, 10)
 	dirtyBlocks := strconv.FormatInt(ws.CkptDirtyBlocks, 10) + "/" + strconv.FormatInt(ws.CkptTotalBlocks, 10)
+	role := s.db.Role()
+	// A follower past its staleness bound reports 503 so load balancers
+	// route reads to a healthier member; the lag figures say how far gone.
+	if s.db.Stale() {
+		lagLSN, lagAge := s.db.ReplLag()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "stale", "role": role,
+			"replica_lag_lsn": strconv.FormatUint(lagLSN, 10),
+			"replica_lag_ns":  strconv.FormatInt(int64(lagAge), 10),
+			"error":           "replica lag exceeds the staleness bound",
+		})
+		return
+	}
 	if ro, cause := s.db.ReadOnly(); ro {
 		body := map[string]string{
 			"status": "degraded", "shed_total": shed,
@@ -641,12 +737,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status": "ok", "shed_total": shed,
+	body := map[string]string{
+		"status": "ok", "role": role, "shed_total": shed,
 		"feed_subscribers": subs, "watch_shed_total": watchShed,
 		"wal_live_bytes": liveBytes, "last_checkpoint_lsn": ckptLSN,
 		"view_cache_bytes": cacheBytes, "ckpt_dirty_blocks": dirtyBlocks,
-	})
+	}
+	if st, ok := s.db.ReplState(); ok {
+		lagLSN, lagAge := s.db.ReplLag()
+		body["replica_lag_lsn"] = strconv.FormatUint(lagLSN, 10)
+		body["replica_lag_ns"] = strconv.FormatInt(int64(lagAge), 10)
+		body["replica_applied_lsn"] = strconv.FormatUint(st.AppliedLSN, 10)
+		body["replica_connected"] = strconv.FormatBool(st.Connected)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func toResponse(res *chronicledb.Result) Response {
@@ -702,5 +806,19 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+	eb := errorBody{Error: err.Error()}
+	if code == http.StatusServiceUnavailable {
+		switch {
+		case errors.Is(err, chronicledb.ErrNotPrimary):
+			eb.Code = codeNotPrimary
+		case errors.Is(err, chronicledb.ErrReadOnly):
+			eb.Code = codeReadOnly
+		}
+	}
+	writeJSON(w, code, eb)
+}
+
+// writeErrorCode emits an error envelope with an explicit code.
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }

@@ -102,6 +102,9 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown view %q", name))
 		return
 	}
+	if !s.staleGate(w) {
+		return // follower past its staleness bound; subscribe elsewhere
+	}
 	var fromLSN uint64
 	hasFrom := false
 	if raw := q.Get("from_lsn"); raw != "" {

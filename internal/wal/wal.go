@@ -144,6 +144,13 @@ type Log struct {
 	// otherwise (a Log never mixes policies), and Metrics takes both.
 	fsyncs    atomic.Int64
 	batchHist stats.Histogram
+
+	// Replication tap (SetTap). tapAppend observes every record's encoded
+	// payload under mu; tapDurable reports the record-seq high-water mark
+	// covered by a completed fsync. Both are installed once, before
+	// concurrent appends begin, and must never call back into the Log.
+	tapAppend  func(payload []byte, lsn, span, seq uint64)
+	tapDurable func(seq uint64)
 }
 
 // Metrics is a snapshot of a Log's durability counters. Batches is a value
@@ -207,6 +214,20 @@ func OpenSegmentFS(fsys fault.FS, dir, stream string, seq uint64, startBytes, ca
 	return l, nil
 }
 
+// SetTap installs the replication tap. onAppend is called inside Append,
+// under the log mutex, with the record's encoded payload (valid only for
+// the duration of the call — the tap must copy what it keeps), its LSN,
+// its LSN span, and its append sequence number. onDurable is called with
+// the highest append sequence covered by a completed fsync; in SyncNone
+// mode (the caller opted out of durability) every append reports durable
+// immediately. SetTap must be called before concurrent appends begin.
+func (l *Log) SetTap(onAppend func(payload []byte, lsn, span, seq uint64), onDurable func(seq uint64)) {
+	l.mu.Lock()
+	l.tapAppend = onAppend
+	l.tapDurable = onDurable
+	l.mu.Unlock()
+}
+
 // Path returns the log file path.
 func (l *Log) Path() string { return l.path }
 
@@ -247,6 +268,12 @@ func (l *Log) Append(r Record) error {
 	l.segBytes += int64(len(l.buf))
 	if r.LSN > l.lastLSN {
 		l.lastLSN = r.LSN
+	}
+	if l.tapAppend != nil {
+		l.tapAppend(payload, r.LSN, RecordSpan(r), l.seq)
+		if l.policy == SyncNone && l.tapDurable != nil {
+			l.tapDurable(l.seq)
+		}
 	}
 	switch l.policy {
 	case SyncEach:
@@ -296,6 +323,7 @@ func (l *Log) Commit() error {
 	l.mu.Lock()
 	covered := l.seq
 	f := l.f
+	td := l.tapDurable
 	err = l.err
 	l.mu.Unlock()
 	if err != nil {
@@ -317,6 +345,9 @@ func (l *Log) Commit() error {
 	if covered > prev {
 		l.synced.Store(covered)
 		l.batchHist.Observe(time.Duration(covered - prev))
+		if td != nil {
+			td(covered)
+		}
 	}
 	l.fsyncs.Add(1)
 	return nil
@@ -362,6 +393,9 @@ func (l *Log) syncLocked() error {
 	if prev := l.synced.Load(); l.seq > prev {
 		l.synced.Store(l.seq)
 		l.batchHist.Observe(time.Duration(l.seq - prev))
+		if l.tapDurable != nil {
+			l.tapDurable(l.seq)
+		}
 	}
 	l.fsyncs.Add(1)
 	return nil
@@ -398,6 +432,9 @@ func (l *Log) rotateLocked() error {
 	if prev := l.synced.Load(); l.seq > prev {
 		l.synced.Store(l.seq)
 		l.batchHist.Observe(time.Duration(l.seq - prev))
+		if l.tapDurable != nil {
+			l.tapDurable(l.seq)
+		}
 	}
 	sealed := Segment{
 		Name:   SegmentFileName(l.stream, l.segSeq),
@@ -480,6 +517,9 @@ func (l *Log) Reset() error {
 	l.fsyncs.Add(1)
 	if l.seq > l.synced.Load() {
 		l.synced.Store(l.seq) // the truncation sync covers everything appended
+		if l.tapDurable != nil {
+			l.tapDurable(l.seq)
+		}
 	}
 	l.w.Reset(l.f)
 	return nil
@@ -682,6 +722,37 @@ func decodeRecord(b []byte) (Record, error) {
 		return Record{}, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}
 	return r, nil
+}
+
+// EncodeRecord appends r's wire encoding — the frame payload, without the
+// length/CRC header — to dst and returns the extended slice. It is the
+// exact bytes a Log writes for r, so a replication stream can ship tapped
+// payloads and re-encoded backlog records interchangeably.
+func EncodeRecord(dst []byte, r Record) []byte { return encodeRecord(dst, r) }
+
+// DecodeRecord parses a record payload produced by EncodeRecord (or tapped
+// from a Log's append path).
+func DecodeRecord(b []byte) (Record, error) { return decodeRecord(b) }
+
+// RecordSpan returns how many LSNs r occupies in the global order: an
+// idempotent bulk append assigns one LSN per tuple (the record's LSN is the
+// first), a DDL record is an ordering annotation that consumes none, and
+// every other record exactly one.
+func RecordSpan(r Record) uint64 {
+	switch r.Kind {
+	case RecAppendEach:
+		var n uint64
+		for _, p := range r.Parts {
+			n += uint64(len(p.Tuples))
+		}
+		if n == 0 {
+			return 1
+		}
+		return n
+	case RecDDL:
+		return 0
+	}
+	return 1
 }
 
 func appendString(dst []byte, s string) []byte {

@@ -75,7 +75,7 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 			}
 		}
 		for _, s := range stmts {
-			if _, err := db.execOne(s, false); err != nil {
+			if _, err := db.execOne(s, execRecovery); err != nil {
 				return fmt.Errorf("chronicledb: replaying catalog: %w", err)
 			}
 		}
@@ -177,7 +177,7 @@ func (db *DB) recover(m wal.Manifest, hadManifest bool) error {
 			if err != nil {
 				return err
 			}
-			_, err = db.execOne(s, false)
+			_, err = db.execOne(s, execRecovery)
 			return err
 		case wal.RecAppend:
 			parts := make([]engine.MutationPart, len(r.Parts))

@@ -1,0 +1,219 @@
+// Replication failover under network torture: the E18 harness pointed at
+// a replicated pair. Concurrent retrying clients push idempotent appends
+// through a chaos TCP proxy and a fault-injecting transport at a
+// sync-ack primary; mid-run the primary's disk power-cuts and its server
+// dies, the follower is promoted, and the proxy is repointed at it.
+// Exactly-once must hold across the failover: sync ack means every acked
+// write was already applied (and dedup-recorded) on the follower before
+// its ack returned, so the acked SN ranges tile [0, K·M·R) on the
+// promoted database with zero lost and zero duplicated acks.
+package chronicledb_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	chronicledb "chronicledb"
+	"chronicledb/internal/fault"
+	"chronicledb/internal/server"
+)
+
+func TestReplChaosFailover(t *testing.T) {
+	diskA := fault.NewDisk()
+	db, err := chronicledb.Open(chronicledb.Options{
+		Dir: "/data", SyncWAL: true, FS: diskA, Shards: 4,
+		AckMode: "sync", SyncAckTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE CHRONICLE calls (acct STRING, minutes INT) RETAIN ALL`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE VIEW usage AS SELECT acct, SUM(minutes) AS total FROM calls GROUP BY acct`); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewWith(db, server.Config{ReplHeartbeat: 20 * time.Millisecond}))
+
+	// The standby replicates over a clean direct connection (chaos torments
+	// the client path, not the replication link) and already runs its own
+	// server — promotion just opens its write gate.
+	diskB := fault.NewDisk()
+	db2, err := chronicledb.Open(chronicledb.Options{
+		Dir: "/data", SyncWAL: true, FS: diskB, Shards: 4,
+		ReplicaOf: ts.URL, FollowerID: "standby",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	ts2 := httptest.NewServer(server.NewWith(db2, server.Config{}))
+	defer ts2.Close()
+	waitUntil(t, 10*time.Second, "standby attach", func() bool {
+		return len(db.ReplSource().Followers()) == 1
+	})
+
+	chaos := fault.NewNetChaos(42)
+	chaos.DropRequest = 0.05
+	chaos.DropResponse = 0.10 // the ambiguous failure: applied, ack lost
+	chaos.Duplicate = 0.05
+	chaos.DropConn = 0.08
+	chaos.ResetProb = 0.08
+	chaos.ResetAfter = 32
+
+	proxy, err := fault.NewProxy(strings.TrimPrefix(ts.URL, "http://"), chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Failover: once a third of the requests are acked, power-cut the
+	// primary's disk, kill its server, promote the standby over HTTP, and
+	// repoint the proxy. Clients never change the address they dial.
+	var acked atomic.Int64
+	failoverDone := make(chan struct{})
+	go func() {
+		defer close(failoverDone)
+		for acked.Load() < chaosClients*chaosRequests/3 {
+			time.Sleep(time.Millisecond)
+		}
+		// Power-cut the disk first: from here no write on the old primary
+		// can commit, so promoting the standby cannot lose an ack. Then
+		// promote (which also tears down the standby's stream connection),
+		// repoint the proxy, and only then kill the old server — its
+		// remaining handlers fail fast on the dead disk, and the sync-ack
+		// waiters wake as the standby detaches.
+		diskA.PowerCut()
+		resp, err := http.Post(ts2.URL+"/promote", "application/json", nil)
+		if err != nil {
+			t.Errorf("promote: %v", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || db2.Role() != "primary" {
+			t.Errorf("promote: status %d role %q", resp.StatusCode, db2.Role())
+			return
+		}
+		proxy.SetTarget(strings.TrimPrefix(ts2.URL, "http://"))
+		ts.CloseClientConnections()
+		ts.Close()
+		db.Close()
+	}()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		acks    []ackRange
+		deduped int64
+		failed  []string
+	)
+	for k := 0; k < chaosClients; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c := server.NewClientWith("http://"+proxy.Addr(), server.ClientConfig{
+				ClientID:         fmt.Sprintf("chaos-%d", k),
+				Timeout:          2 * time.Second,
+				MaxAttempts:      5,
+				BaseBackoff:      2 * time.Millisecond,
+				MaxBackoff:       20 * time.Millisecond,
+				RetryBudget:      5 * time.Second,
+				BreakerThreshold: 20,
+				BreakerCooldown:  20 * time.Millisecond,
+				// Fresh TCP connection per request so connection-level
+				// faults roll per request, not per pooled connection.
+				Transport: &fault.ChaosTransport{
+					Chaos: chaos,
+					Base:  &http.Transport{DisableKeepAlives: true},
+				},
+			})
+			rows := make([][]any, chaosRows)
+			for i := range rows {
+				rows[i] = []any{fmt.Sprintf("chaos-%d", k), 1}
+			}
+			for m := 0; m < chaosRequests; m++ {
+				rid := fmt.Sprintf("m%d", m)
+				deadline := time.Now().Add(60 * time.Second)
+				for {
+					// The reused request id makes every delivery of this
+					// request — client retries, network duplicates,
+					// post-failover resends against the promoted standby's
+					// replicated dedup table — apply at most once.
+					resp, err := c.AppendRowsIdem("calls", rows, rid)
+					if err == nil {
+						mu.Lock()
+						acks = append(acks, ackRange{resp.FirstSN, resp.LastSN})
+						if resp.Deduped {
+							deduped++
+						}
+						mu.Unlock()
+						acked.Add(1)
+						break
+					}
+					if time.Now().After(deadline) {
+						mu.Lock()
+						failed = append(failed, fmt.Sprintf("client %d req %s: %v", k, rid, err))
+						mu.Unlock()
+						return
+					}
+					// ErrNotPrimary in the promote window, breaker
+					// cooldowns, shed 429s, torn connections: wait, retry.
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	<-failoverDone
+
+	if len(failed) > 0 {
+		t.Fatalf("requests never acked: %v", failed)
+	}
+	counts := chaos.Counts()
+	t.Logf("chaos: %+v, harness acks deduped=%d", counts, deduped)
+	if counts.DroppedResponses == 0 && counts.Duplicates == 0 {
+		t.Fatal("chaos injected no ambiguous faults; raise probabilities")
+	}
+
+	// Exactly-once, client view: the K·M acked SN ranges are disjoint and
+	// tile [0, K·M·R) — no lost acks (an acked write missing from the
+	// promoted database would leave a hole) and no duplicated acks (a
+	// double apply would overlap).
+	const want = chaosClients * chaosRequests * chaosRows
+	if len(acks) != chaosClients*chaosRequests {
+		t.Fatalf("acks = %d, want %d", len(acks), chaosClients*chaosRequests)
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i].first < acks[j].first })
+	var next int64
+	for _, a := range acks {
+		if a.first != next || a.last != a.first+chaosRows-1 {
+			t.Fatalf("SN ranges do not tile: got [%d,%d] at offset %d", a.first, a.last, next)
+		}
+		next = a.last + 1
+	}
+	if next != want {
+		t.Fatalf("SN coverage = %d, want %d", next, want)
+	}
+
+	// Exactly-once, durable view: the promoted database agrees.
+	res, err := db2.Exec(`SELECT * FROM calls`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != want {
+		t.Fatalf("promoted rows = %d, want %d", len(res.Rows), want)
+	}
+	for k := 0; k < chaosClients; k++ {
+		row, ok, err := db2.Lookup("usage", chronicledb.Str(fmt.Sprintf("chaos-%d", k)))
+		if err != nil || !ok || row[1].AsInt() != chaosRequests*chaosRows {
+			t.Errorf("usage(chaos-%d) = %v %v %v, want %d", k, row, ok, err, chaosRequests*chaosRows)
+		}
+	}
+}
